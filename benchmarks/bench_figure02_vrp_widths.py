@@ -1,0 +1,16 @@
+"""Figure 2: dynamic instruction width distribution, conventional vs proposed VRP."""
+
+from repro.experiments import figure02_vrp_width_distribution
+from repro.isa import Width
+
+
+def test_figure02_vrp_width_distribution(run_once):
+    data = run_once(figure02_vrp_width_distribution)
+    conventional = data["conventional_vrp"]
+    proposed = data["proposed_vrp"]
+    for distribution in (conventional, proposed):
+        assert abs(sum(distribution.values()) - 1.0) < 1e-6
+    # The proposed (useful-range) VRP finds at least as many narrow
+    # instructions as the conventional one.
+    assert proposed[Width.BYTE] >= conventional[Width.BYTE]
+    assert proposed[Width.QUAD] <= conventional[Width.QUAD] + 1e-9

@@ -1,0 +1,15 @@
+"""Figure 3: per-structure energy savings of VRP."""
+
+from repro.experiments import figure03_vrp_energy_by_structure
+
+
+def test_figure03_vrp_energy_by_structure(run_once):
+    savings = run_once(figure03_vrp_energy_by_structure)
+    # Data-intensive structures benefit the most; address-dominated
+    # structures barely move; the whole processor saves a few percent.
+    assert savings["register_file"] > 0.05
+    assert savings["result_bus"] > 0.05
+    assert savings["alu"] > 0.05
+    assert savings["lsq"] < savings["register_file"]
+    assert savings["icache"] == 0.0
+    assert 0.01 < savings["processor"] < 0.30

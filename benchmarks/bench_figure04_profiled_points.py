@@ -1,0 +1,17 @@
+"""Figure 4: distribution of the profiled points after specialization filtering."""
+
+from repro.experiments import figure04_profiled_point_distribution
+
+
+def test_figure04_profiled_point_distribution(run_once):
+    data = run_once(figure04_profiled_point_distribution)
+    average = data["average"]
+    # Most profiled points produce no benefit; only a small fraction is
+    # specialized (the paper reports 88% / 7%).
+    assert average["no_benefit"] >= average["specialized"]
+    assert 0.0 <= average["specialized"] <= 0.6
+    for name, stats in data.items():
+        if name == "average":
+            continue
+        total = stats["specialized"] + stats["dependent_on_another_point"] + stats["no_benefit"]
+        assert total <= 1.0 + 1e-6

@@ -1,0 +1,12 @@
+"""Figure 5: static instructions specialized vs eliminated at compile time."""
+
+from repro.experiments import figure05_static_specialized_instructions
+
+
+def test_figure05_static_specialized_instructions(run_once):
+    data = run_once(figure05_static_specialized_instructions)
+    average = data["average"]
+    assert 0.0 <= average["eliminated"] <= 1.0
+    assert 0.0 <= average["specialized"] <= 1.0
+    # Some benchmark of the suite specializes a non-trivial region.
+    assert any(stats["total_static_instructions"] > 0 for name, stats in data.items() if name != "average")

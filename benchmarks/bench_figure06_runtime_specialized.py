@@ -1,0 +1,14 @@
+"""Figure 6: run-time specialized instructions and guard-comparison overhead."""
+
+from repro.experiments import figure06_runtime_specialized_instructions
+
+
+def test_figure06_runtime_specialized_instructions(run_once):
+    data = run_once(figure06_runtime_specialized_instructions)
+    average = data["average"]
+    # Specialized code executes far more often than its guards (the paper
+    # reports >15% specialized instructions vs ~1% comparisons).
+    assert 0.0 <= average["specialization_comparisons"] <= 0.25
+    assert average["specialized_instructions"] >= 0.0
+    for name, stats in data.items():
+        assert stats["specialized_instructions"] + stats["specialization_comparisons"] <= 1.0

@@ -1,0 +1,17 @@
+"""Figure 7: run-time width distribution for no mechanism, VRP and VRS."""
+
+from repro.experiments import figure07_width_by_mechanism
+from repro.isa import Width
+
+
+def test_figure07_width_by_mechanism(run_once):
+    data = run_once(figure07_width_by_mechanism)
+    none = data["none"]
+    vrp = data["vrp"]
+    vrs = data["vrs"]
+    # Each mechanism monotonically shifts weight away from 64-bit encodings.
+    assert vrp[Width.QUAD] <= none[Width.QUAD] + 1e-9
+    assert vrs[Width.QUAD] <= none[Width.QUAD] + 1e-9
+    assert vrp[Width.BYTE] >= none[Width.BYTE] - 1e-9
+    for distribution in data.values():
+        assert abs(sum(distribution.values()) - 1.0) < 1e-6

@@ -1,0 +1,19 @@
+"""Figure 8: per-benchmark energy savings of VRP and the VRS threshold sweep."""
+
+from repro.experiments import VRS_THRESHOLDS_NJ, figure08_energy_savings_by_benchmark
+
+
+def test_figure08_energy_savings(run_once):
+    data = run_once(figure08_energy_savings_by_benchmark, (50.0,))
+    assert "vrp" in data and "vrs_50nj" in data
+    # VRS builds on VRP, so its average energy saving is at least VRP's.
+    assert data["vrs_50nj"]["average"] >= data["vrp"]["average"] - 0.05
+    assert 0.0 < data["vrp"]["average"] < 0.35
+
+
+def test_figure08_threshold_sweep_is_stable(run_once):
+    data = run_once(figure08_energy_savings_by_benchmark, VRS_THRESHOLDS_NJ[:2])
+    configs = [key for key in data if key.startswith("vrs_")]
+    averages = [data[key]["average"] for key in configs]
+    # The paper observes that all thresholds behave very similarly.
+    assert max(averages) - min(averages) < 0.10

@@ -1,0 +1,14 @@
+"""Figure 9: per-structure energy savings of VRP and the VRS variants."""
+
+from repro.experiments import figure09_energy_by_structure
+
+
+def test_figure09_energy_by_structure(run_once):
+    data = run_once(figure09_energy_by_structure, (50.0,))
+    vrp = data["vrp"]
+    vrs = data["vrs_50nj"]
+    # The data-manipulating structures benefit the most under both schemes.
+    for config in (vrp, vrs):
+        assert config["register_file"] > config["icache"]
+        assert config["result_bus"] > config["lsq"]
+    assert vrs["processor"] >= vrp["processor"] - 0.05

@@ -1,0 +1,11 @@
+"""Figure 10: execution-time savings of VRS."""
+
+from repro.experiments import figure10_execution_time_savings
+
+
+def test_figure10_execution_time_savings(run_once):
+    data = run_once(figure10_execution_time_savings, (50.0,))
+    per_benchmark = data["vrs_50nj"]
+    # Execution-time changes are small (the paper sees -1% to +4%).
+    assert -0.10 < per_benchmark["average"] < 0.10
+    assert len([name for name in per_benchmark if name != "average"]) == 8

@@ -1,0 +1,12 @@
+"""Figure 11: energy-delay² savings of VRP and VRS."""
+
+from repro.experiments import figure11_ed2_savings
+
+
+def test_figure11_ed2_savings(run_once):
+    data = run_once(figure11_ed2_savings, (50.0,))
+    vrp_average = data["vrp"]["average"]
+    vrs_average = data["vrs_50nj"]["average"]
+    # VRP alone gives a modest ED² gain; VRS improves on it (paper: ~5% → ~15%).
+    assert vrp_average > 0.0
+    assert vrs_average >= vrp_average - 0.05

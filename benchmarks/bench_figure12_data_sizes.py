@@ -1,0 +1,13 @@
+"""Figure 12: distribution of runtime value sizes (significant bytes)."""
+
+from repro.experiments import figure12_data_size_distribution
+
+
+def test_figure12_data_size_distribution(run_once):
+    histogram = run_once(figure12_data_size_distribution)
+    assert abs(sum(histogram.values()) - 1.0) < 1e-6
+    # Narrow values dominate (the paper reports ~43% single-byte values) and
+    # there is a visible 5-byte population coming from memory addresses.
+    assert histogram[1] > 0.25
+    assert histogram[1] > histogram[3]
+    assert histogram[5] > histogram[6]

@@ -1,0 +1,13 @@
+"""Figure 13: energy savings of the hardware compression schemes."""
+
+from repro.experiments import figure13_hardware_energy_savings
+
+
+def test_figure13_hardware_energy_savings(run_once):
+    data = run_once(figure13_hardware_energy_savings)
+    size = data["size_compression"]["average"]
+    significance = data["significance_compression"]["average"]
+    # Both hardware schemes save a double-digit percentage on average.
+    assert size > 0.05
+    assert significance > 0.05
+    assert abs(size - significance) < 0.15

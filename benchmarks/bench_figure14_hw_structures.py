@@ -1,0 +1,12 @@
+"""Figure 14: per-structure energy savings of the hardware schemes."""
+
+from repro.experiments import figure14_hardware_energy_by_structure
+
+
+def test_figure14_hardware_energy_by_structure(run_once):
+    data = run_once(figure14_hardware_energy_by_structure)
+    for config in data.values():
+        # Structures that directly manipulate values benefit the most.
+        assert config["register_file"] > config["icache"]
+        assert config["result_bus"] > 0.05
+        assert config["processor"] > 0.02

@@ -1,0 +1,13 @@
+"""Table 1: energy savings (nJ) for ALU operations per width change."""
+
+from repro.experiments import table1_alu_energy_matrix
+from repro.isa import Width
+
+
+def test_table1_alu_energy(run_once):
+    matrix = run_once(table1_alu_energy_matrix)
+    # Narrowing saves energy, widening costs it, and the diagonal is zero.
+    assert matrix[Width.BYTE][Width.QUAD] == 6.0
+    assert matrix[Width.QUAD][Width.BYTE] == -6.0
+    assert matrix[Width.WORD][Width.WORD] == 0.0
+    assert matrix[Width.HALF][Width.QUAD] > matrix[Width.WORD][Width.QUAD]

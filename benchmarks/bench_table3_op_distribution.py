@@ -1,0 +1,15 @@
+"""Table 3: dynamic distribution of operation types and their widths under VRP."""
+
+from repro.experiments import table3_operation_distribution
+
+
+def test_table3_operation_distribution(run_once):
+    rows = run_once(table3_operation_distribution)
+    types = {row["type"] for row in rows}
+    # ADD dominates the integer mix, as in the paper's Table 3.
+    assert "ADD" in types
+    top = rows[0]
+    assert top["type"] == "ADD"
+    for row in rows:
+        total = row["64b"] + row["32b"] + row["16b"] + row["8b"]
+        assert abs(total - 1.0) < 1e-6

@@ -1,0 +1,11 @@
+"""§4.1: VRP analysis overhead relative to program execution."""
+
+from repro.experiments import vrp_analysis_overhead
+
+
+def test_vrp_analysis_overhead(run_once):
+    data = run_once(vrp_analysis_overhead)
+    assert data["total_analysis_seconds"] > 0.0
+    # The binary-level analysis is a small fraction of even a simulated run
+    # (the paper reports 0.02%-0.08% of native execution time).
+    assert data["average_ratio"] < 2.0

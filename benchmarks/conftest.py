@@ -1,0 +1,30 @@
+"""Shared helpers for the per-figure benchmark targets.
+
+Every benchmark regenerates one table or figure of the paper.  The heavy
+lifting (compilation, VRP/VRS, simulation) is cached process-wide by
+``repro.experiments.runner``, so later benchmarks in a session reuse the
+simulations performed by earlier ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _warm_suite_cache():
+    """Pre-simulate the baseline configuration once for the whole session."""
+    from repro.experiments import evaluate_suite
+
+    evaluate_suite(mechanism="none")
+    yield
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark."""
+
+    def runner(function, *args, **kwargs):
+        return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

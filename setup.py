@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works in offline environments whose setuptools lacks
+PEP 660 editable-wheel support (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""repro — reproduction of "Software-Controlled Operand-Gating" (CGO 2004).
+
+The package provides, end to end, the pieces the paper's evaluation needs:
+
+* :mod:`repro.isa` — an Alpha-like 64-bit ISA with width-annotated opcodes.
+* :mod:`repro.ir` — a binary-level IR (CFG, dominators, loops, def-use).
+* :mod:`repro.asm` / :mod:`repro.minic` — an assembler and a small C-like
+  front end used to author the workload suite.
+* :mod:`repro.core` — the paper's contribution: Value Range Propagation
+  (VRP) and Value Range Specialization (VRS).
+* :mod:`repro.sim` — a functional simulator with basic-block and value
+  profiling.
+* :mod:`repro.uarch` / :mod:`repro.power` — a trace-driven out-of-order
+  timing model and a Wattch-like per-structure energy model with operand
+  gating.
+* :mod:`repro.hardware` — the hardware significance/size compression
+  schemes used as comparison points and in the cooperative mode.
+* :mod:`repro.workloads` — a synthetic SpecInt95-analogue suite.
+* :mod:`repro.experiments` — regenerates every table and figure of the
+  paper's evaluation section.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

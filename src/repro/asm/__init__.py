@@ -1,0 +1,20 @@
+"""Assembler and disassembler for the Alpha-like target ISA.
+
+The assembler turns the textual format produced by
+:func:`repro.ir.format_program` back into a :class:`repro.ir.Program`, which
+makes the IR round-trippable and lets workloads be written directly in
+assembly when the mini-C front end is too high level (e.g. when a specific
+instruction mix is wanted).
+"""
+
+from .assembler import AsmSyntaxError, assemble_function, assemble_program
+from .lexer import AsmToken, strip_comment, tokenize_line
+
+__all__ = [
+    "AsmSyntaxError",
+    "assemble_function",
+    "assemble_program",
+    "AsmToken",
+    "strip_comment",
+    "tokenize_line",
+]

@@ -1,0 +1,264 @@
+"""Assembler: parse the textual assembly format into a :class:`Program`.
+
+The format is the one produced by :func:`repro.ir.printer.format_program`,
+so programs round-trip.  Grammar sketch::
+
+    program   := (data | function)*
+    data      := ".data" name size_bytes element_bits init_value*
+    function  := ".func" name num_params line* ".endfunc"
+    line      := label ":" | instruction
+    instruction := mnemonic["." width] operand ("," operand)*
+
+Operands are registers (``r3``, ``sp`` ...), immediates (``42``, ``0x1f``,
+``-7``), data-symbol references (``=table``) which assemble to the symbol's
+address, memory references (``8(sp)``), or label/function names for control
+flow.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..isa import Imm, Instruction, Opcode, Operand, RETURN_ADDRESS, Reg, Width, parse_register
+from ..ir import Function, Program, build_cfg, validate_program
+from .lexer import AsmSyntaxError, AsmToken, tokenize_line
+
+__all__ = ["assemble_program", "assemble_function", "AsmSyntaxError"]
+
+_MNEMONICS = {op.value: op for op in Opcode}
+_WIDTH_BY_BITS = {8: Width.BYTE, 16: Width.HALF, 32: Width.WORD, 64: Width.QUAD}
+
+
+def assemble_program(text: str, entry: str = "main", validate: bool = True) -> Program:
+    """Assemble a complete program from text."""
+    program = Program(entry=entry)
+    lines = text.splitlines()
+
+    # Pass 1: data objects (so that =symbol references resolve everywhere).
+    for number, raw in enumerate(lines, start=1):
+        tokens = tokenize_line(raw, number)
+        if tokens and tokens[0].kind == "word" and tokens[0].text == ".data":
+            _parse_data(program, tokens, number)
+
+    # Pass 2: functions.
+    index = 0
+    while index < len(lines):
+        number = index + 1
+        tokens = tokenize_line(lines[index], number)
+        if tokens and tokens[0].kind == "word" and tokens[0].text == ".func":
+            end = _find_endfunc(lines, index)
+            function = _parse_function(program, lines, index, end)
+            program.add_function(function)
+            index = end + 1
+            continue
+        if tokens and tokens[0].kind == "word" and tokens[0].text == ".endfunc":
+            raise AsmSyntaxError(".endfunc without .func", number)
+        index += 1
+
+    if validate:
+        validate_program(program)
+    return program
+
+
+def assemble_function(text: str, program: Optional[Program] = None) -> Function:
+    """Assemble a single ``.func``/``.endfunc`` body (helper for tests)."""
+    program = program if program is not None else Program()
+    lines = text.splitlines()
+    start = next(
+        i for i, line in enumerate(lines) if tokenize_line(line) and tokenize_line(line)[0].text == ".func"
+    )
+    end = _find_endfunc(lines, start)
+    return _parse_function(program, lines, start, end)
+
+
+# ----------------------------------------------------------------------
+# Directive parsing
+# ----------------------------------------------------------------------
+def _parse_data(program: Program, tokens: list[AsmToken], line_number: int) -> None:
+    if len(tokens) < 4:
+        raise AsmSyntaxError(".data requires: name size_bytes element_bits [values]", line_number)
+    name = tokens[1].text
+    size = _expect_number(tokens[2], line_number)
+    bits = _expect_number(tokens[3], line_number)
+    if bits not in _WIDTH_BY_BITS:
+        raise AsmSyntaxError(f"bad element width {bits}", line_number)
+    values = tuple(_expect_number(tok, line_number) for tok in tokens[4:])
+    program.add_data(name, size, _WIDTH_BY_BITS[bits], values)
+
+
+def _find_endfunc(lines: list[str], start: int) -> int:
+    for index in range(start + 1, len(lines)):
+        tokens = tokenize_line(lines[index], index + 1)
+        if tokens and tokens[0].kind == "word" and tokens[0].text == ".endfunc":
+            return index
+        if tokens and tokens[0].kind == "word" and tokens[0].text == ".func":
+            raise AsmSyntaxError("nested .func", index + 1)
+    raise AsmSyntaxError(".func without matching .endfunc", start + 1)
+
+
+def _parse_function(program: Program, lines: list[str], start: int, end: int) -> Function:
+    header = tokenize_line(lines[start], start + 1)
+    if len(header) < 2:
+        raise AsmSyntaxError(".func requires a name", start + 1)
+    name = header[1].text
+    num_params = _expect_number(header[2], start + 1) if len(header) > 2 else 0
+    function = Function(name, num_params=num_params)
+
+    current_label = "entry"
+    pending_block = True  # create the block lazily on first instruction/label
+    for index in range(start + 1, end):
+        number = index + 1
+        tokens = tokenize_line(lines[index], number)
+        if not tokens:
+            continue
+        # Label line: "name:"
+        if (
+            len(tokens) >= 2
+            and tokens[0].kind == "word"
+            and tokens[1].kind == "punct"
+            and tokens[1].text == ":"
+        ):
+            current_label = tokens[0].text
+            if current_label not in function.blocks:
+                function.new_block(current_label)
+            pending_block = False
+            continue
+        if pending_block and current_label not in function.blocks:
+            function.new_block(current_label)
+            pending_block = False
+        instruction = _parse_instruction(program, tokens, number)
+        function.blocks[current_label].append(instruction)
+
+    build_cfg(function)
+    return function
+
+
+# ----------------------------------------------------------------------
+# Instruction parsing
+# ----------------------------------------------------------------------
+def _parse_instruction(program: Program, tokens: list[AsmToken], number: int) -> Instruction:
+    mnemonic = tokens[0].text.lower()
+    width = Width.QUAD
+    if "." in mnemonic and not mnemonic.startswith("."):
+        base, _, bits_text = mnemonic.partition(".")
+        if not bits_text.isdigit() or int(bits_text) not in _WIDTH_BY_BITS:
+            raise AsmSyntaxError(f"bad width suffix in {mnemonic!r}", number)
+        mnemonic = base
+        width = _WIDTH_BY_BITS[int(bits_text)]
+    if mnemonic not in _MNEMONICS:
+        raise AsmSyntaxError(f"unknown mnemonic {mnemonic!r}", number)
+    op = _MNEMONICS[mnemonic]
+    operands = _split_operands(tokens[1:], number)
+
+    if op in (Opcode.LDB, Opcode.LDH, Opcode.LDW, Opcode.LDQ):
+        dest = _expect_reg(operands[0], program, number)
+        base, offset = _parse_memory_operand(operands[1:], program, number)
+        return Instruction(op, dest, (base, Imm(offset)))
+    if op in (Opcode.STB, Opcode.STH, Opcode.STW, Opcode.STQ):
+        value = _expect_reg(operands[0], program, number)
+        base, offset = _parse_memory_operand(operands[1:], program, number)
+        return Instruction(op, None, (value, base, Imm(offset)))
+    if op is Opcode.BR:
+        return Instruction(op, None, (), target=_expect_name(operands[0], number))
+    if op in (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BLE, Opcode.BGT, Opcode.BGE):
+        cond = _expect_reg(operands[0], program, number)
+        return Instruction(op, None, (cond,), target=_expect_name(operands[1], number))
+    if op is Opcode.JSR:
+        return Instruction(op, RETURN_ADDRESS, (), target=_expect_name(operands[0], number))
+    if op is Opcode.RET:
+        reg = _expect_reg(operands[0], program, number) if operands else RETURN_ADDRESS
+        return Instruction(op, None, (reg,))
+    if op in (Opcode.HALT, Opcode.NOP):
+        return Instruction(op)
+    if op is Opcode.PRINT:
+        return Instruction(op, None, (_expect_reg(operands[0], program, number),))
+
+    # Generic register-form instruction: dest, src...
+    if not operands:
+        raise AsmSyntaxError(f"{mnemonic} requires operands", number)
+    dest = _expect_reg(operands[0], program, number)
+    srcs = tuple(_parse_operand(group, program, number) for group in operands[1:])
+    return Instruction(op, dest, srcs, width=width)
+
+
+def _split_operands(tokens: list[AsmToken], number: int) -> list[list[AsmToken]]:
+    """Split the operand token stream on top-level commas."""
+    groups: list[list[AsmToken]] = []
+    current: list[AsmToken] = []
+    for token in tokens:
+        if token.kind == "punct" and token.text == ",":
+            if not current:
+                raise AsmSyntaxError("empty operand", number)
+            groups.append(current)
+            current = []
+        else:
+            current.append(token)
+    if current:
+        groups.append(current)
+    return groups
+
+
+def _parse_operand(group: list[AsmToken], program: Program, number: int) -> Operand:
+    if len(group) == 1:
+        token = group[0]
+        if token.kind == "number":
+            return Imm(token.value or 0)
+        if token.kind == "symbol":
+            return Imm(program.symbol_address(token.text))
+        if token.kind == "word":
+            return parse_register(token.text)
+    if len(group) == 3 and group[1].kind == "punct" and group[1].text == "+":
+        if group[0].kind == "symbol" and group[2].kind == "number":
+            return Imm(program.symbol_address(group[0].text) + (group[2].value or 0))
+    raise AsmSyntaxError(f"bad operand {' '.join(t.text for t in group)!r}", number)
+
+
+def _parse_memory_operand(
+    groups: list[list[AsmToken]], program: Program, number: int
+) -> tuple[Reg, int]:
+    """Parse ``offset(base)`` / ``(base)`` / ``base, offset`` forms."""
+    if len(groups) == 1:
+        group = groups[0]
+        # offset(base) or (base)
+        if group and group[-1].kind == "punct" and group[-1].text == ")":
+            open_index = next(i for i, t in enumerate(group) if t.kind == "punct" and t.text == "(")
+            offset_tokens = group[:open_index]
+            reg_tokens = group[open_index + 1 : -1]
+            offset = 0
+            if offset_tokens:
+                if offset_tokens[0].kind == "number":
+                    offset = offset_tokens[0].value or 0
+                elif offset_tokens[0].kind == "symbol":
+                    offset = program.symbol_address(offset_tokens[0].text)
+                else:
+                    raise AsmSyntaxError("bad memory offset", number)
+            if len(reg_tokens) != 1 or reg_tokens[0].kind != "word":
+                raise AsmSyntaxError("bad memory base register", number)
+            return parse_register(reg_tokens[0].text), offset
+        if len(group) == 1 and group[0].kind == "word":
+            return parse_register(group[0].text), 0
+    if len(groups) == 2:
+        base = groups[0]
+        offset = groups[1]
+        if len(base) == 1 and base[0].kind == "word" and len(offset) == 1 and offset[0].kind == "number":
+            return parse_register(base[0].text), offset[0].value or 0
+    raise AsmSyntaxError("bad memory operand", number)
+
+
+def _expect_reg(group: list[AsmToken], program: Program, number: int) -> Reg:
+    operand = _parse_operand(group, program, number)
+    if not isinstance(operand, Reg):
+        raise AsmSyntaxError(f"expected a register, got {operand}", number)
+    return operand
+
+
+def _expect_name(group: list[AsmToken], number: int) -> str:
+    if len(group) == 1 and group[0].kind == "word":
+        return group[0].text
+    raise AsmSyntaxError("expected a label or function name", number)
+
+
+def _expect_number(token: AsmToken, number: int) -> int:
+    if token.kind != "number" or token.value is None:
+        raise AsmSyntaxError(f"expected a number, got {token.text!r}", number)
+    return token.value

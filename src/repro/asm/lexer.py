@@ -1,0 +1,88 @@
+"""Tokenizer for the assembly text format."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["AsmToken", "AsmSyntaxError", "tokenize_line", "strip_comment"]
+
+
+class AsmSyntaxError(Exception):
+    """Raised when assembly text cannot be tokenized or parsed."""
+
+    def __init__(self, message: str, line_number: int | None = None) -> None:
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number
+
+
+@dataclass(frozen=True)
+class AsmToken:
+    """One token of an assembly line."""
+
+    kind: str  # "word", "number", "symbol", "punct"
+    text: str
+    value: int | None = None
+
+
+def strip_comment(line: str) -> str:
+    """Remove a trailing ``;`` or ``#`` comment (outside of any quoting)."""
+    for marker in (";", "#"):
+        index = line.find(marker)
+        if index >= 0:
+            line = line[:index]
+    return line.rstrip()
+
+
+def tokenize_line(line: str, line_number: int | None = None) -> list[AsmToken]:
+    """Split one assembly line into tokens.
+
+    Recognized tokens: directive/identifier words, decimal and hexadecimal
+    numbers (optionally negative), ``=symbol`` address references, and the
+    punctuation ``, ( ) : +``.
+    """
+    line = strip_comment(line)
+    tokens: list[AsmToken] = []
+    i = 0
+    length = len(line)
+    while i < length:
+        ch = line[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch in ",():+":
+            tokens.append(AsmToken("punct", ch))
+            i += 1
+            continue
+        if ch == "=":
+            j = i + 1
+            while j < length and (line[j].isalnum() or line[j] == "_"):
+                j += 1
+            if j == i + 1:
+                raise AsmSyntaxError("'=' must be followed by a symbol name", line_number)
+            tokens.append(AsmToken("symbol", line[i + 1 : j]))
+            i = j
+            continue
+        if ch == "-" or ch.isdigit():
+            j = i + 1
+            while j < length and (line[j].isalnum() or line[j] == "x" or line[j] == "X"):
+                j += 1
+            text = line[i:j]
+            try:
+                value = int(text, 0)
+            except ValueError as exc:
+                raise AsmSyntaxError(f"bad number {text!r}", line_number) from exc
+            tokens.append(AsmToken("number", text, value))
+            i = j
+            continue
+        if ch.isalpha() or ch in "._":
+            j = i + 1
+            while j < length and (line[j].isalnum() or line[j] in "._"):
+                j += 1
+            tokens.append(AsmToken("word", line[i:j]))
+            i = j
+            continue
+        raise AsmSyntaxError(f"unexpected character {ch!r}", line_number)
+    return tokens

@@ -1,0 +1,241 @@
+"""Constant propagation inside specialized regions.
+
+When VRS specializes a candidate for a *single value* (``min == max``), the
+specialized clone knows the exact value of the candidate register, which
+often makes whole sub-expressions constant and some conditional branches
+decidable.  This pass (a scoped constant folder plus branch folding and
+unreachable-block removal) is what produces the "eliminated" instructions of
+Figure 5 — m88ksim and vortex remove almost everything in their specialized
+regions.
+
+The pass runs in two phases: a pure dataflow phase that computes, for every
+region block, the register constants guaranteed on entry (iterated to a
+fixed point, with intersection at joins), followed by a single rewrite phase
+that folds instructions and resolves branches using those environments.  If
+the dataflow does not converge within its iteration budget the pass gives
+up without touching the code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..isa import Imm, Instruction, OpKind, Opcode, Reg
+from ..isa.semantics import BRANCH_SEMANTICS, evaluate_operation
+from ..ir import Function, build_cfg, call_defined_registers
+
+__all__ = ["FoldStats", "fold_constants_in_region"]
+
+_FOLDABLE_KINDS = frozenset(
+    {
+        OpKind.ALU,
+        OpKind.MUL,
+        OpKind.LOGICAL,
+        OpKind.SHIFT,
+        OpKind.COMPARE,
+        OpKind.MASK,
+        OpKind.EXTEND,
+        OpKind.MOVE,
+    }
+)
+
+
+@dataclass
+class FoldStats:
+    """What the folder did to the region."""
+
+    folded_to_constant: int = 0
+    branches_resolved: int = 0
+    instructions_removed: int = 0
+    blocks_removed: list[str] = field(default_factory=list)
+
+
+def fold_constants_in_region(
+    function: Function,
+    region_labels: set[str],
+    entry_label: str,
+    seed: dict[Reg, int],
+    max_passes: int = 16,
+) -> FoldStats:
+    """Fold constants inside ``region_labels`` of ``function`` (in place).
+
+    ``seed`` gives register values known to hold on entry to
+    ``entry_label`` (the specialized value of the candidate register).
+    """
+    stats = FoldStats()
+    in_envs = _solve_dataflow(function, region_labels, entry_label, seed, max_passes)
+    if in_envs is None:
+        return stats
+
+    for label in list(function.layout()):
+        if label in region_labels and label in function.blocks:
+            _rewrite_block(function, label, dict(in_envs.get(label, {})), stats)
+
+    stats.instructions_removed += _remove_unreachable(function, region_labels, stats)
+    build_cfg(function)
+    return stats
+
+
+# ----------------------------------------------------------------------
+# Phase 1: dataflow over constant environments
+# ----------------------------------------------------------------------
+def _solve_dataflow(
+    function: Function,
+    region_labels: set[str],
+    entry_label: str,
+    seed: dict[Reg, int],
+    max_passes: int,
+) -> Optional[dict[str, dict[Reg, int]]]:
+    in_envs: dict[str, dict[Reg, int]] = {entry_label: dict(seed)}
+    out_envs: dict[str, dict[Reg, int]] = {}
+
+    for _ in range(max_passes):
+        changed = False
+        for label in function.layout():
+            if label not in region_labels or label not in function.blocks:
+                continue
+            env_in = _merge_predecessors(function, label, entry_label, seed, out_envs, region_labels)
+            if in_envs.get(label) != env_in:
+                in_envs[label] = env_in
+                changed = True
+            env_out = _simulate_block(function.blocks[label].instructions, dict(env_in))
+            if out_envs.get(label) != env_out:
+                out_envs[label] = env_out
+                changed = True
+        if not changed:
+            return in_envs
+    return None
+
+
+def _merge_predecessors(
+    function: Function,
+    label: str,
+    entry_label: str,
+    seed: dict[Reg, int],
+    out_envs: dict[str, dict[Reg, int]],
+    region_labels: set[str],
+) -> dict[Reg, int]:
+    if label == entry_label:
+        return dict(seed)
+    merged: Optional[dict[Reg, int]] = None
+    for pred in function.blocks[label].predecessors:
+        if pred not in region_labels:
+            return {}
+        pred_env = out_envs.get(pred, {})
+        if merged is None:
+            merged = dict(pred_env)
+        else:
+            merged = {reg: value for reg, value in merged.items() if pred_env.get(reg) == value}
+    return merged or {}
+
+
+def _simulate_block(instructions: list[Instruction], env: dict[Reg, int]) -> dict[Reg, int]:
+    for inst in instructions:
+        value = _result_if_constant(inst, env)
+        if value is not None and inst.dest is not None:
+            env[inst.dest] = value
+            continue
+        for reg in inst.defs():
+            env.pop(reg, None)
+        if inst.is_call:
+            for reg in call_defined_registers(None):
+                env.pop(reg, None)
+    return env
+
+
+def _result_if_constant(inst: Instruction, env: dict[Reg, int]) -> Optional[int]:
+    if inst.kind not in _FOLDABLE_KINDS or inst.dest is None:
+        return None
+    operands = _constant_operands(inst, env)
+    if operands is None:
+        return None
+    return evaluate_operation(inst.op, inst.width, operands)
+
+
+# ----------------------------------------------------------------------
+# Phase 2: rewriting
+# ----------------------------------------------------------------------
+def _rewrite_block(
+    function: Function, label: str, env: dict[Reg, int], stats: FoldStats
+) -> None:
+    block = function.blocks[label]
+    new_instructions: list[Instruction] = []
+    for inst in block.instructions:
+        value = _result_if_constant(inst, env)
+        if value is not None and inst.dest is not None and inst.op is not Opcode.LI:
+            new_instructions.append(
+                Instruction(
+                    op=Opcode.LI,
+                    dest=inst.dest,
+                    srcs=(Imm(value),),
+                    origin=inst.origin if inst.origin is not None else inst.uid,
+                    comment="folded",
+                )
+            )
+            env[inst.dest] = value
+            stats.folded_to_constant += 1
+            continue
+        if inst.is_conditional_branch:
+            condition = _operand_value(inst.srcs[0], env)
+            if condition is not None:
+                taken = BRANCH_SEMANTICS[inst.op](condition)
+                stats.branches_resolved += 1
+                if taken:
+                    new_instructions.append(
+                        Instruction(op=Opcode.BR, target=inst.target, origin=inst.origin or inst.uid)
+                    )
+                else:
+                    stats.instructions_removed += 1
+                continue
+        if value is not None and inst.dest is not None:
+            env[inst.dest] = value
+        else:
+            for reg in inst.defs():
+                env.pop(reg, None)
+            if inst.is_call:
+                for reg in call_defined_registers(None):
+                    env.pop(reg, None)
+        new_instructions.append(inst)
+    block.instructions = new_instructions
+
+
+def _constant_operands(inst: Instruction, env: dict[Reg, int]) -> Optional[list[int]]:
+    values: list[int] = []
+    for operand in inst.srcs:
+        value = _operand_value(operand, env)
+        if value is None:
+            return None
+        values.append(value)
+    return values
+
+
+def _operand_value(operand, env: dict[Reg, int]) -> Optional[int]:
+    if isinstance(operand, Imm):
+        return operand.value
+    if isinstance(operand, Reg):
+        if operand.is_zero:
+            return 0
+        return env.get(operand)
+    return None
+
+
+def _remove_unreachable(function: Function, region_labels: set[str], stats: FoldStats) -> int:
+    """Remove region blocks that became unreachable after branch folding."""
+    build_cfg(function)
+    removed_instructions = 0
+    changed = True
+    while changed:
+        changed = False
+        for label in list(function.layout()):
+            if label not in region_labels or label not in function.blocks:
+                continue
+            block = function.blocks[label]
+            if block.predecessors:
+                continue
+            removed_instructions += len(block.instructions)
+            stats.blocks_removed.append(label)
+            function.remove_block(label)
+            build_cfg(function)
+            changed = True
+    return removed_instructions

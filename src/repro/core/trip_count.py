@@ -1,0 +1,249 @@
+"""Loop trip-count / induction-variable analysis (§2.3).
+
+VRP handles loops whose iterator has the affine form ``x = x + b`` with a
+constant bound tested in the loop header (``for (i = c0; i < c1; i += b)``).
+For such loops the range of the iterator inside the loop is known exactly,
+which stops the interval fixed point from widening it to the full range of
+the operation's width.
+
+The analysis produces *pins*: value ranges for the iterator's increment
+definition and for its use inside the increment, which the propagation
+engine uses verbatim instead of the generic transfer function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..isa import Imm, Instruction, Opcode, Reg
+from ..ir import DependenceGraph, Definition, Function, Loop
+from .value_range import ValueRange
+
+__all__ = ["LoopPins", "analyze_loop_iterators"]
+
+
+@dataclass
+class LoopPins:
+    """Ranges pinned by the trip-count analysis."""
+
+    #: Pinned range for a definition (keyed by the defining instruction uid).
+    def_ranges: dict[int, ValueRange] = field(default_factory=dict)
+    #: Pinned range for a particular use (instruction uid, register).
+    use_ranges: dict[tuple[int, Reg], ValueRange] = field(default_factory=dict)
+    #: Number of loops whose iterator was successfully bounded.
+    bounded_loops: int = 0
+    #: Number of loops examined.
+    examined_loops: int = 0
+
+    def merge(self, other: "LoopPins") -> None:
+        self.def_ranges.update(other.def_ranges)
+        self.use_ranges.update(other.use_ranges)
+        self.bounded_loops += other.bounded_loops
+        self.examined_loops += other.examined_loops
+
+
+RangeOracle = Callable[[Definition], Optional[ValueRange]]
+
+
+def analyze_loop_iterators(
+    function: Function,
+    loops: list[Loop],
+    graph: DependenceGraph,
+    initial_range_of: RangeOracle,
+) -> LoopPins:
+    """Compute iterator pins for every analysable loop of ``function``.
+
+    ``initial_range_of`` maps a definition to its currently known range (or
+    ``None``); it is supplied by the propagation engine so that the analysis
+    can use up-to-date ranges for the iterator's initial value.
+    """
+    pins = LoopPins()
+    for loop in loops:
+        pins.examined_loops += 1
+        loop_pins = _analyze_one_loop(function, loop, graph, initial_range_of)
+        if loop_pins is not None:
+            pins.merge(loop_pins)
+            pins.bounded_loops += 1
+    return pins
+
+
+def _analyze_one_loop(
+    function: Function,
+    loop: Loop,
+    graph: DependenceGraph,
+    initial_range_of: RangeOracle,
+) -> Optional[LoopPins]:
+    header = function.blocks[loop.header]
+    terminator = header.terminator
+    if terminator is None or terminator.op not in (Opcode.BEQ, Opcode.BNE):
+        return None
+
+    compare = _compare_feeding(graph, terminator)
+    if compare is None:
+        return None
+    iterator, bound, register_on_left = _split_compare(compare)
+    if iterator is None or bound is None:
+        return None
+
+    stays = _stay_predicate(function, loop, terminator, compare, register_on_left)
+    if stays is None:
+        return None
+    stay_op, bound_side_left = stays
+
+    increment = _find_increment(function, loop, iterator)
+    if increment is None:
+        return None
+    step = _step_of(increment)
+    if step is None or step == 0:
+        return None
+
+    init_range = _initial_range(graph, compare, iterator, increment, initial_range_of)
+    if init_range is None:
+        return None
+
+    body_range = _body_range(stay_op, bound_side_left, bound, step, init_range)
+    if body_range is None:
+        return None
+
+    pins = LoopPins()
+    pins.def_ranges[increment.uid] = ValueRange(body_range.lo + step, body_range.hi + step)
+    pins.use_ranges[(increment.uid, iterator)] = body_range
+    return pins
+
+
+# ----------------------------------------------------------------------
+# Pattern matching helpers
+# ----------------------------------------------------------------------
+def _compare_feeding(graph: DependenceGraph, branch: Instruction) -> Optional[Instruction]:
+    sources = branch.source_registers()
+    if len(sources) != 1:
+        return None
+    defs = graph.reaching_definitions(branch, sources[0])
+    if len(defs) != 1:
+        return None
+    inst = graph.definition_instruction(next(iter(defs)))
+    if inst is None or inst.op not in (Opcode.CMPLT, Opcode.CMPLE):
+        return None
+    return inst
+
+
+def _split_compare(compare: Instruction) -> tuple[Optional[Reg], Optional[int], bool]:
+    """Return (iterator register, constant bound, register_on_left)."""
+    left, right = compare.srcs
+    if isinstance(left, Reg) and isinstance(right, Imm):
+        return left, right.value, True
+    if isinstance(left, Imm) and isinstance(right, Reg):
+        return right, left.value, False
+    return None, None, True
+
+
+def _stay_predicate(
+    function: Function,
+    loop: Loop,
+    branch: Instruction,
+    compare: Instruction,
+    register_on_left: bool,
+) -> Optional[tuple[Opcode, bool]]:
+    """Determine under which comparison outcome control stays in the loop.
+
+    Returns (compare opcode, bound_side_left) where ``bound_side_left`` is
+    True when the constant is on the *right* of the comparison (i.e. the
+    pattern is ``iterator < bound``), matching :func:`_header_range`.
+    """
+    header_block = function.blocks[loop.header]
+    taken = branch.target
+    fallthrough = [s for s in header_block.successors if s != taken]
+    if not fallthrough:
+        return None
+    taken_in_loop = taken in loop.blocks
+    fallthrough_in_loop = fallthrough[0] in loop.blocks
+    if taken_in_loop == fallthrough_in_loop:
+        return None
+
+    # The comparison result is non-zero when the predicate holds; BNE takes
+    # the branch in that case, BEQ takes it when the predicate fails.
+    predicate_holds_stays = (
+        taken_in_loop if branch.op is Opcode.BNE else fallthrough_in_loop
+    )
+    if not predicate_holds_stays:
+        # Control stays in the loop when the predicate FAILS.  The negation
+        # of ``a < b`` is ``b <= a`` and of ``a <= b`` is ``b < a``: the
+        # comparison flips strictness and the bound changes sides.
+        negated_op = Opcode.CMPLE if compare.op is Opcode.CMPLT else Opcode.CMPLT
+        return negated_op, not register_on_left
+    return compare.op, register_on_left
+
+
+def _find_increment(function: Function, loop: Loop, iterator: Reg) -> Optional[Instruction]:
+    """The unique in-loop definition ``iterator = iterator ± constant``."""
+    found: Optional[Instruction] = None
+    for label in loop.blocks:
+        for inst in function.blocks[label].instructions:
+            if iterator not in inst.defs():
+                if inst.is_call and not iterator.is_zero:
+                    from ..ir import call_defined_registers
+
+                    if iterator in call_defined_registers(None):
+                        return None
+                continue
+            if found is not None:
+                return None
+            if inst.op not in (Opcode.ADD, Opcode.SUB, Opcode.LDA):
+                return None
+            if not (isinstance(inst.srcs[0], Reg) and inst.srcs[0] == iterator):
+                return None
+            if not isinstance(inst.srcs[1], Imm):
+                return None
+            found = inst
+    return found
+
+
+def _step_of(increment: Instruction) -> Optional[int]:
+    amount = increment.srcs[1]
+    if not isinstance(amount, Imm):
+        return None
+    if increment.op is Opcode.SUB:
+        return -amount.value
+    return amount.value
+
+
+def _initial_range(
+    graph: DependenceGraph,
+    compare: Instruction,
+    iterator: Reg,
+    increment: Instruction,
+    initial_range_of: RangeOracle,
+) -> Optional[ValueRange]:
+    """Join of the iterator ranges flowing into the loop from outside."""
+    defs = graph.reaching_definitions(compare, iterator)
+    result: Optional[ValueRange] = None
+    for definition in defs:
+        if definition.kind == "inst" and definition.uid == increment.uid:
+            continue
+        known = initial_range_of(definition)
+        if known is None or known.is_full:
+            return None
+        result = known if result is None else result.union(known)
+    return result
+
+
+def _body_range(
+    op: Opcode, register_on_left: bool, bound: int, step: int, init: ValueRange
+) -> Optional[ValueRange]:
+    """Range of the iterator values for which the loop body executes."""
+    if register_on_left:
+        # iterator < bound (or <=) with a positive step counts upwards.
+        if step <= 0:
+            return None
+        upper = bound - 1 if op is Opcode.CMPLT else bound
+        if init.lo > upper:
+            return None
+        return ValueRange(init.lo, upper)
+    # bound < iterator (or <=) with a negative step counts downwards.
+    if step >= 0:
+        return None
+    lower = bound + 1 if op is Opcode.CMPLT else bound
+    if init.hi < lower:
+        return None
+    return ValueRange(lower, init.hi)

@@ -1,0 +1,211 @@
+"""Backward "useful range" propagation (§2.2.5).
+
+Conventional VRP bounds the values an operand *can take*; useful-range
+propagation bounds the bits of an operand that can *affect program
+results*.  The canonical example is ``AND R1, 0xFF, R2``: whatever R1
+holds, only its low byte influences R2, so the whole dependence chain
+producing R1 only needs to compute one byte — provided R1 is not also used
+somewhere that needs more bits.
+
+The analysis computes, for every definition, the number of low bits any of
+its uses can observe (``needed bits``), taking the maximum over all uses so
+that a single wide consumer keeps the value wide (the paper's correctness
+rule).  Useful bits propagate backwards through operations whose low output
+bits depend only on equally-low input bits (add/sub/mul/logical/left
+shifts); they are cut off at comparisons, memory addresses, calls and
+right shifts by unknown amounts, which conservatively demand all 64 bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa import Imm, Instruction, OpKind, Opcode, Reg, RETURN_VALUE, SAVED_REGISTERS, STACK_POINTER
+from ..isa.registers import RETURN_ADDRESS
+from ..ir import Definition, DependenceGraph, Function, reverse_postorder
+from .value_range import bits_needed_for_mask
+
+__all__ = ["UsefulBitsConfig", "compute_useful_bits"]
+
+_MASK_BITS = {Opcode.MSKB: 8, Opcode.MSKW: 16, Opcode.MSKL: 32}
+_EXTEND_BITS = {Opcode.SEXTB: 8, Opcode.SEXTW: 16, Opcode.SEXTL: 32}
+#: Registers whose values are observable after the function returns and
+#: therefore must be treated as fully needed at exit.
+_LIVE_AT_EXIT = frozenset((RETURN_VALUE, STACK_POINTER, RETURN_ADDRESS) + SAVED_REGISTERS)
+
+
+@dataclass(frozen=True)
+class UsefulBitsConfig:
+    """Tuning knobs of the useful-bits analysis."""
+
+    #: Propagate useful bits backwards through add/sub/mul/logical chains
+    #: (the "proposed VRP" of the paper).  When False the analysis degrades
+    #: to the mask/store rules only.
+    through_arithmetic: bool = True
+    #: Maximum number of backward sweeps before giving up conservatively.
+    max_iterations: int = 16
+
+
+def compute_useful_bits(
+    function: Function,
+    graph: DependenceGraph,
+    config: UsefulBitsConfig | None = None,
+) -> dict[Definition, int]:
+    """Needed low bits for every definition of ``function``."""
+    config = config or UsefulBitsConfig()
+    needed: dict[Definition, int] = {}
+
+    def bump(definition: Definition, bits: int) -> bool:
+        bits = max(1, min(64, bits))
+        current = needed.get(definition, 0)
+        if bits > current:
+            needed[definition] = bits
+            return True
+        return False
+
+    # Values observable after return are fully needed.
+    for reg, defs in graph.exit_definitions.items():
+        if reg in _LIVE_AT_EXIT:
+            for definition in defs:
+                bump(definition, 64)
+
+    order = list(reverse_postorder(function))
+    blocks = [function.blocks[label] for label in order]
+
+    for _ in range(config.max_iterations):
+        changed = False
+        for block in reversed(blocks):
+            for inst in reversed(block.instructions):
+                out_bits = _output_needed_bits(inst, graph, needed)
+                for reg, bits in _source_demands(inst, out_bits, config):
+                    if reg.is_zero:
+                        continue
+                    for definition in graph.reaching_definitions(inst, reg):
+                        changed |= bump(definition, bits)
+        if not changed:
+            return needed
+
+    # Did not converge within the iteration budget: be safe and mark every
+    # definition still in flux as fully needed.
+    for definition in list(needed):
+        needed[definition] = 64
+    return needed
+
+
+def _output_needed_bits(
+    inst: Instruction, graph: DependenceGraph, needed: dict[Definition, int]
+) -> int:
+    """Bits of ``inst``'s own result that some consumer needs."""
+    bits = 0
+    for reg in inst.defs():
+        bits = max(bits, needed.get(Definition("inst", reg, uid=inst.uid), 0))
+    if inst.is_call:
+        # The call's definitions are modelled separately; the JSR itself
+        # writes the (wide) return address.
+        bits = 64
+    return bits
+
+
+def _source_demands(
+    inst: Instruction, out_bits: int, config: UsefulBitsConfig
+) -> list[tuple[Reg, int]]:
+    """(register, needed bits) demands this instruction places on its sources."""
+    kind = inst.kind
+    srcs = inst.srcs
+
+    if kind is OpKind.STORE:
+        value, base = srcs[0], srcs[1]
+        demands = []
+        if isinstance(value, Reg):
+            demands.append((value, inst.memory_width.bits))
+        if isinstance(base, Reg):
+            demands.append((base, 64))
+        return demands
+    if kind is OpKind.LOAD:
+        return [(srcs[0], 64)] if isinstance(srcs[0], Reg) else []
+    if kind is OpKind.BRANCH:
+        # A branch observes the sign and zero-ness of the full value, so its
+        # condition operand may not be truncated (narrowing is still achieved
+        # through the value range of the comparison result, which is [0, 1]).
+        return [(reg, 64) for reg in inst.source_registers()]
+    if kind in (OpKind.CALL, OpKind.RETURN, OpKind.OUTPUT):
+        return [(reg, 64) for reg in inst.source_registers()]
+    if kind in (OpKind.HALT, OpKind.NOP):
+        return []
+    if kind is OpKind.COMPARE:
+        # A comparison observes the complete values of its operands; the
+        # value-range side of VRP is what narrows comparisons.
+        return [(reg, 64) for reg in inst.source_registers()]
+    if kind is OpKind.CMOV:
+        demands = []
+        if isinstance(srcs[0], Reg):
+            # The condition's zero-ness must be preserved exactly.
+            demands.append((srcs[0], 64))
+        if isinstance(srcs[1], Reg):
+            demands.append((srcs[1], out_bits))
+        if inst.dest is not None:
+            demands.append((inst.dest, out_bits))
+        return demands
+    if kind is OpKind.MASK:
+        limit = _MASK_BITS[inst.op]
+        return [(srcs[0], min(out_bits, limit))] if isinstance(srcs[0], Reg) else []
+    if kind is OpKind.EXTEND:
+        limit = _EXTEND_BITS[inst.op]
+        return [(srcs[0], min(out_bits, limit))] if isinstance(srcs[0], Reg) else []
+    if kind is OpKind.MOVE:
+        return [(reg, out_bits) for reg in inst.source_registers()]
+    if kind is OpKind.SHIFT:
+        return _shift_demands(inst, out_bits)
+    if kind is OpKind.LOGICAL:
+        return _logical_demands(inst, out_bits, config)
+    if kind in (OpKind.ALU, OpKind.MUL):
+        bits = out_bits if config.through_arithmetic else 64
+        return [(reg, bits) for reg in inst.source_registers()]
+    return [(reg, 64) for reg in inst.source_registers()]  # pragma: no cover
+
+
+def _shift_demands(inst: Instruction, out_bits: int) -> list[tuple[Reg, int]]:
+    value, amount = inst.srcs
+    demands: list[tuple[Reg, int]] = []
+    constant_amount = (amount.value & 63) if isinstance(amount, Imm) else None
+    if isinstance(value, Reg):
+        if inst.op is Opcode.SLL:
+            if constant_amount is not None:
+                demands.append((value, max(1, out_bits - constant_amount)))
+            else:
+                demands.append((value, out_bits))
+        else:  # SRL / SRA expose higher input bits in low output bits.
+            if constant_amount is not None:
+                demands.append((value, min(64, out_bits + constant_amount)))
+            else:
+                demands.append((value, 64))
+    if isinstance(amount, Reg):
+        demands.append((amount, 8))
+    return demands
+
+
+def _logical_demands(
+    inst: Instruction, out_bits: int, config: UsefulBitsConfig
+) -> list[tuple[Reg, int]]:
+    left, right = inst.srcs
+    demands: list[tuple[Reg, int]] = []
+    default = out_bits if config.through_arithmetic else 64
+
+    def mask_limited(register: Reg, mask: int) -> tuple[Reg, int]:
+        if inst.op is Opcode.AND:
+            return register, min(out_bits, bits_needed_for_mask(mask))
+        if inst.op is Opcode.OR:
+            # Bits forced to one by the mask do not depend on the register.
+            inverted = ~mask & ((1 << 64) - 1)
+            return register, min(out_bits, bits_needed_for_mask(inverted))
+        return register, default
+
+    if isinstance(left, Reg) and isinstance(right, Imm):
+        demands.append(mask_limited(left, right.value))
+    elif isinstance(left, Reg):
+        demands.append((left, default))
+    if isinstance(right, Reg) and isinstance(left, Imm):
+        demands.append(mask_limited(right, left.value))
+    elif isinstance(right, Reg):
+        demands.append((right, default))
+    return demands

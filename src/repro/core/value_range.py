@@ -1,0 +1,132 @@
+"""The value-range abstract domain used by VRP.
+
+A :class:`ValueRange` is a closed interval ``[lo, hi]`` of signed 64-bit
+values.  All transfer functions are *conservative*: whenever a result could
+overflow the interval arithmetic (two's-complement wrap-around, §2.2.1) the
+range widens to the full range representable at the instruction's encoded
+width.  The absence of a known range is represented by the full 64-bit
+range, exactly as the paper treats "unknown" operands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa import INT64_MAX, INT64_MIN, Width, width_for_signed_range
+
+__all__ = ["ValueRange", "FULL_RANGE", "range_for_width", "bits_needed_for_mask"]
+
+
+@dataclass(frozen=True)
+class ValueRange:
+    """A closed interval of signed 64-bit integer values."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"empty value range [{self.lo}, {self.hi}]")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def full() -> "ValueRange":
+        """The unknown / worst-case range (all 64-bit values)."""
+        return FULL_RANGE
+
+    @staticmethod
+    def constant(value: int) -> "ValueRange":
+        """The range holding a single value."""
+        return ValueRange(value, value)
+
+    @staticmethod
+    def of_width(width: Width) -> "ValueRange":
+        """All values representable at ``width`` (signed)."""
+        return range_for_width(width)
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    @property
+    def is_full(self) -> bool:
+        return self.lo <= INT64_MIN and self.hi >= INT64_MAX
+
+    @property
+    def is_constant(self) -> bool:
+        return self.lo == self.hi
+
+    @property
+    def is_nonnegative(self) -> bool:
+        return self.lo >= 0
+
+    def contains(self, value: int) -> bool:
+        return self.lo <= value <= self.hi
+
+    def contains_range(self, other: "ValueRange") -> bool:
+        return self.lo <= other.lo and other.hi <= self.hi
+
+    # ------------------------------------------------------------------
+    # Lattice operations
+    # ------------------------------------------------------------------
+    def union(self, other: "ValueRange") -> "ValueRange":
+        """Smallest range containing both (the conservative join)."""
+        return ValueRange(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def intersect(self, other: "ValueRange") -> "ValueRange | None":
+        """Intersection, or ``None`` when the ranges are disjoint."""
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if lo > hi:
+            return None
+        return ValueRange(lo, hi)
+
+    def clamp(self, width: Width) -> "ValueRange":
+        """Clamp to the signed range of ``width``.
+
+        Used when an instruction's encoded width bounds its result: if the
+        computed interval escapes the width, the result may wrap, so the
+        conservative answer is the full range of that width.
+        """
+        bound = range_for_width(width)
+        if bound.contains_range(self):
+            return self
+        return bound
+
+    # ------------------------------------------------------------------
+    # Width queries
+    # ------------------------------------------------------------------
+    def width(self) -> Width:
+        """Narrowest two's-complement width holding every value in the range."""
+        return width_for_signed_range(self.lo, self.hi)
+
+    def __str__(self) -> str:
+        return f"<{self.lo}, {self.hi}>"
+
+
+FULL_RANGE = ValueRange(INT64_MIN, INT64_MAX)
+
+_WIDTH_RANGES = {
+    Width.BYTE: ValueRange(-(1 << 7), (1 << 7) - 1),
+    Width.HALF: ValueRange(-(1 << 15), (1 << 15) - 1),
+    Width.WORD: ValueRange(-(1 << 31), (1 << 31) - 1),
+    Width.QUAD: FULL_RANGE,
+}
+
+
+def range_for_width(width: Width) -> ValueRange:
+    """All signed values representable at ``width``."""
+    return _WIDTH_RANGES[width]
+
+
+def bits_needed_for_mask(mask: int) -> int:
+    """Number of low bits selected by a non-negative AND mask.
+
+    ``0xFF`` needs 8 bits, ``0x3F`` needs 6, ``0x1FF`` needs 9.  Used by the
+    useful-range rules of §2.2.5: ``AND R1, 0xFF, R2`` means only the low 8
+    bits of ``R1`` are useful.
+    """
+    if mask < 0:
+        return 64
+    return max(1, mask.bit_length())

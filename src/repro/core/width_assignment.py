@@ -1,0 +1,90 @@
+"""Opcode width assignment (§2, "proper opcode assignment").
+
+After value ranges and useful bits are known, every eligible instruction is
+re-encoded with the narrowest width variant its ISA opcode offers that can
+hold the required number of bits.  Memory operations keep their declared
+access width and control-flow instructions are not re-encoded (they
+manipulate addresses — §4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..isa import Instruction, OpKind, Width, narrowest_available_width
+from .propagation import FunctionAnalysis
+
+__all__ = ["width_for_bits", "required_width", "NARROWABLE_KINDS"]
+
+#: Instruction kinds whose opcodes may be re-encoded to a narrower width.
+NARROWABLE_KINDS = frozenset(
+    {
+        OpKind.ALU,
+        OpKind.MUL,
+        OpKind.LOGICAL,
+        OpKind.SHIFT,
+        OpKind.COMPARE,
+        OpKind.CMOV,
+        OpKind.MASK,
+        OpKind.EXTEND,
+        OpKind.MOVE,
+    }
+)
+
+
+def width_for_bits(bits: int) -> Width:
+    """Narrowest ISA width with at least ``bits`` bits."""
+    for width in Width.all_widths():
+        if width.bits >= bits:
+            return width
+    return Width.QUAD
+
+
+def required_width(inst: Instruction, analysis: FunctionAnalysis) -> Optional[Width]:
+    """Width required by ``inst`` under ``analysis``.
+
+    Returns ``None`` for instructions that are not re-encoded (memory,
+    control flow, output traps).
+    """
+    kind = inst.kind
+    if kind not in NARROWABLE_KINDS:
+        return None
+
+    if kind is OpKind.COMPARE:
+        # A comparison must observe its operands in full; its requirement is
+        # driven by the operand value ranges, not by its 0/1 result.
+        needed = Width.BYTE
+        for reg in inst.source_registers():
+            needed = max(needed, analysis.operand_range(inst, reg).width())
+        return needed
+
+    output = analysis.output_range(inst)
+    value_width = output.width() if output is not None else Width.QUAD
+    useful_width = width_for_bits(analysis.output_useful_bits(inst))
+    needed = min(value_width, useful_width)
+
+    if kind is OpKind.SHIFT and inst.op.value in ("srl", "sra"):
+        # Right shifts expose high input bits in low output bits, so the
+        # operand being shifted must be read in full.
+        value_operand = inst.source_registers()
+        if value_operand:
+            needed = max(needed, analysis.operand_range(inst, value_operand[0]).width())
+    return needed
+
+
+def assign_function_widths(analysis: FunctionAnalysis) -> dict[int, Width]:
+    """Assigned width for every instruction of one analysed function.
+
+    The assignment never widens an instruction beyond its current encoding
+    (the current encoding's wrap-around behaviour is part of the program's
+    semantics) and respects the width variants the ISA actually offers.
+    """
+    widths: dict[int, Width] = {}
+    for inst in analysis.function.instructions():
+        needed = required_width(inst, analysis)
+        if needed is None:
+            widths[inst.uid] = inst.width
+            continue
+        encodable = narrowest_available_width(inst.op, needed)
+        widths[inst.uid] = min(encodable, inst.width)
+    return widths

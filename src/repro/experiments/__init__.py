@@ -1,0 +1,98 @@
+"""Experiment harness: one public function per table/figure of the paper.
+
+| Paper artefact | Function |
+|---|---|
+| Table 1   | :func:`table1_alu_energy_matrix` |
+| Table 3   | :func:`table3_operation_distribution` |
+| Figure 2  | :func:`figure02_vrp_width_distribution` |
+| Figure 3  | :func:`figure03_vrp_energy_by_structure` |
+| Figure 4  | :func:`figure04_profiled_point_distribution` |
+| Figure 5  | :func:`figure05_static_specialized_instructions` |
+| Figure 6  | :func:`figure06_runtime_specialized_instructions` |
+| Figure 7  | :func:`figure07_width_by_mechanism` |
+| Figure 8  | :func:`figure08_energy_savings_by_benchmark` |
+| Figure 9  | :func:`figure09_energy_by_structure` |
+| Figure 10 | :func:`figure10_execution_time_savings` |
+| Figure 11 | :func:`figure11_ed2_savings` |
+| Figure 12 | :func:`figure12_data_size_distribution` |
+| Figure 13 | :func:`figure13_hardware_energy_savings` |
+| Figure 14 | :func:`figure14_hardware_energy_by_structure` |
+| Figure 15 | :func:`figure15_combined_ed2_savings` |
+| §6 headline | :func:`headline_ed2_summary` |
+| §4.1 overhead | :func:`vrp_analysis_overhead` |
+"""
+
+from .distributions import (
+    dynamic_width_fractions,
+    figure02_vrp_width_distribution,
+    figure07_width_by_mechanism,
+    figure12_data_size_distribution,
+    table3_operation_distribution,
+)
+from .energy import (
+    STRUCTURE_ORDER,
+    VRS_THRESHOLDS_NJ,
+    figure03_vrp_energy_by_structure,
+    figure08_energy_savings_by_benchmark,
+    figure09_energy_by_structure,
+    figure13_hardware_energy_savings,
+    figure14_hardware_energy_by_structure,
+    table1_alu_energy_matrix,
+)
+from .report import format_percent, format_table
+from .runner import (
+    SimulationOutcome,
+    WorkloadEvaluation,
+    clear_cache,
+    evaluate_program,
+    evaluate_suite,
+    evaluate_workload,
+    policy_for,
+)
+from .specialization import (
+    figure04_profiled_point_distribution,
+    figure05_static_specialized_instructions,
+    figure06_runtime_specialized_instructions,
+)
+from .timing import (
+    FIGURE15_CONFIGURATIONS,
+    figure10_execution_time_savings,
+    figure11_ed2_savings,
+    figure15_combined_ed2_savings,
+    headline_ed2_summary,
+    vrp_analysis_overhead,
+)
+
+__all__ = [
+    "dynamic_width_fractions",
+    "figure02_vrp_width_distribution",
+    "figure07_width_by_mechanism",
+    "figure12_data_size_distribution",
+    "table3_operation_distribution",
+    "STRUCTURE_ORDER",
+    "VRS_THRESHOLDS_NJ",
+    "figure03_vrp_energy_by_structure",
+    "figure08_energy_savings_by_benchmark",
+    "figure09_energy_by_structure",
+    "figure13_hardware_energy_savings",
+    "figure14_hardware_energy_by_structure",
+    "table1_alu_energy_matrix",
+    "format_percent",
+    "format_table",
+    "SimulationOutcome",
+    "WorkloadEvaluation",
+    "clear_cache",
+    "evaluate_program",
+    "evaluate_suite",
+    "evaluate_workload",
+    "policy_for",
+    "figure04_profiled_point_distribution",
+    "figure05_static_specialized_instructions",
+    "figure06_runtime_specialized_instructions",
+    "FIGURE15_CONFIGURATIONS",
+    "figure10_execution_time_savings",
+    "figure11_ed2_savings",
+    "figure15_combined_ed2_savings",
+    "headline_ed2_summary",
+    "vrp_analysis_overhead",
+]

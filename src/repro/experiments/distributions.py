@@ -1,0 +1,156 @@
+"""Width- and size-distribution experiments (Figure 2, Figure 7, Figure 12, Table 3).
+
+All distributions are dynamic (weighted by execution counts) and averaged
+over the eight workloads, exactly as the paper reports them for SpecInt95.
+"""
+
+from __future__ import annotations
+
+from ..isa import OpKind, Width, significant_bytes
+from ..isa.opcodes import OPERATION_TYPE
+from .report import format_percent, format_table
+from .runner import evaluate_suite
+
+__all__ = [
+    "dynamic_width_fractions",
+    "figure02_vrp_width_distribution",
+    "figure07_width_by_mechanism",
+    "figure12_data_size_distribution",
+    "table3_operation_distribution",
+]
+
+_WIDTH_ORDER = (Width.BYTE, Width.HALF, Width.WORD, Width.QUAD)
+
+#: Instruction kinds counted in the width distributions: the paper's
+#: technique applies to integer computation, not to control flow.
+_COUNTED_KINDS = frozenset(
+    {
+        OpKind.ALU,
+        OpKind.MUL,
+        OpKind.LOGICAL,
+        OpKind.SHIFT,
+        OpKind.COMPARE,
+        OpKind.CMOV,
+        OpKind.MASK,
+        OpKind.EXTEND,
+        OpKind.MOVE,
+        OpKind.LOAD,
+        OpKind.STORE,
+    }
+)
+
+
+def dynamic_width_fractions(
+    mechanism: str, conventional_vrp: bool = False, threshold_nj: float = 50.0
+) -> dict[Width, float]:
+    """Average dynamic width distribution over the suite for one mechanism."""
+    evaluations = evaluate_suite(
+        mechanism=mechanism, conventional_vrp=conventional_vrp, threshold_nj=threshold_nj
+    )
+    per_benchmark: list[dict[Width, float]] = []
+    for evaluation in evaluations.values():
+        counts = {width: 0 for width in _WIDTH_ORDER}
+        total = 0
+        for record in evaluation.trace.records:
+            entry = evaluation.trace.static[record.uid]
+            if entry.kind not in _COUNTED_KINDS:
+                continue
+            width = entry.memory_width if entry.memory_width is not None else entry.width
+            counts[width] += 1
+            total += 1
+        if total:
+            per_benchmark.append({width: counts[width] / total for width in _WIDTH_ORDER})
+    return {
+        width: sum(d[width] for d in per_benchmark) / len(per_benchmark)
+        for width in _WIDTH_ORDER
+    }
+
+
+def figure02_vrp_width_distribution() -> dict[str, dict[Width, float]]:
+    """Figure 2: conventional VRP vs the proposed (useful-range) VRP."""
+    return {
+        "conventional_vrp": dynamic_width_fractions("vrp", conventional_vrp=True),
+        "proposed_vrp": dynamic_width_fractions("vrp", conventional_vrp=False),
+    }
+
+
+def figure07_width_by_mechanism(threshold_nj: float = 50.0) -> dict[str, dict[Width, float]]:
+    """Figure 7: width distribution with no mechanism, VRP and VRS."""
+    return {
+        "none": dynamic_width_fractions("none"),
+        "vrp": dynamic_width_fractions("vrp"),
+        "vrs": dynamic_width_fractions("vrs", threshold_nj=threshold_nj),
+    }
+
+
+def figure12_data_size_distribution() -> dict[int, float]:
+    """Figure 12: distribution of result-value sizes (in bytes) on the baseline."""
+    evaluations = evaluate_suite(mechanism="none")
+    histogram = {size: 0 for size in range(1, 9)}
+    total = 0
+    for evaluation in evaluations.values():
+        for record in evaluation.trace.records:
+            if record.result is None:
+                continue
+            histogram[significant_bytes(record.result)] += 1
+            total += 1
+    if total == 0:
+        return {size: 0.0 for size in histogram}
+    return {size: count / total for size, count in histogram.items()}
+
+
+def table3_operation_distribution() -> list[dict[str, object]]:
+    """Table 3: dynamic operation-type mix and per-type width distribution (VRP)."""
+    evaluations = evaluate_suite(mechanism="vrp")
+    type_counts: dict[str, int] = {}
+    type_width_counts: dict[str, dict[Width, int]] = {}
+    total = 0
+    for evaluation in evaluations.values():
+        for record in evaluation.trace.records:
+            entry = evaluation.trace.static[record.uid]
+            if entry.kind not in _COUNTED_KINDS or entry.kind in (OpKind.LOAD, OpKind.STORE):
+                continue
+            if entry.kind is OpKind.MOVE:
+                continue  # Table 3 lists computation classes, not moves.
+            op_type = OPERATION_TYPE[entry.opcode]
+            type_counts[op_type] = type_counts.get(op_type, 0) + 1
+            widths = type_width_counts.setdefault(op_type, {w: 0 for w in _WIDTH_ORDER})
+            widths[entry.width] += 1
+            total += 1
+
+    rows: list[dict[str, object]] = []
+    for op_type, count in sorted(type_counts.items(), key=lambda item: item[1], reverse=True):
+        widths = type_width_counts[op_type]
+        type_total = sum(widths.values()) or 1
+        rows.append(
+            {
+                "type": op_type,
+                "percent_of_instructions": count / total if total else 0.0,
+                "64b": widths[Width.QUAD] / type_total,
+                "32b": widths[Width.WORD] / type_total,
+                "16b": widths[Width.HALF] / type_total,
+                "8b": widths[Width.BYTE] / type_total,
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Textual reports
+# ----------------------------------------------------------------------
+def print_figure02() -> str:
+    data = figure02_vrp_width_distribution()
+    rows = []
+    for width in _WIDTH_ORDER:
+        rows.append(
+            [
+                f"{width.bits} bits",
+                format_percent(data["conventional_vrp"][width]),
+                format_percent(data["proposed_vrp"][width]),
+            ]
+        )
+    return format_table(
+        ["Instruction width", "Conventional VRP", "Proposed VRP"],
+        rows,
+        title="Figure 2: dynamic instruction distribution by value-range width",
+    )

@@ -1,0 +1,144 @@
+"""Energy-savings experiments (Figures 3, 8, 9, 13 and 14, Table 1).
+
+Savings are always reported relative to the baseline machine (no value
+range mechanism, no hardware compression), matching the paper.
+"""
+
+from __future__ import annotations
+
+from ..core import ALU_ENERGY_SAVINGS_NJ
+from ..isa import Width
+from ..power import STRUCTURES
+from ..workloads import SUITE_NAMES
+from .runner import evaluate_suite
+
+__all__ = [
+    "VRS_THRESHOLDS_NJ",
+    "STRUCTURE_ORDER",
+    "table1_alu_energy_matrix",
+    "figure03_vrp_energy_by_structure",
+    "figure08_energy_savings_by_benchmark",
+    "figure09_energy_by_structure",
+    "figure13_hardware_energy_savings",
+    "figure14_hardware_energy_by_structure",
+]
+
+#: The specialization-cost configurations swept by the paper (nanojoules).
+VRS_THRESHOLDS_NJ = (110.0, 90.0, 70.0, 50.0, 30.0)
+
+#: Structures in the order the paper's bar charts use.
+STRUCTURE_ORDER = (
+    "rename",
+    "branch_predictor",
+    "instruction_queue",
+    "rob",
+    "rename_buffers",
+    "lsq",
+    "register_file",
+    "icache",
+    "dcache_l1",
+    "dcache_l2",
+    "alu",
+    "result_bus",
+)
+
+
+def table1_alu_energy_matrix() -> dict[Width, dict[Width, float]]:
+    """Table 1: ALU energy savings (nJ) per source→destination width change."""
+    return {dest: dict(row) for dest, row in ALU_ENERGY_SAVINGS_NJ.items()}
+
+
+# ----------------------------------------------------------------------
+# Software-scheme energy savings
+# ----------------------------------------------------------------------
+def _suite_structure_savings(
+    mechanism: str, policy: str, threshold_nj: float = 50.0
+) -> dict[str, float]:
+    """Average per-structure savings of a configuration vs the baseline."""
+    baseline = evaluate_suite(mechanism="none")
+    configured = evaluate_suite(mechanism=mechanism, threshold_nj=threshold_nj)
+    sums = {name: 0.0 for name in list(STRUCTURES) + ["processor"]}
+    for name in SUITE_NAMES:
+        base = baseline[name].outcome("baseline").energy
+        other = configured[name].outcome(policy).energy
+        for structure, saving in other.savings_vs(base).items():
+            sums[structure] += saving
+    return {structure: total / len(SUITE_NAMES) for structure, total in sums.items()}
+
+
+def figure03_vrp_energy_by_structure() -> dict[str, float]:
+    """Figure 3: per-structure energy savings of VRP (software gating)."""
+    return _suite_structure_savings("vrp", "software")
+
+
+def figure09_energy_by_structure(
+    thresholds: tuple[float, ...] = VRS_THRESHOLDS_NJ,
+) -> dict[str, dict[str, float]]:
+    """Figure 9: per-structure savings of VRP and of VRS at each threshold."""
+    results = {"vrp": _suite_structure_savings("vrp", "software")}
+    for threshold in thresholds:
+        results[f"vrs_{int(threshold)}nj"] = _suite_structure_savings(
+            "vrs", "software", threshold_nj=threshold
+        )
+    return results
+
+
+def figure08_energy_savings_by_benchmark(
+    thresholds: tuple[float, ...] = VRS_THRESHOLDS_NJ,
+) -> dict[str, dict[str, float]]:
+    """Figure 8: whole-processor energy savings per benchmark.
+
+    Returns ``{configuration: {benchmark: fractional saving, ..., "average": x}}``.
+    """
+    baseline = evaluate_suite(mechanism="none")
+    results: dict[str, dict[str, float]] = {}
+
+    def add(config_name: str, mechanism: str, threshold: float = 50.0) -> None:
+        configured = evaluate_suite(mechanism=mechanism, threshold_nj=threshold)
+        per_benchmark: dict[str, float] = {}
+        for name in SUITE_NAMES:
+            base = baseline[name].outcome("baseline").energy
+            other = configured[name].outcome("software").energy
+            per_benchmark[name] = other.savings_vs(base)["processor"]
+        per_benchmark["average"] = sum(per_benchmark.values()) / len(SUITE_NAMES)
+        results[config_name] = per_benchmark
+
+    add("vrp", "vrp")
+    for threshold in thresholds:
+        add(f"vrs_{int(threshold)}nj", "vrs", threshold)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Hardware-scheme energy savings
+# ----------------------------------------------------------------------
+def figure13_hardware_energy_savings() -> dict[str, dict[str, float]]:
+    """Figure 13: per-benchmark energy savings of the two hardware schemes."""
+    baseline = evaluate_suite(mechanism="none")
+    results: dict[str, dict[str, float]] = {}
+    for config_name, policy in (("size_compression", "hw-size"), ("significance_compression", "hw-significance")):
+        per_benchmark: dict[str, float] = {}
+        for name in SUITE_NAMES:
+            base = baseline[name].outcome("baseline").energy
+            other = baseline[name].outcome(policy).energy
+            per_benchmark[name] = other.savings_vs(base)["processor"]
+        per_benchmark["average"] = sum(per_benchmark.values()) / len(SUITE_NAMES)
+        results[config_name] = per_benchmark
+    return results
+
+
+def figure14_hardware_energy_by_structure() -> dict[str, dict[str, float]]:
+    """Figure 14: per-structure energy savings of the two hardware schemes."""
+    baseline = evaluate_suite(mechanism="none")
+    results: dict[str, dict[str, float]] = {}
+    for config_name, policy in (("size_compression", "hw-size"), ("significance_compression", "hw-significance")):
+        sums = {name: 0.0 for name in list(STRUCTURES) + ["processor"]}
+        for name in SUITE_NAMES:
+            base = baseline[name].outcome("baseline").energy
+            other = baseline[name].outcome(policy).energy
+            for structure, saving in other.savings_vs(base).items():
+                sums[structure] += saving
+        results[config_name] = {
+            structure: total / len(SUITE_NAMES) for structure, total in sums.items()
+        }
+    return results

@@ -1,0 +1,42 @@
+"""Plain-text report formatting for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_percent"]
+
+
+def format_percent(value: float, decimals: int = 1) -> str:
+    """Format a fraction as a percentage string (``0.137`` → ``13.7%``)."""
+    return f"{value * 100:.{decimals}f}%"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Render a list of rows as an aligned plain-text table."""
+    columns = len(headers)
+    text_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in text_rows:
+        for index in range(columns):
+            if index < len(row):
+                widths[index] = max(widths[index], len(row[index]))
+
+    def line(cells: Sequence[str]) -> str:
+        padded = [str(cell).ljust(widths[i]) for i, cell in enumerate(cells)]
+        return "  ".join(padded).rstrip()
+
+    parts = []
+    if title:
+        parts.append(title)
+        parts.append("-" * len(title))
+    parts.append(line(headers))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in text_rows)
+    return "\n".join(parts)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

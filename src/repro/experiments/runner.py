@@ -1,0 +1,222 @@
+"""Shared experiment plumbing: build → transform → simulate → account.
+
+Every table/figure module composes the same few steps: compile a workload,
+optionally apply VRP or VRS, run the functional simulator on the reference
+input, feed the trace to the timing model and the energy accountant under a
+chosen gating policy.  ``evaluate_program`` performs one such run;
+``evaluate_workload`` wraps the per-workload build/transform logic and
+caches results so that one pytest/benchmark session never simulates the same
+configuration twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core import VRPConfig, VRSConfig, VRSResult, apply_widths, run_vrp, run_vrs
+from ..core.vrp import VRPResult
+from ..hardware import (
+    CooperativeGating,
+    GatingPolicy,
+    NoGating,
+    SignificanceCompression,
+    SizeCompression,
+    SoftwareGating,
+)
+from ..ir import Program
+from ..isa import Width
+from ..power import EnergyAccountant, EnergyBreakdown
+from ..sim import Machine, RunResult, Trace
+from ..uarch import MachineConfig, OutOfOrderModel, TimingResult
+from ..workloads import Workload, load_suite
+
+__all__ = [
+    "SimulationOutcome",
+    "WorkloadEvaluation",
+    "evaluate_program",
+    "evaluate_workload",
+    "evaluate_suite",
+    "policy_for",
+    "clear_cache",
+]
+
+
+@dataclass
+class SimulationOutcome:
+    """One (program, gating policy) simulation."""
+
+    policy: str
+    run: RunResult
+    timing: TimingResult
+    energy: EnergyBreakdown
+
+    @property
+    def cycles(self) -> int:
+        return self.timing.cycles
+
+    @property
+    def ed2(self) -> float:
+        return self.energy.energy_delay_squared()
+
+    def dynamic_width_distribution(self, trace: Trace) -> dict[Width, int]:
+        """Dynamic instruction counts per encoded width (software view)."""
+        distribution: dict[Width, int] = {w: 0 for w in Width.all_widths()}
+        for record in trace.records:
+            entry = trace.static[record.uid]
+            width = entry.memory_width if entry.memory_width is not None else entry.width
+            distribution[width] += 1
+        return distribution
+
+
+@dataclass
+class WorkloadEvaluation:
+    """All simulated configurations of one workload.
+
+    The functional run and the timing model run once per (mechanism,
+    threshold); energy accounting under different gating policies reuses
+    the same trace and timing result.
+    """
+
+    workload: Workload
+    program: Program
+    trace: Trace
+    run: RunResult
+    timing: TimingResult
+    vrp_result: Optional[VRPResult] = None
+    vrs_result: Optional[VRSResult] = None
+    outcomes: dict[str, SimulationOutcome] = field(default_factory=dict)
+
+    def outcome(self, policy_name: str = "baseline") -> SimulationOutcome:
+        """Energy/timing outcome under the named gating policy (cached)."""
+        if policy_name not in self.outcomes:
+            energy = EnergyAccountant(policy_for(policy_name)).account(self.trace, self.timing)
+            self.outcomes[policy_name] = SimulationOutcome(
+                policy=policy_name, run=self.run, timing=self.timing, energy=energy
+            )
+        return self.outcomes[policy_name]
+
+    def dynamic_width_distribution(self) -> dict[Width, int]:
+        """Dynamic instruction counts per encoded (software) width."""
+        distribution: dict[Width, int] = {w: 0 for w in Width.all_widths()}
+        for record in self.trace.records:
+            entry = self.trace.static[record.uid]
+            width = entry.memory_width if entry.memory_width is not None else entry.width
+            distribution[width] += 1
+        return distribution
+
+
+_POLICIES: dict[str, GatingPolicy] = {}
+
+
+def policy_for(name: str) -> GatingPolicy:
+    """Gating policy by configuration name."""
+    if not _POLICIES:
+        _POLICIES.update(
+            {
+                "baseline": NoGating(),
+                "software": SoftwareGating(),
+                "hw-significance": SignificanceCompression(),
+                "hw-size": SizeCompression(),
+                "sw+hw-significance": CooperativeGating(SignificanceCompression()),
+                "sw+hw-size": CooperativeGating(SizeCompression()),
+            }
+        )
+    return _POLICIES[name]
+
+
+def evaluate_program(
+    program: Program,
+    policy: GatingPolicy,
+    machine_config: Optional[MachineConfig] = None,
+    max_instructions: int = 20_000_000,
+    trace: Optional[Trace] = None,
+    run: Optional[RunResult] = None,
+) -> SimulationOutcome:
+    """Simulate ``program`` once and account energy under ``policy``."""
+    if trace is None or run is None:
+        machine = Machine(program, max_instructions=max_instructions)
+        run = machine.run(collect_trace=True)
+        trace = run.trace
+    timing = OutOfOrderModel(machine_config).run(trace)
+    energy = EnergyAccountant(policy).account(trace, timing)
+    return SimulationOutcome(policy=policy.name, run=run, timing=timing, energy=energy)
+
+
+# ----------------------------------------------------------------------
+# Per-workload evaluation with caching
+# ----------------------------------------------------------------------
+_CACHE: dict[tuple, object] = {}
+
+
+def clear_cache() -> None:
+    """Drop all cached evaluations (used by tests)."""
+    _CACHE.clear()
+
+
+def _cached(key: tuple, factory):
+    if key not in _CACHE:
+        _CACHE[key] = factory()
+    return _CACHE[key]
+
+
+def evaluate_workload(
+    workload: Workload,
+    mechanism: str = "none",
+    threshold_nj: float = 50.0,
+    conventional_vrp: bool = False,
+    machine_config: Optional[MachineConfig] = None,
+) -> WorkloadEvaluation:
+    """Build, transform and simulate one workload configuration.
+
+    ``mechanism`` is one of ``"none"``, ``"vrp"`` or ``"vrs"``.  The result
+    is cached for the whole process so that tests and benchmark targets can
+    freely re-request configurations.
+    """
+    key = ("workload", workload.name, mechanism, threshold_nj, conventional_vrp)
+
+    def build() -> WorkloadEvaluation:
+        program = workload.build()
+        vrp_result = None
+        vrs_result = None
+        if mechanism == "vrp":
+            config = VRPConfig().conventional() if conventional_vrp else VRPConfig()
+            workload.apply_input(program, "ref")
+            vrp_result = run_vrp(program, config)
+            apply_widths(program, vrp_result)
+        elif mechanism == "vrs":
+            workload.apply_input(program, "train")
+            vrs_result = run_vrs(program, VRSConfig(threshold_nj=threshold_nj))
+            vrp_result = vrs_result.vrp_after
+        workload.apply_input(program, "ref")
+        machine = Machine(program)
+        run = machine.run(collect_trace=True)
+        timing = OutOfOrderModel(machine_config).run(run.trace)
+        return WorkloadEvaluation(
+            workload=workload,
+            program=program,
+            trace=run.trace,
+            run=run,
+            timing=timing,
+            vrp_result=vrp_result,
+            vrs_result=vrs_result,
+        )
+
+    return _cached(key, build)
+
+
+def evaluate_suite(
+    mechanism: str = "none",
+    threshold_nj: float = 50.0,
+    conventional_vrp: bool = False,
+) -> dict[str, WorkloadEvaluation]:
+    """Evaluate every workload of the SpecInt95-analogue suite."""
+    return {
+        workload.name: evaluate_workload(
+            workload,
+            mechanism=mechanism,
+            threshold_nj=threshold_nj,
+            conventional_vrp=conventional_vrp,
+        )
+        for workload in load_suite()
+    }

@@ -1,0 +1,90 @@
+"""Specialization statistics experiments (Figures 4, 5 and 6)."""
+
+from __future__ import annotations
+
+from ..workloads import SUITE_NAMES
+from .runner import evaluate_suite
+
+__all__ = [
+    "figure04_profiled_point_distribution",
+    "figure05_static_specialized_instructions",
+    "figure06_runtime_specialized_instructions",
+]
+
+
+def figure04_profiled_point_distribution(threshold_nj: float = 50.0) -> dict[str, dict[str, float]]:
+    """Figure 4: what happened to each profiled point, per benchmark.
+
+    Returns, for every benchmark (plus the average), the total number of
+    profiled points and the fraction that was specialized, eliminated for
+    lack of benefit, or dropped because another point's region covered it.
+    """
+    evaluations = evaluate_suite(mechanism="vrs", threshold_nj=threshold_nj)
+    results: dict[str, dict[str, float]] = {}
+    for name in SUITE_NAMES:
+        vrs = evaluations[name].vrs_result
+        total = max(vrs.points_profiled, 1)
+        results[name] = {
+            "points_profiled": float(vrs.points_profiled),
+            "specialized": vrs.points_specialized / total,
+            "dependent_on_another_point": vrs.points_dependent / total,
+            "no_benefit": vrs.points_no_benefit / total,
+        }
+    results["average"] = {
+        key: sum(results[name][key] for name in SUITE_NAMES) / len(SUITE_NAMES)
+        for key in ("points_profiled", "specialized", "dependent_on_another_point", "no_benefit")
+    }
+    return results
+
+
+def figure05_static_specialized_instructions(threshold_nj: float = 50.0) -> dict[str, dict[str, float]]:
+    """Figure 5: static instructions specialized vs eliminated, per benchmark."""
+    evaluations = evaluate_suite(mechanism="vrs", threshold_nj=threshold_nj)
+    results: dict[str, dict[str, float]] = {}
+    for name in SUITE_NAMES:
+        vrs = evaluations[name].vrs_result
+        specialized = vrs.static_specialized_instructions
+        eliminated = vrs.static_eliminated_instructions
+        total = max(specialized + eliminated, 1)
+        results[name] = {
+            "total_static_instructions": float(specialized + eliminated),
+            "specialized": specialized / total,
+            "eliminated": eliminated / total,
+        }
+    results["average"] = {
+        key: sum(results[name][key] for name in SUITE_NAMES) / len(SUITE_NAMES)
+        for key in ("total_static_instructions", "specialized", "eliminated")
+    }
+    return results
+
+
+def figure06_runtime_specialized_instructions(threshold_nj: float = 50.0) -> dict[str, dict[str, float]]:
+    """Figure 6: fraction of executed instructions that are specialized code
+    and fraction that are specialization comparisons (guards)."""
+    evaluations = evaluate_suite(mechanism="vrs", threshold_nj=threshold_nj)
+    results: dict[str, dict[str, float]] = {}
+    for name in SUITE_NAMES:
+        evaluation = evaluations[name]
+        vrs = evaluation.vrs_result
+        guard_uids = vrs.guard_uids
+        counts = evaluation.run.instruction_counts(evaluation.program)
+        total = sum(counts.values()) or 1
+        specialized = 0
+        guards = 0
+        for inst in evaluation.program.instructions():
+            count = counts.get(inst.uid, 0)
+            if count == 0:
+                continue
+            if inst.uid in guard_uids or inst.is_guard:
+                guards += count
+            elif inst.origin is not None:
+                specialized += count
+        results[name] = {
+            "specialized_instructions": specialized / total,
+            "specialization_comparisons": guards / total,
+        }
+    results["average"] = {
+        key: sum(results[name][key] for name in SUITE_NAMES) / len(SUITE_NAMES)
+        for key in ("specialized_instructions", "specialization_comparisons")
+    }
+    return results

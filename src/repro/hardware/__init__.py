@@ -1,0 +1,19 @@
+"""Hardware operand-gating schemes (the comparison points of §4.6/4.7)."""
+
+from .gating import (
+    CooperativeGating,
+    GatingPolicy,
+    NoGating,
+    SignificanceCompression,
+    SizeCompression,
+    SoftwareGating,
+)
+
+__all__ = [
+    "CooperativeGating",
+    "GatingPolicy",
+    "NoGating",
+    "SignificanceCompression",
+    "SizeCompression",
+    "SoftwareGating",
+]

@@ -1,0 +1,117 @@
+"""Operand-gating policies: how many bytes each dynamic value activates.
+
+The power model asks a :class:`GatingPolicy` how many of the 8 bytes of a
+datapath item (source operand, result, stored value) actually switch.  The
+four policies reproduce the configurations evaluated by the paper:
+
+* :class:`NoGating` — the baseline machine: every value is as wide as the
+  opcode the compiler emitted (mostly 32/64 bits).
+* :class:`SoftwareGating` — the VRP/VRS machine: the opcode's (re-encoded)
+  width is what the datapath activates; this is the pure software scheme.
+* :class:`SignificanceCompression` — the hardware scheme of [9]: seven tag
+  bits per 64-bit word record the number of significant bytes, so each value
+  activates exactly its significant bytes (plus the tag overhead).
+* :class:`SizeCompression` — the cheaper hardware scheme: two tag bits
+  select a 1/2/5/8-byte size class.
+* :class:`CooperativeGating` — software and hardware combined (§4.7): each
+  value activates the minimum of what the opcode says and what the tags say.
+"""
+
+from __future__ import annotations
+
+from ..isa import Width, significant_bytes, size_class_bytes
+from ..sim import StaticEntry
+
+__all__ = [
+    "GatingPolicy",
+    "NoGating",
+    "SoftwareGating",
+    "SignificanceCompression",
+    "SizeCompression",
+    "CooperativeGating",
+]
+
+
+class GatingPolicy:
+    """Base class: by default every value activates all 8 bytes."""
+
+    name = "baseline"
+    #: Extra tag bits stored alongside every 64-bit value (energy overhead).
+    tag_bits = 0
+
+    def value_bytes(self, entry: StaticEntry, value: int) -> int:
+        """Active bytes for one dynamic value produced/consumed by ``entry``."""
+        del entry, value
+        return 8
+
+    # Convenience wrappers -------------------------------------------------
+    def operand_bytes(self, entry: StaticEntry, values: tuple[int, ...]) -> int:
+        """Total active bytes over the source operands of one instruction."""
+        return sum(self.value_bytes(entry, value) for value in values)
+
+    @property
+    def tag_overhead_fraction(self) -> float:
+        """Fractional energy overhead of storing the tag bits with a value."""
+        return self.tag_bits / 64.0
+
+
+class NoGating(GatingPolicy):
+    """Baseline machine: software widths as emitted by the compiler."""
+
+    name = "baseline"
+
+    def value_bytes(self, entry: StaticEntry, value: int) -> int:
+        del value
+        return _encoded_bytes(entry)
+
+
+class SoftwareGating(GatingPolicy):
+    """Pure software operand gating: the (re-encoded) opcode width gates."""
+
+    name = "software"
+
+    def value_bytes(self, entry: StaticEntry, value: int) -> int:
+        del value
+        return _encoded_bytes(entry)
+
+
+class SignificanceCompression(GatingPolicy):
+    """Hardware significance compression: 7 tag bits, per-byte gating."""
+
+    name = "hw-significance"
+    tag_bits = 7
+
+    def value_bytes(self, entry: StaticEntry, value: int) -> int:
+        del entry
+        return significant_bytes(value)
+
+
+class SizeCompression(GatingPolicy):
+    """Hardware size compression: 2 tag bits, 1/2/5/8-byte classes."""
+
+    name = "hw-size"
+    tag_bits = 2
+
+    def value_bytes(self, entry: StaticEntry, value: int) -> int:
+        del entry
+        return size_class_bytes(value)
+
+
+class CooperativeGating(GatingPolicy):
+    """Software widths combined with hardware tags (§4.7): take the minimum."""
+
+    def __init__(self, hardware: GatingPolicy | None = None) -> None:
+        self.hardware = hardware or SignificanceCompression()
+        self.name = f"software+{self.hardware.name}"
+        self.tag_bits = 2  # the cooperative scheme always carries 2 size bits
+
+    def value_bytes(self, entry: StaticEntry, value: int) -> int:
+        return min(_encoded_bytes(entry), self.hardware.value_bytes(entry, value))
+
+
+def _encoded_bytes(entry: StaticEntry) -> int:
+    """Bytes activated according to the instruction's encoded width."""
+    if entry.memory_width is not None:
+        return entry.memory_width.bytes
+    width: Width = entry.width
+    return width.bytes

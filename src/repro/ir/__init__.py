@@ -1,0 +1,57 @@
+"""Binary-level intermediate representation (the "Alto" substrate).
+
+The IR plays the role that the Alto link-time optimizer plays in the paper:
+a whole-program, binary-level representation with control-flow graphs,
+dominators, natural loops, def-use chains and a call graph, on which the
+value-range analyses operate and which can be rewritten (re-encoded opcodes,
+cloned and guarded regions) and then simulated.
+"""
+
+from .basic_block import BasicBlock
+from .builder import IRBuilder
+from .callgraph import CallGraph, build_call_graph
+from .cfg import build_cfg, postorder, reverse_postorder
+from .defuse import (
+    Definition,
+    DependenceGraph,
+    build_dependence_graph,
+    call_defined_registers,
+    call_used_registers,
+)
+from .dominators import DominatorTree, compute_dominators
+from .function import Function
+from .loops import Loop, find_loops, loop_nesting_depth
+from .printer import format_function, format_instruction, format_program
+from .program import DATA_BASE_ADDRESS, STACK_BASE_ADDRESS, DataObject, Program
+from .validate import ValidationError, validate_function, validate_program
+
+__all__ = [
+    "BasicBlock",
+    "IRBuilder",
+    "CallGraph",
+    "build_call_graph",
+    "build_cfg",
+    "postorder",
+    "reverse_postorder",
+    "Definition",
+    "DependenceGraph",
+    "build_dependence_graph",
+    "call_defined_registers",
+    "call_used_registers",
+    "DominatorTree",
+    "compute_dominators",
+    "Function",
+    "Loop",
+    "find_loops",
+    "loop_nesting_depth",
+    "format_function",
+    "format_instruction",
+    "format_program",
+    "DATA_BASE_ADDRESS",
+    "STACK_BASE_ADDRESS",
+    "DataObject",
+    "Program",
+    "ValidationError",
+    "validate_function",
+    "validate_program",
+]

@@ -1,0 +1,77 @@
+"""Basic blocks of the binary-level intermediate representation."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..isa import Instruction
+
+__all__ = ["BasicBlock"]
+
+
+class BasicBlock:
+    """A straight-line sequence of instructions with a single entry point.
+
+    Control can only enter at the first instruction and only leave at the
+    last one (which is either a branch/return/halt or falls through to the
+    next block in layout order).  Successor/predecessor labels are filled in
+    by :func:`repro.ir.cfg.build_cfg`.
+    """
+
+    def __init__(self, label: str, instructions: Optional[list[Instruction]] = None) -> None:
+        self.label = label
+        self.instructions: list[Instruction] = list(instructions or [])
+        self.successors: list[str] = []
+        self.predecessors: list[str] = []
+
+    # ------------------------------------------------------------------
+    # Content manipulation
+    # ------------------------------------------------------------------
+    def append(self, instruction: Instruction) -> Instruction:
+        """Append one instruction and return it."""
+        self.instructions.append(instruction)
+        return instruction
+
+    def extend(self, instructions: list[Instruction]) -> None:
+        """Append several instructions."""
+        self.instructions.extend(instructions)
+
+    def insert(self, index: int, instruction: Instruction) -> None:
+        """Insert an instruction at ``index``."""
+        self.instructions.insert(index, instruction)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        """The final control-flow instruction, if the block has one."""
+        if self.instructions and self.instructions[-1].is_control:
+            return self.instructions[-1]
+        return None
+
+    @property
+    def falls_through(self) -> bool:
+        """True when control can reach the next block in layout order."""
+        term = self.terminator
+        if term is None:
+            return True
+        if term.is_conditional_branch or term.is_call:
+            return True
+        return False
+
+    def branch_targets(self) -> list[str]:
+        """Labels this block branches to (not including fall-through)."""
+        term = self.terminator
+        if term is not None and term.is_branch and term.target is not None:
+            return [term.target]
+        return []
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BasicBlock({self.label!r}, {len(self.instructions)} instructions)"

@@ -1,0 +1,182 @@
+"""Convenience builder for constructing IR functions programmatically.
+
+The mini-C code generator, the assembler and many tests construct functions
+through this builder rather than instantiating :class:`Instruction` by hand.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..isa import Imm, Instruction, Opcode, Operand, Reg, Width, ZERO
+from .basic_block import BasicBlock
+from .function import Function
+
+__all__ = ["IRBuilder"]
+
+RegOrInt = Union[Reg, int]
+
+
+def _as_operand(value: RegOrInt) -> Operand:
+    if isinstance(value, Reg):
+        return value
+    return Imm(int(value))
+
+
+class IRBuilder:
+    """Builds one :class:`~repro.ir.function.Function`, block by block."""
+
+    def __init__(self, name: str, num_params: int = 0) -> None:
+        self.function = Function(name, num_params=num_params)
+        self._current: Optional[BasicBlock] = None
+
+    # ------------------------------------------------------------------
+    # Blocks
+    # ------------------------------------------------------------------
+    def block(self, label: str) -> BasicBlock:
+        """Start (or resume) emitting into the block labelled ``label``."""
+        if label in self.function.blocks:
+            self._current = self.function.blocks[label]
+        else:
+            self._current = self.function.new_block(label)
+        return self._current
+
+    @property
+    def current_block(self) -> BasicBlock:
+        if self._current is None:
+            raise RuntimeError("no current block; call block() first")
+        return self._current
+
+    # ------------------------------------------------------------------
+    # Raw emission
+    # ------------------------------------------------------------------
+    def emit(self, instruction: Instruction) -> Instruction:
+        """Append a pre-built instruction to the current block."""
+        return self.current_block.append(instruction)
+
+    def _emit(
+        self,
+        op: Opcode,
+        dest: Optional[Reg] = None,
+        srcs: tuple[Operand, ...] = (),
+        target: Optional[str] = None,
+        width: Width = Width.QUAD,
+        comment: str = "",
+    ) -> Instruction:
+        inst = Instruction(op=op, dest=dest, srcs=srcs, target=target, width=width, comment=comment)
+        return self.emit(inst)
+
+    # ------------------------------------------------------------------
+    # Moves and arithmetic
+    # ------------------------------------------------------------------
+    def li(self, dest: Reg, value: int, comment: str = "") -> Instruction:
+        return self._emit(Opcode.LI, dest, (Imm(int(value)),), comment=comment)
+
+    def mov(self, dest: Reg, src: Reg, comment: str = "") -> Instruction:
+        return self._emit(Opcode.MOV, dest, (src,), comment=comment)
+
+    def lda(self, dest: Reg, base: Reg, offset: int, comment: str = "") -> Instruction:
+        return self._emit(Opcode.LDA, dest, (base, Imm(int(offset))), comment=comment)
+
+    def add(self, dest: Reg, a: Reg, b: RegOrInt, comment: str = "") -> Instruction:
+        return self._emit(Opcode.ADD, dest, (a, _as_operand(b)), comment=comment)
+
+    def sub(self, dest: Reg, a: Reg, b: RegOrInt, comment: str = "") -> Instruction:
+        return self._emit(Opcode.SUB, dest, (a, _as_operand(b)), comment=comment)
+
+    def mul(self, dest: Reg, a: Reg, b: RegOrInt, comment: str = "") -> Instruction:
+        return self._emit(Opcode.MUL, dest, (a, _as_operand(b)), comment=comment)
+
+    def and_(self, dest: Reg, a: Reg, b: RegOrInt, comment: str = "") -> Instruction:
+        return self._emit(Opcode.AND, dest, (a, _as_operand(b)), comment=comment)
+
+    def or_(self, dest: Reg, a: Reg, b: RegOrInt, comment: str = "") -> Instruction:
+        return self._emit(Opcode.OR, dest, (a, _as_operand(b)), comment=comment)
+
+    def xor(self, dest: Reg, a: Reg, b: RegOrInt, comment: str = "") -> Instruction:
+        return self._emit(Opcode.XOR, dest, (a, _as_operand(b)), comment=comment)
+
+    def bic(self, dest: Reg, a: Reg, b: RegOrInt, comment: str = "") -> Instruction:
+        return self._emit(Opcode.BIC, dest, (a, _as_operand(b)), comment=comment)
+
+    def sll(self, dest: Reg, a: Reg, b: RegOrInt, comment: str = "") -> Instruction:
+        return self._emit(Opcode.SLL, dest, (a, _as_operand(b)), comment=comment)
+
+    def srl(self, dest: Reg, a: Reg, b: RegOrInt, comment: str = "") -> Instruction:
+        return self._emit(Opcode.SRL, dest, (a, _as_operand(b)), comment=comment)
+
+    def sra(self, dest: Reg, a: Reg, b: RegOrInt, comment: str = "") -> Instruction:
+        return self._emit(Opcode.SRA, dest, (a, _as_operand(b)), comment=comment)
+
+    def cmp(self, op: Opcode, dest: Reg, a: Reg, b: RegOrInt, comment: str = "") -> Instruction:
+        return self._emit(op, dest, (a, _as_operand(b)), comment=comment)
+
+    def cmov(self, op: Opcode, dest: Reg, cond: Reg, value: RegOrInt, comment: str = "") -> Instruction:
+        return self._emit(op, dest, (cond, _as_operand(value)), comment=comment)
+
+    def mask(self, op: Opcode, dest: Reg, src: Reg, comment: str = "") -> Instruction:
+        return self._emit(op, dest, (src,), comment=comment)
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def load(self, op: Opcode, dest: Reg, base: Reg, offset: int = 0, comment: str = "") -> Instruction:
+        return self._emit(op, dest, (base, Imm(int(offset))), comment=comment)
+
+    def store(self, op: Opcode, value: Reg, base: Reg, offset: int = 0, comment: str = "") -> Instruction:
+        return self._emit(op, None, (value, base, Imm(int(offset))), comment=comment)
+
+    def ldq(self, dest: Reg, base: Reg, offset: int = 0) -> Instruction:
+        return self.load(Opcode.LDQ, dest, base, offset)
+
+    def stq(self, value: Reg, base: Reg, offset: int = 0) -> Instruction:
+        return self.store(Opcode.STQ, value, base, offset)
+
+    # ------------------------------------------------------------------
+    # Control flow
+    # ------------------------------------------------------------------
+    def br(self, target: str, comment: str = "") -> Instruction:
+        return self._emit(Opcode.BR, None, (), target=target, comment=comment)
+
+    def branch(self, op: Opcode, cond: Reg, target: str, comment: str = "") -> Instruction:
+        return self._emit(op, None, (cond,), target=target, comment=comment)
+
+    def beq(self, cond: Reg, target: str) -> Instruction:
+        return self.branch(Opcode.BEQ, cond, target)
+
+    def bne(self, cond: Reg, target: str) -> Instruction:
+        return self.branch(Opcode.BNE, cond, target)
+
+    def call(self, callee: str, comment: str = "") -> Instruction:
+        from ..isa import RETURN_ADDRESS
+
+        return self._emit(Opcode.JSR, RETURN_ADDRESS, (), target=callee, comment=comment)
+
+    def ret(self, comment: str = "") -> Instruction:
+        from ..isa import RETURN_ADDRESS
+
+        return self._emit(Opcode.RET, None, (RETURN_ADDRESS,), comment=comment)
+
+    def halt(self) -> Instruction:
+        return self._emit(Opcode.HALT)
+
+    def nop(self) -> Instruction:
+        return self._emit(Opcode.NOP)
+
+    def print_(self, value: Reg) -> Instruction:
+        return self._emit(Opcode.PRINT, None, (value,))
+
+    # ------------------------------------------------------------------
+    # Finalisation
+    # ------------------------------------------------------------------
+    def build(self) -> Function:
+        """Finish and return the function (computes CFG edges)."""
+        from .cfg import build_cfg
+
+        build_cfg(self.function)
+        return self.function
+
+
+def zero_register() -> Reg:
+    """The hardwired zero register (re-exported for builder users)."""
+    return ZERO

@@ -1,0 +1,64 @@
+"""Call-graph construction for interprocedural value range propagation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .program import Program
+
+__all__ = ["CallGraph", "build_call_graph"]
+
+
+@dataclass
+class CallGraph:
+    """Caller/callee relation over a whole program."""
+
+    callees: dict[str, set[str]] = field(default_factory=dict)
+    callers: dict[str, set[str]] = field(default_factory=dict)
+    call_sites: dict[str, list[int]] = field(default_factory=dict)
+
+    def functions(self) -> set[str]:
+        return set(self.callees) | set(self.callers)
+
+    def callees_of(self, name: str) -> set[str]:
+        return self.callees.get(name, set())
+
+    def callers_of(self, name: str) -> set[str]:
+        return self.callers.get(name, set())
+
+    def bottom_up_order(self) -> list[str]:
+        """Functions ordered callees-first (cycles broken arbitrarily).
+
+        Interprocedural VRP wants callee return-ranges before analysing the
+        caller, so a bottom-up (post-order) traversal over the call graph is
+        the natural processing order.
+        """
+        order: list[str] = []
+        visited: set[str] = set()
+
+        def visit(name: str) -> None:
+            if name in visited:
+                return
+            visited.add(name)
+            for callee in sorted(self.callees.get(name, ())):
+                visit(callee)
+            order.append(name)
+
+        for name in sorted(self.functions()):
+            visit(name)
+        return order
+
+
+def build_call_graph(program: Program) -> CallGraph:
+    """Build the call graph of ``program`` from its JSR instructions."""
+    graph = CallGraph()
+    for function in program.iter_functions():
+        graph.callees.setdefault(function.name, set())
+        graph.callers.setdefault(function.name, set())
+    for function in program.iter_functions():
+        for inst in function.instructions():
+            if inst.is_call and inst.target is not None:
+                graph.callees.setdefault(function.name, set()).add(inst.target)
+                graph.callers.setdefault(inst.target, set()).add(function.name)
+                graph.call_sites.setdefault(inst.target, []).append(inst.uid)
+    return graph

@@ -1,0 +1,63 @@
+"""Control-flow graph construction and traversal orders."""
+
+from __future__ import annotations
+
+from .basic_block import BasicBlock
+from .function import Function
+
+__all__ = ["build_cfg", "reverse_postorder", "postorder"]
+
+
+def build_cfg(function: Function) -> None:
+    """(Re)compute successor and predecessor edges for ``function``.
+
+    Successors are the explicit branch targets of each block's terminator
+    plus the fall-through block when the terminator permits it.  Returns,
+    halts and unconditional branches do not fall through.
+    """
+    for block in function.iter_blocks():
+        block.successors = []
+        block.predecessors = []
+
+    for block in function.iter_blocks():
+        successors: list[str] = []
+        for target in block.branch_targets():
+            if target not in function.blocks:
+                raise ValueError(
+                    f"{function.name}/{block.label}: branch target {target!r} does not exist"
+                )
+            successors.append(target)
+        if block.falls_through:
+            following = function.block_after(block.label)
+            if following is not None and following.label not in successors:
+                successors.append(following.label)
+        block.successors = successors
+
+    for block in function.iter_blocks():
+        for succ in block.successors:
+            function.blocks[succ].predecessors.append(block.label)
+
+
+def postorder(function: Function) -> list[str]:
+    """Depth-first postorder over block labels, starting at the entry."""
+    visited: set[str] = set()
+    order: list[str] = []
+
+    def visit(label: str) -> None:
+        if label in visited:
+            return
+        visited.add(label)
+        for succ in function.blocks[label].successors:
+            visit(succ)
+        order.append(label)
+
+    visit(function.entry_label)
+    # Unreachable blocks are appended at the end so every block gets a slot.
+    for label in function.layout():
+        visit(label)
+    return order
+
+
+def reverse_postorder(function: Function) -> list[str]:
+    """Reverse postorder (a topological-ish order suited to forward dataflow)."""
+    return list(reversed(postorder(function)))

@@ -1,0 +1,87 @@
+"""Dominator-tree computation (Cooper/Harvey/Kennedy iterative algorithm)."""
+
+from __future__ import annotations
+
+from .cfg import reverse_postorder
+from .function import Function
+
+__all__ = ["DominatorTree", "compute_dominators"]
+
+
+class DominatorTree:
+    """Immediate-dominator mapping plus convenience queries."""
+
+    def __init__(self, function: Function, idom: dict[str, str]) -> None:
+        self._function = function
+        self.idom = idom
+        self._children: dict[str, list[str]] = {}
+        for node, parent in idom.items():
+            if node != parent:
+                self._children.setdefault(parent, []).append(node)
+
+    def dominates(self, a: str, b: str) -> bool:
+        """True when block ``a`` dominates block ``b`` (reflexive)."""
+        node = b
+        while True:
+            if node == a:
+                return True
+            parent = self.idom.get(node)
+            if parent is None or parent == node:
+                return node == a
+            node = parent
+
+    def strictly_dominates(self, a: str, b: str) -> bool:
+        return a != b and self.dominates(a, b)
+
+    def children(self, label: str) -> list[str]:
+        """Blocks immediately dominated by ``label``."""
+        return list(self._children.get(label, []))
+
+    def dominated_region(self, label: str) -> set[str]:
+        """All blocks dominated by ``label`` (including itself)."""
+        region: set[str] = set()
+        stack = [label]
+        while stack:
+            node = stack.pop()
+            if node in region:
+                continue
+            region.add(node)
+            stack.extend(self._children.get(node, []))
+        return region
+
+
+def compute_dominators(function: Function) -> DominatorTree:
+    """Compute the dominator tree of ``function`` (CFG must be built)."""
+    rpo = reverse_postorder(function)
+    index = {label: i for i, label in enumerate(rpo)}
+    entry = function.entry_label
+    idom: dict[str, str] = {entry: entry}
+
+    def intersect(a: str, b: str) -> str:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]
+            while index[b] > index[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for label in rpo:
+            if label == entry:
+                continue
+            preds = [p for p in function.blocks[label].predecessors if p in idom]
+            if not preds:
+                continue
+            new_idom = preds[0]
+            for pred in preds[1:]:
+                new_idom = intersect(pred, new_idom)
+            if idom.get(label) != new_idom:
+                idom[label] = new_idom
+                changed = True
+
+    # Unreachable blocks dominate only themselves.
+    for label in function.layout():
+        idom.setdefault(label, label)
+    return DominatorTree(function, idom)

@@ -1,0 +1,123 @@
+"""Function representation: an ordered collection of basic blocks."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from ..isa import Instruction
+from .basic_block import BasicBlock
+
+__all__ = ["Function"]
+
+
+class Function:
+    """A single procedure.
+
+    Blocks are kept in *layout order*: the textual/binary order that
+    determines fall-through successors.  ``num_params`` is the number of
+    integer argument registers (``a0``..) the function reads; it feeds the
+    interprocedural part of value range propagation and the call-site
+    def/use modelling.
+    """
+
+    def __init__(self, name: str, num_params: int = 0) -> None:
+        self.name = name
+        self.num_params = num_params
+        self.blocks: dict[str, BasicBlock] = {}
+        self._layout: list[str] = []
+
+    # ------------------------------------------------------------------
+    # Block management
+    # ------------------------------------------------------------------
+    def add_block(self, block: BasicBlock, after: Optional[str] = None) -> BasicBlock:
+        """Add ``block``, optionally right after the block labelled ``after``."""
+        if block.label in self.blocks:
+            raise ValueError(f"duplicate block label {block.label!r} in {self.name}")
+        self.blocks[block.label] = block
+        if after is None:
+            self._layout.append(block.label)
+        else:
+            index = self._layout.index(after)
+            self._layout.insert(index + 1, block.label)
+        return block
+
+    def new_block(self, label: str, after: Optional[str] = None) -> BasicBlock:
+        """Create, add and return an empty block labelled ``label``."""
+        return self.add_block(BasicBlock(label), after=after)
+
+    def remove_block(self, label: str) -> None:
+        """Remove the block labelled ``label``."""
+        del self.blocks[label]
+        self._layout.remove(label)
+
+    def block(self, label: str) -> BasicBlock:
+        """Look up a block by label."""
+        return self.blocks[label]
+
+    @property
+    def entry_label(self) -> str:
+        """Label of the entry block (first block in layout order)."""
+        if not self._layout:
+            raise ValueError(f"function {self.name} has no blocks")
+        return self._layout[0]
+
+    @property
+    def entry(self) -> BasicBlock:
+        """The entry block."""
+        return self.blocks[self.entry_label]
+
+    def layout(self) -> list[str]:
+        """Block labels in layout order (copy)."""
+        return list(self._layout)
+
+    def layout_index(self, label: str) -> int:
+        """Position of ``label`` in the layout order."""
+        return self._layout.index(label)
+
+    def block_after(self, label: str) -> Optional[BasicBlock]:
+        """The block following ``label`` in layout order (fall-through target)."""
+        index = self._layout.index(label)
+        if index + 1 < len(self._layout):
+            return self.blocks[self._layout[index + 1]]
+        return None
+
+    def unique_label(self, base: str) -> str:
+        """Return a block label derived from ``base`` that is not yet used."""
+        if base not in self.blocks:
+            return base
+        counter = 1
+        while f"{base}_{counter}" in self.blocks:
+            counter += 1
+        return f"{base}_{counter}"
+
+    # ------------------------------------------------------------------
+    # Iteration helpers
+    # ------------------------------------------------------------------
+    def iter_blocks(self) -> Iterator[BasicBlock]:
+        """Blocks in layout order."""
+        for label in self._layout:
+            yield self.blocks[label]
+
+    def instructions(self) -> Iterator[Instruction]:
+        """All instructions in layout order."""
+        for block in self.iter_blocks():
+            yield from block.instructions
+
+    def instruction_count(self) -> int:
+        """Number of static instructions in the function."""
+        return sum(len(block) for block in self.iter_blocks())
+
+    def find_instruction(self, uid: int) -> Optional[tuple[BasicBlock, int]]:
+        """Locate an instruction by uid; returns (block, index) or None."""
+        for block in self.iter_blocks():
+            for index, inst in enumerate(block.instructions):
+                if inst.uid == uid:
+                    return block, index
+        return None
+
+    def calls(self) -> Iterable[Instruction]:
+        """All call instructions in the function."""
+        return (inst for inst in self.instructions() if inst.is_call)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Function({self.name!r}, {len(self.blocks)} blocks)"

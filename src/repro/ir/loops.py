@@ -1,0 +1,93 @@
+"""Natural-loop detection.
+
+VRP needs loops for its trip-count analysis (§2.3): the range produced by
+an affine induction variable ``x = a*x + b`` is bounded by the number of
+iterations, so knowing the trip count turns an otherwise unbounded range
+into a narrow one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .dominators import DominatorTree, compute_dominators
+from .function import Function
+
+__all__ = ["Loop", "find_loops", "loop_nesting_depth"]
+
+
+@dataclass
+class Loop:
+    """A natural loop.
+
+    Attributes:
+        header: label of the loop header block.
+        blocks: labels of all blocks in the loop body (header included).
+        back_edges: (tail, header) CFG edges that define the loop.
+        exits: labels of blocks outside the loop that the loop branches to.
+    """
+
+    header: str
+    blocks: set[str] = field(default_factory=set)
+    back_edges: list[tuple[str, str]] = field(default_factory=list)
+    exits: set[str] = field(default_factory=set)
+
+    def contains(self, label: str) -> bool:
+        return label in self.blocks
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Loop(header={self.header!r}, blocks={sorted(self.blocks)})"
+
+
+def find_loops(function: Function, dom: DominatorTree | None = None) -> list[Loop]:
+    """Find all natural loops of ``function`` (CFG must be built).
+
+    Loops sharing a header are merged, as is conventional.  The result is
+    sorted from innermost (fewest blocks) to outermost.
+    """
+    if dom is None:
+        dom = compute_dominators(function)
+
+    loops: dict[str, Loop] = {}
+    for block in function.iter_blocks():
+        for succ in block.successors:
+            if dom.dominates(succ, block.label):
+                loop = loops.setdefault(succ, Loop(header=succ))
+                loop.back_edges.append((block.label, succ))
+                _collect_body(function, loop, block.label)
+
+    for loop in loops.values():
+        loop.blocks.add(loop.header)
+        for label in loop.blocks:
+            for succ in function.blocks[label].successors:
+                if succ not in loop.blocks:
+                    loop.exits.add(succ)
+
+    return sorted(loops.values(), key=lambda l: len(l.blocks))
+
+
+def _collect_body(function: Function, loop: Loop, tail: str) -> None:
+    """Add to ``loop`` every block that can reach ``tail`` without the header."""
+    stack = [tail]
+    while stack:
+        label = stack.pop()
+        if label in loop.blocks or label == loop.header:
+            continue
+        loop.blocks.add(label)
+        stack.extend(function.blocks[label].predecessors)
+
+
+def loop_nesting_depth(function: Function, loops: list[Loop] | None = None) -> dict[str, int]:
+    """Nesting depth of every block (0 = not in any loop)."""
+    if loops is None:
+        build_needed = any(not b.successors and not b.predecessors for b in function.iter_blocks())
+        if build_needed:
+            from .cfg import build_cfg
+
+            build_cfg(function)
+        loops = find_loops(function)
+    depth = {label: 0 for label in function.layout()}
+    for loop in loops:
+        for label in loop.blocks:
+            depth[label] += 1
+    return depth

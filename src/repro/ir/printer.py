@@ -1,0 +1,61 @@
+"""Textual printing of IR functions and programs.
+
+The output format is the same one accepted by :mod:`repro.asm`, so a
+program can be round-tripped program → text → program.
+"""
+
+from __future__ import annotations
+
+from ..isa import Imm, Instruction, Reg, Width
+from .function import Function
+from .program import Program
+
+__all__ = ["format_instruction", "format_function", "format_program"]
+
+
+def format_instruction(inst: Instruction) -> str:
+    """Format one instruction in assembler syntax."""
+    mnemonic = inst.op.value
+    if inst.width is not Width.QUAD and not inst.is_memory and not inst.is_control:
+        mnemonic = f"{mnemonic}.{inst.width.bits}"
+    operands: list[str] = []
+    if inst.dest is not None:
+        operands.append(str(inst.dest))
+    for src in inst.srcs:
+        if isinstance(src, Imm):
+            operands.append(str(src.value))
+        elif isinstance(src, Reg):
+            operands.append(str(src))
+    if inst.target is not None:
+        operands.append(inst.target)
+    text = mnemonic
+    if operands:
+        text += " " + ", ".join(operands)
+    if inst.comment:
+        text += f"    ; {inst.comment}"
+    return text
+
+
+def format_function(function: Function) -> str:
+    """Format one function as assembler text."""
+    lines = [f".func {function.name} {function.num_params}"]
+    for block in function.iter_blocks():
+        lines.append(f"{block.label}:")
+        for inst in block.instructions:
+            lines.append(f"    {format_instruction(inst)}")
+    lines.append(".endfunc")
+    return "\n".join(lines)
+
+
+def format_program(program: Program) -> str:
+    """Format a whole program (data objects first, then functions)."""
+    lines: list[str] = []
+    for obj in program.data_objects.values():
+        init = " ".join(str(v) for v in obj.initial_values)
+        lines.append(f".data {obj.name} {obj.size_bytes} {obj.element_width.bits} {init}".rstrip())
+    if lines:
+        lines.append("")
+    for function in program.iter_functions():
+        lines.append(format_function(function))
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

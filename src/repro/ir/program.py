@@ -1,0 +1,115 @@
+"""Whole-program container: functions plus a static data segment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from ..isa import Instruction, Width
+from .function import Function
+
+__all__ = ["DataObject", "Program", "DATA_BASE_ADDRESS", "STACK_BASE_ADDRESS"]
+
+#: Base virtual address of the static data segment.  It is deliberately
+#: placed above 2^16 so that global addresses are "wide" values, matching
+#: the paper's observation that address-handling structures (LSQ, D-cache)
+#: benefit little from operand gating.
+DATA_BASE_ADDRESS = 0x1_0000_0000
+
+#: Initial stack pointer.  The stack grows downwards from here.
+STACK_BASE_ADDRESS = 0x7_FFFF_FF00
+
+
+@dataclass
+class DataObject:
+    """A named object in the static data segment.
+
+    ``element_width`` records the declared element size (``char`` arrays are
+    byte arrays, ...) which is the HLL-declared-width information the
+    compiler front end passes down to VRP (§2.1, first bullet).
+    """
+
+    name: str
+    size_bytes: int
+    element_width: Width = Width.QUAD
+    initial_values: tuple[int, ...] = ()
+    address: int = 0
+
+    @property
+    def element_count(self) -> int:
+        return self.size_bytes // self.element_width.bytes
+
+
+class Program:
+    """A complete program: functions, data objects and an entry point."""
+
+    def __init__(self, entry: str = "main") -> None:
+        self.entry = entry
+        self.functions: dict[str, Function] = {}
+        self.data_objects: dict[str, DataObject] = {}
+        self._next_data_address = DATA_BASE_ADDRESS
+
+    # ------------------------------------------------------------------
+    # Functions
+    # ------------------------------------------------------------------
+    def add_function(self, function: Function) -> Function:
+        if function.name in self.functions:
+            raise ValueError(f"duplicate function {function.name!r}")
+        self.functions[function.name] = function
+        return function
+
+    def function(self, name: str) -> Function:
+        return self.functions[name]
+
+    @property
+    def entry_function(self) -> Function:
+        return self.functions[self.entry]
+
+    def iter_functions(self) -> Iterator[Function]:
+        return iter(self.functions.values())
+
+    def instructions(self) -> Iterator[Instruction]:
+        """All static instructions of the program."""
+        for function in self.functions.values():
+            yield from function.instructions()
+
+    def instruction_count(self) -> int:
+        return sum(f.instruction_count() for f in self.functions.values())
+
+    # ------------------------------------------------------------------
+    # Data segment
+    # ------------------------------------------------------------------
+    def add_data(
+        self,
+        name: str,
+        size_bytes: int,
+        element_width: Width = Width.QUAD,
+        initial_values: tuple[int, ...] = (),
+    ) -> DataObject:
+        """Allocate a static data object and assign it an address."""
+        if name in self.data_objects:
+            raise ValueError(f"duplicate data object {name!r}")
+        aligned = (self._next_data_address + 7) & ~7
+        obj = DataObject(
+            name=name,
+            size_bytes=size_bytes,
+            element_width=element_width,
+            initial_values=tuple(initial_values),
+            address=aligned,
+        )
+        self.data_objects[name] = obj
+        self._next_data_address = aligned + max(size_bytes, 8)
+        return obj
+
+    def data(self, name: str) -> DataObject:
+        return self.data_objects[name]
+
+    def symbol_address(self, name: str) -> int:
+        """Address of a data object by name."""
+        return self.data_objects[name].address
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Program(entry={self.entry!r}, {len(self.functions)} functions, "
+            f"{len(self.data_objects)} data objects)"
+        )

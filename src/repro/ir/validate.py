@@ -1,0 +1,71 @@
+"""Structural validation of IR programs.
+
+Rewriting passes (particularly VRS, which clones regions and inserts
+guards) call the validator to guarantee they did not corrupt the program.
+"""
+
+from __future__ import annotations
+
+from ..isa import OpKind, Opcode
+from .function import Function
+from .program import Program
+
+__all__ = ["ValidationError", "validate_function", "validate_program"]
+
+
+class ValidationError(Exception):
+    """Raised when an IR invariant does not hold."""
+
+
+def validate_function(function: Function, program: Program | None = None) -> None:
+    """Check the structural invariants of one function.
+
+    * the function has an entry block,
+    * control-flow instructions appear only as block terminators,
+    * branch targets refer to existing blocks,
+    * call targets refer to existing functions (when a program is given),
+    * the last block does not fall off the end of the function.
+    """
+    if not function.layout():
+        raise ValidationError(f"{function.name}: function has no blocks")
+
+    labels = set(function.layout())
+    for block in function.iter_blocks():
+        for index, inst in enumerate(block.instructions):
+            is_last = index == len(block.instructions) - 1
+            if inst.is_control and not inst.is_call and not is_last:
+                raise ValidationError(
+                    f"{function.name}/{block.label}: control instruction {inst} "
+                    f"is not the block terminator"
+                )
+            if inst.is_branch and inst.target not in labels:
+                raise ValidationError(
+                    f"{function.name}/{block.label}: branch to unknown label {inst.target!r}"
+                )
+            if inst.is_call and program is not None and inst.target not in program.functions:
+                raise ValidationError(
+                    f"{function.name}/{block.label}: call to unknown function {inst.target!r}"
+                )
+            if inst.kind is OpKind.STORE and len(inst.srcs) != 3:
+                raise ValidationError(
+                    f"{function.name}/{block.label}: store {inst} must have 3 operands"
+                )
+
+    last_label = function.layout()[-1]
+    last_block = function.blocks[last_label]
+    terminator = last_block.terminator
+    if terminator is None or terminator.is_conditional_branch or terminator.is_call:
+        # A trailing conditional branch or call would fall off the function.
+        if terminator is None or terminator.op is not Opcode.HALT:
+            raise ValidationError(
+                f"{function.name}: final block {last_label!r} may fall off the end "
+                f"of the function"
+            )
+
+
+def validate_program(program: Program) -> None:
+    """Validate all functions of ``program`` plus program-level invariants."""
+    if program.entry not in program.functions:
+        raise ValidationError(f"entry function {program.entry!r} does not exist")
+    for function in program.iter_functions():
+        validate_function(function, program)

@@ -1,0 +1,72 @@
+"""Alpha-like, width-annotated instruction set architecture.
+
+The ISA is the contract between the compiler-side analyses (value range
+propagation and specialization) and the microarchitecture-side simulators.
+Its defining feature — the one the paper's proposal relies on — is that
+most integer opcodes exist in 8/16/32/64-bit *width variants* so that the
+software can communicate operand widths to the hardware.
+"""
+
+from .instruction import Imm, Instruction, Operand
+from .opcodes import OpKind, Opcode, OpInfo, narrowest_available_width, op_info
+from .registers import (
+    ARG_REGISTERS,
+    NUM_REGISTERS,
+    RETURN_ADDRESS,
+    RETURN_VALUE,
+    SAVED_REGISTERS,
+    STACK_POINTER,
+    TEMP_REGISTERS,
+    ZERO,
+    Reg,
+    parse_register,
+    register_name,
+)
+from .widths import (
+    INT64_MAX,
+    INT64_MIN,
+    MACHINE_BITS,
+    UINT64_MAX,
+    Width,
+    significant_bytes,
+    size_class_bytes,
+    to_signed,
+    to_unsigned,
+    width_for_signed_range,
+    width_for_value,
+    wrap_to_width,
+)
+
+__all__ = [
+    "Imm",
+    "Instruction",
+    "Operand",
+    "OpKind",
+    "Opcode",
+    "OpInfo",
+    "narrowest_available_width",
+    "op_info",
+    "ARG_REGISTERS",
+    "NUM_REGISTERS",
+    "RETURN_ADDRESS",
+    "RETURN_VALUE",
+    "SAVED_REGISTERS",
+    "STACK_POINTER",
+    "TEMP_REGISTERS",
+    "ZERO",
+    "Reg",
+    "parse_register",
+    "register_name",
+    "INT64_MAX",
+    "INT64_MIN",
+    "MACHINE_BITS",
+    "UINT64_MAX",
+    "Width",
+    "significant_bytes",
+    "size_class_bytes",
+    "to_signed",
+    "to_unsigned",
+    "width_for_signed_range",
+    "width_for_value",
+    "wrap_to_width",
+]

@@ -1,0 +1,211 @@
+"""Instruction and operand representation.
+
+Instructions are three-address, width-annotated and mutable: the VRP /
+VRS passes annotate them in place (``width`` re-encoding) or rewrite whole
+basic blocks (specialization).  A monotonically increasing ``uid`` makes
+every created instruction uniquely identifiable across rewrites, which the
+profilers and the dependence graph rely on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Union
+
+from .opcodes import OpInfo, OpKind, Opcode, op_info
+from .registers import Reg
+from .widths import Width
+
+__all__ = ["Imm", "Operand", "Instruction"]
+
+_UID_COUNTER = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate (constant) operand."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return f"#{self.value}"
+
+
+Operand = Union[Reg, Imm]
+
+
+@dataclass
+class Instruction:
+    """One machine instruction.
+
+    Attributes:
+        op: the opcode.
+        dest: destination register, or ``None`` for stores/branches.
+        srcs: source operands (registers or immediates).  For loads the
+            convention is ``(base, Imm(offset))``; for stores it is
+            ``(value, base, Imm(offset))``.
+        width: the operand width encoded in the opcode.  VRP narrows this.
+        target: branch target label or callee function name.
+        uid: unique id, stable across IR rewrites for unchanged instructions.
+        origin: uid of the instruction this one was cloned from (used by
+            the VRS bookkeeping to attribute specialized copies), or None.
+        is_guard: True when the instruction was inserted by VRS as part of
+            a range-test guard (Figure 6's "specialization comparisons").
+    """
+
+    op: Opcode
+    dest: Optional[Reg] = None
+    srcs: tuple[Operand, ...] = ()
+    width: Width = Width.QUAD
+    target: Optional[str] = None
+    comment: str = ""
+    uid: int = field(default_factory=lambda: next(_UID_COUNTER))
+    origin: Optional[int] = None
+    is_guard: bool = False
+
+    def __post_init__(self) -> None:
+        self.srcs = tuple(self.srcs)
+        info = self.info
+        if info.has_dest and self.dest is None and self.op is not Opcode.JSR:
+            raise ValueError(f"{self.op} requires a destination register")
+        if not info.has_dest and self.dest is not None:
+            raise ValueError(f"{self.op} does not take a destination register")
+
+    # ------------------------------------------------------------------
+    # Static properties
+    # ------------------------------------------------------------------
+    @property
+    def info(self) -> OpInfo:
+        """Opcode metadata."""
+        return op_info(self.op)
+
+    @property
+    def kind(self) -> OpKind:
+        return self.info.kind
+
+    @property
+    def is_branch(self) -> bool:
+        """True for conditional and unconditional branches."""
+        return self.kind is OpKind.BRANCH
+
+    @property
+    def is_conditional_branch(self) -> bool:
+        return self.is_branch and self.op is not Opcode.BR
+
+    @property
+    def is_call(self) -> bool:
+        return self.kind is OpKind.CALL
+
+    @property
+    def is_return(self) -> bool:
+        return self.kind is OpKind.RETURN
+
+    @property
+    def is_control(self) -> bool:
+        return self.info.is_control
+
+    @property
+    def is_load(self) -> bool:
+        return self.kind is OpKind.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.kind is OpKind.STORE
+
+    @property
+    def is_memory(self) -> bool:
+        return self.info.is_memory
+
+    @property
+    def memory_width(self) -> Width:
+        """Access width of a load/store opcode."""
+        if not self.is_memory:
+            raise ValueError(f"{self.op} is not a memory operation")
+        return self.info.width_variants[0]
+
+    # ------------------------------------------------------------------
+    # Register defs/uses
+    # ------------------------------------------------------------------
+    def defs(self) -> tuple[Reg, ...]:
+        """Registers written by this instruction (excluding the zero reg)."""
+        if self.dest is not None and not self.dest.is_zero:
+            return (self.dest,)
+        return ()
+
+    def uses(self) -> tuple[Reg, ...]:
+        """Registers read by this instruction.
+
+        Conditional moves additionally read their destination (the value is
+        retained when the condition is false).
+        """
+        regs = [s for s in self.srcs if isinstance(s, Reg)]
+        if self.kind is OpKind.CMOV and self.dest is not None:
+            regs.append(self.dest)
+        return tuple(regs)
+
+    def source_registers(self) -> tuple[Reg, ...]:
+        """Registers appearing in ``srcs`` only (not the CMOV dest read)."""
+        return tuple(s for s in self.srcs if isinstance(s, Reg))
+
+    def immediates(self) -> tuple[Imm, ...]:
+        """Immediate operands of this instruction."""
+        return tuple(s for s in self.srcs if isinstance(s, Imm))
+
+    # ------------------------------------------------------------------
+    # Rewriting helpers
+    # ------------------------------------------------------------------
+    def clone(self, **overrides) -> "Instruction":
+        """Copy this instruction with a fresh uid.
+
+        The copy records the original instruction's uid in ``origin`` so
+        that dynamic statistics can be attributed back to the pre-rewrite
+        instruction.
+        """
+        fields = dict(
+            op=self.op,
+            dest=self.dest,
+            srcs=self.srcs,
+            width=self.width,
+            target=self.target,
+            comment=self.comment,
+            origin=self.origin if self.origin is not None else self.uid,
+            is_guard=self.is_guard,
+        )
+        fields.update(overrides)
+        return Instruction(**fields)
+
+    def replace_sources(self, mapping: dict[Reg, Operand]) -> None:
+        """Replace source registers in place according to ``mapping``."""
+        self.srcs = tuple(mapping.get(s, s) if isinstance(s, Reg) else s for s in self.srcs)
+
+    # ------------------------------------------------------------------
+    # Formatting
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        parts: list[str] = []
+        mnemonic = self.op.value
+        if self.width is not Width.QUAD and not self.is_memory and not self.is_control:
+            mnemonic = f"{mnemonic}.{self.width.bytes * 8}"
+        parts.append(mnemonic)
+        operands: list[str] = []
+        if self.dest is not None:
+            operands.append(str(self.dest))
+        operands.extend(str(s) for s in self.srcs)
+        if self.target is not None:
+            operands.append(self.target)
+        text = " ".join([parts[0], ", ".join(operands)]).strip()
+        if self.comment:
+            text = f"{text}    ; {self.comment}"
+        return text
+
+    def __hash__(self) -> int:
+        return hash(self.uid)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Instruction) and other.uid == self.uid
+
+
+def total_register_reads(instructions: Iterable[Instruction]) -> int:
+    """Total number of register read ports consumed by ``instructions``."""
+    return sum(len(inst.uses()) for inst in instructions)

@@ -1,0 +1,238 @@
+"""Opcode catalogue for the Alpha-like target ISA.
+
+The catalogue records, for every opcode, the static properties that the
+compiler analyses, the simulators and the power model need:
+
+* the *kind* of operation (ALU, shift, compare, memory, control, ...),
+* which **width variants** exist as real opcodes.  The base Alpha ISA
+  already provides byte/halfword/word/quadword memory operations and 32/64
+  bit arithmetic; §4.3 of the paper adds byte and halfword addition, byte
+  subtraction, and byte and word logical operations, shifts, conditional
+  moves and comparisons.  Multiplication deliberately has no narrow
+  variants (it is rare and usually wide),
+* the functional unit used and its latency (Table 2 machine), and
+* the energy class used by the Wattch-like power model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .widths import Width
+
+__all__ = ["OpKind", "Opcode", "OpInfo", "op_info", "narrowest_available_width"]
+
+
+class OpKind(enum.Enum):
+    """Coarse operation category used throughout the analyses."""
+
+    ALU = "alu"            # add/sub and address arithmetic
+    MUL = "mul"
+    LOGICAL = "logical"    # and/or/xor/bic
+    SHIFT = "shift"
+    COMPARE = "compare"
+    CMOV = "cmov"
+    MASK = "mask"          # byte/halfword/word extraction (MSKx)
+    EXTEND = "extend"      # sign extension (SEXTx)
+    MOVE = "move"          # li/mov/lda
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"      # conditional and unconditional branches
+    CALL = "call"
+    RETURN = "return"
+    HALT = "halt"
+    NOP = "nop"
+    OUTPUT = "output"      # debug/output trap (PRINT)
+
+
+class Opcode(enum.Enum):
+    """All opcodes understood by the toolchain and the simulators."""
+
+    # Integer arithmetic.
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    # Logical operations.
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    BIC = "bic"            # src1 & ~src2
+    # Shifts.
+    SLL = "sll"
+    SRL = "srl"
+    SRA = "sra"
+    # Comparisons (produce 0/1).
+    CMPEQ = "cmpeq"
+    CMPNE = "cmpne"
+    CMPLT = "cmplt"
+    CMPLE = "cmple"
+    CMPULT = "cmpult"
+    CMPULE = "cmpule"
+    # Conditional moves: dest = src2 if cond(src1) else dest.
+    CMOVEQ = "cmoveq"
+    CMOVNE = "cmovne"
+    # Byte/halfword/word extraction (paper's MSK class) and sign extension.
+    MSKB = "mskb"
+    MSKW = "mskw"
+    MSKL = "mskl"
+    SEXTB = "sextb"
+    SEXTW = "sextw"
+    SEXTL = "sextl"
+    # Moves.
+    LI = "li"              # dest = immediate
+    MOV = "mov"            # dest = src register
+    LDA = "lda"            # dest = src + immediate (address generation)
+    # Memory.
+    LDB = "ldb"
+    LDH = "ldh"
+    LDW = "ldw"
+    LDQ = "ldq"
+    STB = "stb"
+    STH = "sth"
+    STW = "stw"
+    STQ = "stq"
+    # Control flow.
+    BR = "br"
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BLE = "ble"
+    BGT = "bgt"
+    BGE = "bge"
+    JSR = "jsr"
+    RET = "ret"
+    HALT = "halt"
+    NOP = "nop"
+    PRINT = "print"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static properties of one opcode."""
+
+    kind: OpKind
+    has_dest: bool
+    num_srcs: int
+    width_variants: tuple[Width, ...]
+    functional_unit: str
+    latency: int
+    energy_class: str
+
+    @property
+    def is_memory(self) -> bool:
+        return self.kind in (OpKind.LOAD, OpKind.STORE)
+
+    @property
+    def is_control(self) -> bool:
+        return self.kind in (OpKind.BRANCH, OpKind.CALL, OpKind.RETURN, OpKind.HALT)
+
+
+_ALL = Width.all_widths()
+_NO_NARROW = (Width.WORD, Width.QUAD)
+# §4.3: byte + halfword add; byte sub; byte and word logical/shift/cmov/cmp.
+_ADD_WIDTHS = (Width.BYTE, Width.HALF, Width.WORD, Width.QUAD)
+_SUB_WIDTHS = (Width.BYTE, Width.WORD, Width.QUAD)
+_BYTE_WORD = (Width.BYTE, Width.WORD, Width.QUAD)
+
+_ALU = dict(functional_unit="ialu", latency=1, energy_class="alu")
+_MULU = dict(functional_unit="imul", latency=7, energy_class="mul")
+_MEM = dict(functional_unit="mem", latency=1, energy_class="mem")
+_BRU = dict(functional_unit="branch", latency=1, energy_class="branch")
+
+_OPINFO: dict[Opcode, OpInfo] = {
+    Opcode.ADD: OpInfo(OpKind.ALU, True, 2, _ADD_WIDTHS, **_ALU),
+    Opcode.SUB: OpInfo(OpKind.ALU, True, 2, _SUB_WIDTHS, **_ALU),
+    Opcode.MUL: OpInfo(OpKind.MUL, True, 2, _NO_NARROW, **_MULU),
+    Opcode.AND: OpInfo(OpKind.LOGICAL, True, 2, _BYTE_WORD, **_ALU),
+    Opcode.OR: OpInfo(OpKind.LOGICAL, True, 2, _BYTE_WORD, **_ALU),
+    Opcode.XOR: OpInfo(OpKind.LOGICAL, True, 2, _BYTE_WORD, **_ALU),
+    Opcode.BIC: OpInfo(OpKind.LOGICAL, True, 2, _BYTE_WORD, **_ALU),
+    Opcode.SLL: OpInfo(OpKind.SHIFT, True, 2, _BYTE_WORD, **_ALU),
+    Opcode.SRL: OpInfo(OpKind.SHIFT, True, 2, _BYTE_WORD, **_ALU),
+    Opcode.SRA: OpInfo(OpKind.SHIFT, True, 2, _BYTE_WORD, **_ALU),
+    Opcode.CMPEQ: OpInfo(OpKind.COMPARE, True, 2, _BYTE_WORD, **_ALU),
+    Opcode.CMPNE: OpInfo(OpKind.COMPARE, True, 2, _BYTE_WORD, **_ALU),
+    Opcode.CMPLT: OpInfo(OpKind.COMPARE, True, 2, _BYTE_WORD, **_ALU),
+    Opcode.CMPLE: OpInfo(OpKind.COMPARE, True, 2, _BYTE_WORD, **_ALU),
+    Opcode.CMPULT: OpInfo(OpKind.COMPARE, True, 2, _BYTE_WORD, **_ALU),
+    Opcode.CMPULE: OpInfo(OpKind.COMPARE, True, 2, _BYTE_WORD, **_ALU),
+    Opcode.CMOVEQ: OpInfo(OpKind.CMOV, True, 2, _BYTE_WORD, **_ALU),
+    Opcode.CMOVNE: OpInfo(OpKind.CMOV, True, 2, _BYTE_WORD, **_ALU),
+    Opcode.MSKB: OpInfo(OpKind.MASK, True, 1, _ALL, **_ALU),
+    Opcode.MSKW: OpInfo(OpKind.MASK, True, 1, _ALL, **_ALU),
+    Opcode.MSKL: OpInfo(OpKind.MASK, True, 1, _ALL, **_ALU),
+    Opcode.SEXTB: OpInfo(OpKind.EXTEND, True, 1, _ALL, **_ALU),
+    Opcode.SEXTW: OpInfo(OpKind.EXTEND, True, 1, _ALL, **_ALU),
+    Opcode.SEXTL: OpInfo(OpKind.EXTEND, True, 1, _ALL, **_ALU),
+    Opcode.LI: OpInfo(OpKind.MOVE, True, 1, _ALL, **_ALU),
+    Opcode.MOV: OpInfo(OpKind.MOVE, True, 1, _ALL, **_ALU),
+    Opcode.LDA: OpInfo(OpKind.MOVE, True, 2, _ALL, **_ALU),
+    Opcode.LDB: OpInfo(OpKind.LOAD, True, 2, (Width.BYTE,), **_MEM),
+    Opcode.LDH: OpInfo(OpKind.LOAD, True, 2, (Width.HALF,), **_MEM),
+    Opcode.LDW: OpInfo(OpKind.LOAD, True, 2, (Width.WORD,), **_MEM),
+    Opcode.LDQ: OpInfo(OpKind.LOAD, True, 2, (Width.QUAD,), **_MEM),
+    Opcode.STB: OpInfo(OpKind.STORE, False, 3, (Width.BYTE,), **_MEM),
+    Opcode.STH: OpInfo(OpKind.STORE, False, 3, (Width.HALF,), **_MEM),
+    Opcode.STW: OpInfo(OpKind.STORE, False, 3, (Width.WORD,), **_MEM),
+    Opcode.STQ: OpInfo(OpKind.STORE, False, 3, (Width.QUAD,), **_MEM),
+    Opcode.BR: OpInfo(OpKind.BRANCH, False, 0, (Width.QUAD,), **_BRU),
+    Opcode.BEQ: OpInfo(OpKind.BRANCH, False, 1, (Width.QUAD,), **_BRU),
+    Opcode.BNE: OpInfo(OpKind.BRANCH, False, 1, (Width.QUAD,), **_BRU),
+    Opcode.BLT: OpInfo(OpKind.BRANCH, False, 1, (Width.QUAD,), **_BRU),
+    Opcode.BLE: OpInfo(OpKind.BRANCH, False, 1, (Width.QUAD,), **_BRU),
+    Opcode.BGT: OpInfo(OpKind.BRANCH, False, 1, (Width.QUAD,), **_BRU),
+    Opcode.BGE: OpInfo(OpKind.BRANCH, False, 1, (Width.QUAD,), **_BRU),
+    Opcode.JSR: OpInfo(OpKind.CALL, True, 0, (Width.QUAD,), **_BRU),
+    Opcode.RET: OpInfo(OpKind.RETURN, False, 1, (Width.QUAD,), **_BRU),
+    Opcode.HALT: OpInfo(OpKind.HALT, False, 0, (Width.QUAD,), **_BRU),
+    Opcode.NOP: OpInfo(OpKind.NOP, False, 0, (Width.QUAD,), **_ALU),
+    Opcode.PRINT: OpInfo(OpKind.OUTPUT, False, 1, (Width.QUAD,), **_ALU),
+}
+
+# Width-class groupings used by Table 3 ("operation types").
+OPERATION_TYPE: dict[Opcode, str] = {}
+for _op, _info in _OPINFO.items():
+    if _info.kind is OpKind.ALU:
+        OPERATION_TYPE[_op] = _op.name
+    elif _info.kind is OpKind.MUL:
+        OPERATION_TYPE[_op] = "MUL"
+    elif _info.kind is OpKind.LOGICAL:
+        OPERATION_TYPE[_op] = _op.name if _op.name in ("AND", "OR", "XOR") else "AND"
+    elif _info.kind is OpKind.SHIFT:
+        OPERATION_TYPE[_op] = "SHIFT"
+    elif _info.kind is OpKind.COMPARE:
+        OPERATION_TYPE[_op] = "CMP"
+    elif _info.kind is OpKind.CMOV:
+        OPERATION_TYPE[_op] = "CMOV"
+    elif _info.kind in (OpKind.MASK, OpKind.EXTEND):
+        OPERATION_TYPE[_op] = "MSK"
+    elif _info.kind is OpKind.MOVE:
+        OPERATION_TYPE[_op] = "MOVE"
+    elif _info.kind is OpKind.LOAD:
+        OPERATION_TYPE[_op] = "LOAD"
+    elif _info.kind is OpKind.STORE:
+        OPERATION_TYPE[_op] = "STORE"
+    else:
+        OPERATION_TYPE[_op] = "CTRL"
+
+
+def op_info(op: Opcode) -> OpInfo:
+    """Return the :class:`OpInfo` entry for ``op``."""
+    return _OPINFO[op]
+
+
+def narrowest_available_width(op: Opcode, needed: Width) -> Width:
+    """Narrowest width variant of ``op`` that can hold ``needed`` bits.
+
+    If the ISA does not provide a variant as narrow as ``needed`` (e.g. a
+    16-bit logical operation), the next wider available variant is chosen —
+    the paper's opcode-assignment rule.
+    """
+    candidates = [w for w in op_info(op).width_variants if w >= needed]
+    if not candidates:
+        return Width.QUAD
+    return min(candidates)

@@ -1,0 +1,100 @@
+"""Integer register file description for the Alpha-like target ISA.
+
+The register conventions loosely follow the Alpha calling standard, which is
+what the paper's binaries (HP-Alpha compiled SpecInt95 post-processed by
+Alto) would have used:
+
+* ``r0``      — function return value (``v0``)
+* ``r16-r21`` — first six integer arguments (``a0``-``a5``)
+* ``r26``     — return address (``ra``)
+* ``r30``     — stack pointer (``sp``)
+* ``r31``     — hardwired zero (``zero``)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "NUM_REGISTERS",
+    "Reg",
+    "ZERO",
+    "RETURN_VALUE",
+    "RETURN_ADDRESS",
+    "STACK_POINTER",
+    "ARG_REGISTERS",
+    "TEMP_REGISTERS",
+    "SAVED_REGISTERS",
+    "register_name",
+    "parse_register",
+]
+
+NUM_REGISTERS = 32
+
+_SPECIAL_NAMES = {
+    0: "v0",
+    26: "ra",
+    29: "gp",
+    30: "sp",
+    31: "zero",
+}
+_ARG_INDICES = tuple(range(16, 22))
+_TEMP_INDICES = tuple(range(1, 9)) + tuple(range(22, 26)) + (27, 28)
+_SAVED_INDICES = tuple(range(9, 16))
+
+
+@dataclass(frozen=True, order=True)
+class Reg:
+    """A single architectural integer register."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < NUM_REGISTERS:
+            raise ValueError(f"register index out of range: {self.index}")
+
+    @property
+    def name(self) -> str:
+        """Canonical assembly name (``r7``, or ``sp``/``ra``/``zero``/...)."""
+        return register_name(self.index)
+
+    @property
+    def is_zero(self) -> bool:
+        """True for the hardwired zero register ``r31``."""
+        return self.index == 31
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Reg({self.name})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+ZERO = Reg(31)
+RETURN_VALUE = Reg(0)
+RETURN_ADDRESS = Reg(26)
+STACK_POINTER = Reg(30)
+ARG_REGISTERS = tuple(Reg(i) for i in _ARG_INDICES)
+TEMP_REGISTERS = tuple(Reg(i) for i in _TEMP_INDICES)
+SAVED_REGISTERS = tuple(Reg(i) for i in _SAVED_INDICES)
+
+
+def register_name(index: int) -> str:
+    """Return the canonical textual name of register ``index``."""
+    if index in _SPECIAL_NAMES:
+        return _SPECIAL_NAMES[index]
+    return f"r{index}"
+
+
+def parse_register(text: str) -> Reg:
+    """Parse a register name (``r12``, ``sp``, ``zero``, ``a0``...) into a Reg."""
+    text = text.strip().lower()
+    aliases = {name: idx for idx, name in _SPECIAL_NAMES.items()}
+    aliases.update({f"a{i}": 16 + i for i in range(6)})
+    aliases.update({f"t{i}": idx for i, idx in enumerate(_TEMP_INDICES)})
+    aliases.update({f"s{i}": 9 + i for i in range(7)})
+    if text in aliases:
+        return Reg(aliases[text])
+    if text.startswith("r") and text[1:].isdigit():
+        return Reg(int(text[1:]))
+    raise ValueError(f"not a register name: {text!r}")

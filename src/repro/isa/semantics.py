@@ -1,0 +1,95 @@
+"""Pure operational semantics of the integer opcodes.
+
+Shared by the functional simulator (:mod:`repro.sim.machine`) and the
+constant-folding pass used by value specialization
+(:mod:`repro.core.constprop`), so that both agree exactly on wrap-around
+and width behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .opcodes import Opcode
+from .widths import Width, to_signed_n, wrap_to_width
+
+__all__ = [
+    "ARITHMETIC_SEMANTICS",
+    "COMPARE_SEMANTICS",
+    "MASK_SEMANTICS",
+    "BRANCH_SEMANTICS",
+    "evaluate_operation",
+]
+
+_UINT64 = (1 << 64) - 1
+
+
+def _shift_amount(b: int) -> int:
+    return b & 63
+
+
+#: op → f(a, b, width) for two-operand arithmetic/logical/shift opcodes.
+ARITHMETIC_SEMANTICS: dict[Opcode, Callable[[int, int, Width], int]] = {
+    Opcode.ADD: lambda a, b, w: wrap_to_width(a + b, w),
+    Opcode.SUB: lambda a, b, w: wrap_to_width(a - b, w),
+    Opcode.MUL: lambda a, b, w: wrap_to_width(a * b, w),
+    Opcode.AND: lambda a, b, w: wrap_to_width(a & b, w),
+    Opcode.OR: lambda a, b, w: wrap_to_width(a | b, w),
+    Opcode.XOR: lambda a, b, w: wrap_to_width(a ^ b, w),
+    Opcode.BIC: lambda a, b, w: wrap_to_width(a & ~b, w),
+    Opcode.SLL: lambda a, b, w: wrap_to_width(a << _shift_amount(b), w),
+    Opcode.SRL: lambda a, b, w: wrap_to_width((a & _UINT64) >> _shift_amount(b), w),
+    Opcode.SRA: lambda a, b, w: wrap_to_width(a >> _shift_amount(b), w),
+}
+
+#: op → f(a, b) for comparisons (producing 0/1).
+COMPARE_SEMANTICS: dict[Opcode, Callable[[int, int], int]] = {
+    Opcode.CMPEQ: lambda a, b: int(a == b),
+    Opcode.CMPNE: lambda a, b: int(a != b),
+    Opcode.CMPLT: lambda a, b: int(a < b),
+    Opcode.CMPLE: lambda a, b: int(a <= b),
+    Opcode.CMPULT: lambda a, b: int((a & _UINT64) < (b & _UINT64)),
+    Opcode.CMPULE: lambda a, b: int((a & _UINT64) <= (b & _UINT64)),
+}
+
+#: op → f(a) for byte/halfword/word extraction and sign extension.
+MASK_SEMANTICS: dict[Opcode, Callable[[int], int]] = {
+    Opcode.MSKB: lambda a: a & 0xFF,
+    Opcode.MSKW: lambda a: a & 0xFFFF,
+    Opcode.MSKL: lambda a: a & 0xFFFFFFFF,
+    Opcode.SEXTB: lambda a: to_signed_n(a, 8),
+    Opcode.SEXTW: lambda a: to_signed_n(a, 16),
+    Opcode.SEXTL: lambda a: to_signed_n(a, 32),
+}
+
+#: op → f(condition) for conditional branches.
+BRANCH_SEMANTICS: dict[Opcode, Callable[[int], bool]] = {
+    Opcode.BEQ: lambda c: c == 0,
+    Opcode.BNE: lambda c: c != 0,
+    Opcode.BLT: lambda c: c < 0,
+    Opcode.BLE: lambda c: c <= 0,
+    Opcode.BGT: lambda c: c > 0,
+    Opcode.BGE: lambda c: c >= 0,
+}
+
+
+def evaluate_operation(op: Opcode, width: Width, operands: list[int]) -> Optional[int]:
+    """Evaluate a side-effect-free value-producing opcode, if possible.
+
+    Returns ``None`` for opcodes that are not pure functions of their
+    operands (memory, control flow) — the constant folder leaves those
+    alone.
+    """
+    if op in ARITHMETIC_SEMANTICS and len(operands) == 2:
+        return ARITHMETIC_SEMANTICS[op](operands[0], operands[1], width)
+    if op in COMPARE_SEMANTICS and len(operands) == 2:
+        return COMPARE_SEMANTICS[op](operands[0], operands[1])
+    if op in MASK_SEMANTICS and len(operands) == 1:
+        return MASK_SEMANTICS[op](operands[0])
+    if op is Opcode.LI and len(operands) == 1:
+        return wrap_to_width(operands[0], Width.QUAD)
+    if op is Opcode.MOV and len(operands) == 1:
+        return operands[0]
+    if op is Opcode.LDA and len(operands) == 2:
+        return wrap_to_width(operands[0] + operands[1], Width.QUAD)
+    return None

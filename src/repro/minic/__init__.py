@@ -1,0 +1,28 @@
+"""Mini-C front end.
+
+A small C-like language (char/short/int/long scalars, global arrays,
+structured control flow, integer expressions, function calls) together with
+a code generator targeting the Alpha-like ISA.  Its role in the
+reproduction is the same as the HP-Alpha C compiler's role in the paper: it
+is the source of *declared-width* information (``int``, ``char`` ...) and of
+realistic instruction mixes for the workload suite.
+"""
+
+from .ast_nodes import CType, Module
+from .compiler import compile_source
+from .lexer import tokenize
+from .parser import parse
+from .semantics import ModuleSymbols, analyze
+from .tokens import MiniCError, Token
+
+__all__ = [
+    "CType",
+    "Module",
+    "compile_source",
+    "tokenize",
+    "parse",
+    "ModuleSymbols",
+    "analyze",
+    "MiniCError",
+    "Token",
+]

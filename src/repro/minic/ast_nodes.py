@@ -1,0 +1,266 @@
+"""Abstract syntax tree of the mini-C language.
+
+The tree is deliberately small: four integer types, global scalars and
+arrays, functions, structured control flow and integer expressions.  That
+is enough surface to express SpecInt95-like integer kernels while keeping
+the code generator predictable for the value-range analyses downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..isa import Width
+
+__all__ = [
+    "CType",
+    "Module",
+    "GlobalVar",
+    "Param",
+    "FunctionDef",
+    "Block",
+    "Declaration",
+    "Assign",
+    "ArrayAssign",
+    "ExprStatement",
+    "If",
+    "While",
+    "For",
+    "Return",
+    "Break",
+    "Continue",
+    "PrintStatement",
+    "Statement",
+    "IntLiteral",
+    "VarRef",
+    "ArrayRef",
+    "Unary",
+    "Binary",
+    "Call",
+    "Expression",
+]
+
+
+@dataclass(frozen=True)
+class CType:
+    """A mini-C type: one of the four integer widths, optionally an array."""
+
+    name: str                      # "char" | "short" | "int" | "long" | "void"
+    array_length: Optional[int] = None
+
+    _WIDTHS = {"char": Width.BYTE, "short": Width.HALF, "int": Width.WORD, "long": Width.QUAD}
+
+    @property
+    def width(self) -> Width:
+        """Storage width of one element."""
+        if self.name == "void":
+            raise ValueError("void has no width")
+        return self._WIDTHS[self.name]
+
+    @property
+    def is_array(self) -> bool:
+        return self.array_length is not None
+
+    @property
+    def is_unsigned(self) -> bool:
+        """char and short load zero-extended (Alpha LDBU/LDWU behaviour)."""
+        return self.name in ("char", "short")
+
+    def element_type(self) -> "CType":
+        return CType(self.name)
+
+    def __str__(self) -> str:
+        if self.is_array:
+            return f"{self.name}[{self.array_length}]"
+        return self.name
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+@dataclass
+class IntLiteral:
+    value: int
+    line: int = 0
+    ctype: Optional[CType] = None
+
+
+@dataclass
+class VarRef:
+    name: str
+    line: int = 0
+    ctype: Optional[CType] = None
+
+
+@dataclass
+class ArrayRef:
+    name: str
+    index: "Expression"
+    line: int = 0
+    ctype: Optional[CType] = None
+
+
+@dataclass
+class Unary:
+    op: str                       # "-", "~", "!"
+    operand: "Expression"
+    line: int = 0
+    ctype: Optional[CType] = None
+
+
+@dataclass
+class Binary:
+    op: str                       # arithmetic/relational/logical operator
+    left: "Expression"
+    right: "Expression"
+    line: int = 0
+    ctype: Optional[CType] = None
+
+
+@dataclass
+class Call:
+    name: str
+    args: list["Expression"] = field(default_factory=list)
+    line: int = 0
+    ctype: Optional[CType] = None
+
+
+Expression = Union[IntLiteral, VarRef, ArrayRef, Unary, Binary, Call]
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+@dataclass
+class Declaration:
+    ctype: CType
+    name: str
+    initializer: Optional[Expression] = None
+    line: int = 0
+
+
+@dataclass
+class Assign:
+    name: str
+    value: Expression
+    line: int = 0
+
+
+@dataclass
+class ArrayAssign:
+    name: str
+    index: Expression
+    value: Expression
+    line: int = 0
+
+
+@dataclass
+class ExprStatement:
+    expr: Expression
+    line: int = 0
+
+
+@dataclass
+class If:
+    condition: Expression
+    then_body: "Block"
+    else_body: Optional["Block"] = None
+    line: int = 0
+
+
+@dataclass
+class While:
+    condition: Expression
+    body: "Block"
+    line: int = 0
+
+
+@dataclass
+class For:
+    init: Optional["Statement"]
+    condition: Optional[Expression]
+    step: Optional["Statement"]
+    body: "Block"
+    line: int = 0
+
+
+@dataclass
+class Return:
+    value: Optional[Expression] = None
+    line: int = 0
+
+
+@dataclass
+class Break:
+    line: int = 0
+
+
+@dataclass
+class Continue:
+    line: int = 0
+
+
+@dataclass
+class PrintStatement:
+    value: Expression
+    line: int = 0
+
+
+@dataclass
+class Block:
+    statements: list["Statement"] = field(default_factory=list)
+
+
+Statement = Union[
+    Declaration,
+    Assign,
+    ArrayAssign,
+    ExprStatement,
+    If,
+    While,
+    For,
+    Return,
+    Break,
+    Continue,
+    PrintStatement,
+    Block,
+]
+
+
+# ----------------------------------------------------------------------
+# Top level
+# ----------------------------------------------------------------------
+@dataclass
+class Param:
+    ctype: CType
+    name: str
+
+
+@dataclass
+class GlobalVar:
+    ctype: CType
+    name: str
+    initial_values: tuple[int, ...] = ()
+    line: int = 0
+
+
+@dataclass
+class FunctionDef:
+    return_type: CType
+    name: str
+    params: list[Param]
+    body: Block
+    line: int = 0
+
+
+@dataclass
+class Module:
+    globals: list[GlobalVar] = field(default_factory=list)
+    functions: list[FunctionDef] = field(default_factory=list)
+
+    def function(self, name: str) -> FunctionDef:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(name)

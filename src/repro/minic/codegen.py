@@ -1,0 +1,593 @@
+"""Code generation from the mini-C AST to the Alpha-like IR.
+
+The generated code follows the conventions a simple Alpha C compiler would
+use, because those conventions are what give the paper's VRP its initial
+width information (§2.1):
+
+* ``int`` arithmetic is emitted as 32-bit opcodes (``add.32`` ...) whose
+  results wrap and sign-extend, like Alpha ``ADDL``.
+* ``char``/``short`` values are normalised with ``mskb``/``mskw``
+  (zero-extension) at parameter entry, assignment and return, like Alpha's
+  unsigned byte/halfword handling.
+* loads and stores use the declared element width of the accessed object.
+* scalar locals live in callee-saved registers when possible; everything
+  else lives on the stack or in the static data segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..isa import (
+    ARG_REGISTERS,
+    Imm,
+    Opcode,
+    RETURN_VALUE,
+    Reg,
+    STACK_POINTER,
+    SAVED_REGISTERS,
+    Width,
+    ZERO,
+)
+from ..ir import IRBuilder, Program
+from . import ast_nodes as ast
+from .semantics import ModuleSymbols
+from .tokens import MiniCError
+
+__all__ = ["generate_program"]
+
+#: Registers usable for expression temporaries (Alpha t0-t7 ~ r1..r8).
+_TEMP_REGISTERS = tuple(Reg(i) for i in range(1, 9))
+#: Number of stack slots reserved for spilling temporaries around calls.
+_CALL_SPILL_SLOTS = len(_TEMP_REGISTERS)
+
+_LOAD_BY_TYPE = {"char": Opcode.LDB, "short": Opcode.LDH, "int": Opcode.LDW, "long": Opcode.LDQ}
+_STORE_BY_TYPE = {"char": Opcode.STB, "short": Opcode.STH, "int": Opcode.STW, "long": Opcode.STQ}
+_SHIFT_BY_SIZE = {1: 0, 2: 1, 4: 2, 8: 3}
+
+
+@dataclass
+class _Value:
+    """An expression result: the register holding it and whether we own it."""
+
+    reg: Reg
+    owned: bool
+
+
+@dataclass
+class _LocalSlot:
+    """Storage assignment of one local variable or parameter."""
+
+    ctype: ast.CType
+    reg: Optional[Reg] = None        # home register when register-allocated
+    stack_offset: Optional[int] = None
+
+
+class _TempAllocator:
+    """LIFO allocator over the temporary register pool."""
+
+    def __init__(self) -> None:
+        self._free = list(reversed(_TEMP_REGISTERS))
+        self._live: list[Reg] = []
+
+    def alloc(self) -> Reg:
+        if not self._free:
+            raise MiniCError(
+                "expression too complex: ran out of temporary registers "
+                f"({len(_TEMP_REGISTERS)} available)"
+            )
+        reg = self._free.pop()
+        self._live.append(reg)
+        return reg
+
+    def release(self, value: _Value) -> None:
+        if value.owned:
+            self.free(value.reg)
+
+    def free(self, reg: Reg) -> None:
+        if reg in self._live:
+            self._live.remove(reg)
+            self._free.append(reg)
+
+    def live_temps(self) -> list[Reg]:
+        return list(self._live)
+
+
+def generate_program(module: ast.Module, symbols: ModuleSymbols, entry: str = "_start") -> Program:
+    """Generate a whole :class:`Program` for ``module``.
+
+    A ``_start`` function calling ``main`` and halting is synthesised so the
+    functional simulator has a well-defined entry and stop point.
+    """
+    program = Program(entry=entry)
+    for gvar in module.globals:
+        ctype = gvar.ctype
+        count = ctype.array_length if ctype.is_array else 1
+        program.add_data(
+            gvar.name,
+            size_bytes=count * ctype.width.bytes,
+            element_width=ctype.width,
+            initial_values=gvar.initial_values,
+        )
+
+    for fn in module.functions:
+        codegen = _FunctionCodegen(fn, symbols, program)
+        program.add_function(codegen.generate())
+
+    if "main" not in program.functions:
+        raise MiniCError("program has no main function")
+    start = IRBuilder(entry, num_params=0)
+    start.block("entry")
+    start.call("main")
+    start.halt()
+    program.add_function(start.build())
+    return program
+
+
+class _FunctionCodegen:
+    """Generates IR for one function."""
+
+    def __init__(self, fn: ast.FunctionDef, symbols: ModuleSymbols, program: Program) -> None:
+        self.fn = fn
+        self.symbols = symbols
+        self.program = program
+        self.builder = IRBuilder(fn.name, num_params=len(fn.params))
+        self.temps = _TempAllocator()
+        self.locals: dict[str, _LocalSlot] = {}
+        self.frame_size = 0
+        self._saved_used: list[Reg] = []
+        self._spill_base = 0
+        self._label_counter = 0
+        self._loop_stack: list[tuple[str, str]] = []  # (break label, continue label)
+        self._epilogue_label = "epilogue"
+
+    # ------------------------------------------------------------------
+    # Frame and storage layout
+    # ------------------------------------------------------------------
+    def _collect_local_names(self) -> list[tuple[str, ast.CType]]:
+        names: list[tuple[str, ast.CType]] = [(p.name, p.ctype) for p in self.fn.params]
+
+        def walk(block: ast.Block) -> None:
+            for statement in block.statements:
+                if isinstance(statement, ast.Declaration):
+                    names.append((statement.name, statement.ctype))
+                elif isinstance(statement, ast.Block):
+                    walk(statement)
+                elif isinstance(statement, ast.If):
+                    walk(statement.then_body)
+                    if statement.else_body is not None:
+                        walk(statement.else_body)
+                elif isinstance(statement, ast.While):
+                    walk(statement.body)
+                elif isinstance(statement, ast.For):
+                    if isinstance(statement.init, ast.Declaration):
+                        names.append((statement.init.name, statement.init.ctype))
+                    walk(statement.body)
+
+        walk(self.fn.body)
+        return names
+
+    def _layout_frame(self) -> None:
+        local_names = self._collect_local_names()
+        available = list(SAVED_REGISTERS)
+        offset = 8  # slot 0 holds the saved return address
+        for name, ctype in local_names:
+            slot = _LocalSlot(ctype=ctype)
+            if available:
+                slot.reg = available.pop(0)
+                self._saved_used.append(slot.reg)
+            else:
+                slot.stack_offset = offset
+                offset += 8
+            self.locals[name] = slot
+        # Space to preserve the callee-saved registers we are about to use.
+        self._saved_area = offset
+        offset += 8 * len(self._saved_used)
+        self._spill_base = offset
+        offset += 8 * _CALL_SPILL_SLOTS
+        self.frame_size = (offset + 15) & ~15
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def generate(self):
+        self._layout_frame()
+        b = self.builder
+        b.block("entry")
+        b.lda(STACK_POINTER, STACK_POINTER, -self.frame_size, comment="prologue")
+        b.store(Opcode.STQ, Reg(26), STACK_POINTER, 0, comment="save ra")
+        for index, reg in enumerate(self._saved_used):
+            b.store(Opcode.STQ, reg, STACK_POINTER, self._saved_area + 8 * index)
+        for index, param in enumerate(self.fn.params):
+            self._init_param(index, param)
+
+        self._gen_block(self.fn.body)
+
+        b.block(self._epilogue_label)
+        for index, reg in enumerate(self._saved_used):
+            b.load(Opcode.LDQ, reg, STACK_POINTER, self._saved_area + 8 * index)
+        b.load(Opcode.LDQ, Reg(26), STACK_POINTER, 0, comment="restore ra")
+        b.lda(STACK_POINTER, STACK_POINTER, self.frame_size, comment="epilogue")
+        b.ret()
+        return b.build()
+
+    def _init_param(self, index: int, param: ast.Param) -> None:
+        slot = self.locals[param.name]
+        arg_reg = ARG_REGISTERS[index]
+        if slot.reg is not None:
+            self._normalize(slot.reg, arg_reg, param.ctype, comment=f"param {param.name}")
+        else:
+            temp = self.temps.alloc()
+            self._normalize(temp, arg_reg, param.ctype, comment=f"param {param.name}")
+            self._store_local(slot, temp)
+            self.temps.free(temp)
+
+    # ------------------------------------------------------------------
+    # Labels
+    # ------------------------------------------------------------------
+    def _new_label(self, base: str) -> str:
+        self._label_counter += 1
+        return f"{base}_{self._label_counter}"
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _gen_block(self, block: ast.Block) -> None:
+        for statement in block.statements:
+            self._gen_statement(statement)
+
+    def _gen_statement(self, statement: ast.Statement) -> None:
+        if isinstance(statement, ast.Block):
+            self._gen_block(statement)
+        elif isinstance(statement, ast.Declaration):
+            if statement.initializer is not None:
+                self._gen_assign_to_local(statement.name, statement.initializer)
+        elif isinstance(statement, ast.Assign):
+            self._gen_assign(statement)
+        elif isinstance(statement, ast.ArrayAssign):
+            self._gen_array_assign(statement)
+        elif isinstance(statement, ast.ExprStatement):
+            value = self._gen_expression(statement.expr)
+            self.temps.release(value)
+        elif isinstance(statement, ast.If):
+            self._gen_if(statement)
+        elif isinstance(statement, ast.While):
+            self._gen_while(statement)
+        elif isinstance(statement, ast.For):
+            self._gen_for(statement)
+        elif isinstance(statement, ast.Return):
+            self._gen_return(statement)
+        elif isinstance(statement, ast.Break):
+            self.builder.br(self._loop_stack[-1][0])
+            self.builder.block(self._new_label("after_break"))
+        elif isinstance(statement, ast.Continue):
+            self.builder.br(self._loop_stack[-1][1])
+            self.builder.block(self._new_label("after_continue"))
+        elif isinstance(statement, ast.PrintStatement):
+            value = self._gen_expression(statement.value)
+            self.builder.print_(value.reg)
+            self.temps.release(value)
+        else:  # pragma: no cover - semantics rejects everything else
+            raise MiniCError(f"cannot generate {type(statement).__name__}")
+
+    # -------------------------- assignments --------------------------
+    def _gen_assign(self, assign: ast.Assign) -> None:
+        if assign.name in self.locals:
+            self._gen_assign_to_local(assign.name, assign.value)
+        else:
+            gvar = self.symbols.globals[assign.name]
+            value = self._gen_expression(assign.value)
+            address = self.temps.alloc()
+            self.builder.li(address, self.program.symbol_address(assign.name), comment=assign.name)
+            self.builder.store(_STORE_BY_TYPE[gvar.ctype.name], value.reg, address, 0)
+            self.temps.free(address)
+            self.temps.release(value)
+
+    def _gen_assign_to_local(self, name: str, value_expr: ast.Expression) -> None:
+        slot = self.locals[name]
+        if slot.reg is not None and isinstance(value_expr, ast.Binary) and value_expr.ctype is not None:
+            # Emit the operation straight into the local's home register so
+            # induction updates look like ``add.32 s0, s0, 1`` (which the
+            # loop trip-count analysis recognises).
+            if value_expr.op not in ("&&", "||"):
+                self._gen_binary_into(slot.reg, value_expr)
+                self._narrow_in_place(slot.reg, slot.ctype)
+                return
+        value = self._gen_expression(value_expr)
+        if slot.reg is not None:
+            self._normalize(slot.reg, value.reg, slot.ctype)
+        else:
+            temp = self.temps.alloc()
+            self._normalize(temp, value.reg, slot.ctype)
+            self._store_local(slot, temp)
+            self.temps.free(temp)
+        self.temps.release(value)
+
+    def _gen_array_assign(self, assign: ast.ArrayAssign) -> None:
+        gvar = self.symbols.globals[assign.name]
+        value = self._gen_expression(assign.value)
+        address = self._gen_array_address(assign.name, assign.index, gvar.ctype)
+        self.builder.store(_STORE_BY_TYPE[gvar.ctype.name], value.reg, address.reg, 0)
+        self.temps.release(address)
+        self.temps.release(value)
+
+    # -------------------------- control flow -------------------------
+    def _gen_condition_branch(self, condition: ast.Expression, false_label: str) -> None:
+        value = self._gen_expression(condition)
+        self.builder.beq(value.reg, false_label)
+        self.temps.release(value)
+
+    def _gen_if(self, statement: ast.If) -> None:
+        end_label = self._new_label("if_end")
+        else_label = self._new_label("if_else") if statement.else_body is not None else end_label
+        self._gen_condition_branch(statement.condition, else_label)
+        self.builder.block(self._new_label("if_then"))
+        self._gen_block(statement.then_body)
+        if statement.else_body is not None:
+            self.builder.br(end_label)
+            self.builder.block(else_label)
+            self._gen_block(statement.else_body)
+        self.builder.block(end_label)
+
+    def _gen_while(self, statement: ast.While) -> None:
+        cond_label = self._new_label("while_cond")
+        end_label = self._new_label("while_end")
+        self.builder.block(cond_label)
+        self._gen_condition_branch(statement.condition, end_label)
+        self.builder.block(self._new_label("while_body"))
+        self._loop_stack.append((end_label, cond_label))
+        self._gen_block(statement.body)
+        self._loop_stack.pop()
+        self.builder.br(cond_label)
+        self.builder.block(end_label)
+
+    def _gen_for(self, statement: ast.For) -> None:
+        if statement.init is not None:
+            self._gen_statement(statement.init)
+        cond_label = self._new_label("for_cond")
+        step_label = self._new_label("for_step")
+        end_label = self._new_label("for_end")
+        self.builder.block(cond_label)
+        if statement.condition is not None:
+            self._gen_condition_branch(statement.condition, end_label)
+        self.builder.block(self._new_label("for_body"))
+        self._loop_stack.append((end_label, step_label))
+        self._gen_block(statement.body)
+        self._loop_stack.pop()
+        self.builder.block(step_label)
+        if statement.step is not None:
+            self._gen_statement(statement.step)
+        self.builder.br(cond_label)
+        self.builder.block(end_label)
+
+    def _gen_return(self, statement: ast.Return) -> None:
+        if statement.value is not None:
+            value = self._gen_expression(statement.value)
+            self._normalize(RETURN_VALUE, value.reg, self.fn.return_type)
+            self.temps.release(value)
+        self.builder.br(self._epilogue_label)
+        self.builder.block(self._new_label("after_return"))
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _gen_expression(self, expr: ast.Expression) -> _Value:
+        if isinstance(expr, ast.IntLiteral):
+            if expr.value == 0:
+                return _Value(ZERO, owned=False)
+            temp = self.temps.alloc()
+            self.builder.li(temp, expr.value)
+            return _Value(temp, owned=True)
+        if isinstance(expr, ast.VarRef):
+            return self._gen_var_ref(expr)
+        if isinstance(expr, ast.ArrayRef):
+            return self._gen_array_ref(expr)
+        if isinstance(expr, ast.Unary):
+            return self._gen_unary(expr)
+        if isinstance(expr, ast.Binary):
+            if expr.op in ("&&", "||"):
+                return self._gen_logical(expr)
+            dest = self.temps.alloc()
+            self._gen_binary_into(dest, expr)
+            return _Value(dest, owned=True)
+        if isinstance(expr, ast.Call):
+            return self._gen_call(expr)
+        raise MiniCError(f"cannot generate expression {type(expr).__name__}")
+
+    def _gen_var_ref(self, expr: ast.VarRef) -> _Value:
+        if expr.name in self.locals:
+            slot = self.locals[expr.name]
+            if slot.reg is not None:
+                return _Value(slot.reg, owned=False)
+            temp = self.temps.alloc()
+            self._load_local(slot, temp)
+            return _Value(temp, owned=True)
+        gvar = self.symbols.globals[expr.name]
+        address = self.temps.alloc()
+        self.builder.li(address, self.program.symbol_address(expr.name), comment=expr.name)
+        temp = self.temps.alloc()
+        self.builder.load(_LOAD_BY_TYPE[gvar.ctype.name], temp, address, 0)
+        self.temps.free(address)
+        return _Value(temp, owned=True)
+
+    def _gen_array_address(self, name: str, index: ast.Expression, ctype: ast.CType) -> _Value:
+        index_value = self._gen_expression(index)
+        address = self.temps.alloc()
+        self.builder.li(address, self.program.symbol_address(name), comment=name)
+        shift = _SHIFT_BY_SIZE[ctype.width.bytes]
+        if shift == 0:
+            self.builder.add(address, address, index_value.reg)
+        else:
+            scaled = self.temps.alloc()
+            self.builder.sll(scaled, index_value.reg, shift)
+            self.builder.add(address, address, scaled)
+            self.temps.free(scaled)
+        self.temps.release(index_value)
+        return _Value(address, owned=True)
+
+    def _gen_array_ref(self, expr: ast.ArrayRef) -> _Value:
+        gvar = self.symbols.globals[expr.name]
+        address = self._gen_array_address(expr.name, expr.index, gvar.ctype)
+        temp = self.temps.alloc()
+        self.builder.load(_LOAD_BY_TYPE[gvar.ctype.name], temp, address.reg, 0)
+        self.temps.release(address)
+        return _Value(temp, owned=True)
+
+    def _gen_unary(self, expr: ast.Unary) -> _Value:
+        operand = self._gen_expression(expr.operand)
+        dest = self.temps.alloc()
+        width = self._op_width(expr.ctype)
+        if expr.op == "-":
+            inst = self.builder.sub(dest, ZERO, operand.reg)
+            inst.width = width
+        elif expr.op == "~":
+            inst = self.builder.xor(dest, operand.reg, -1)
+            inst.width = width
+        elif expr.op == "!":
+            inst = self.builder.cmp(Opcode.CMPEQ, dest, operand.reg, 0)
+            inst.width = width
+        else:  # pragma: no cover - parser produces no other unary ops
+            raise MiniCError(f"unsupported unary operator {expr.op!r}", expr.line)
+        self.temps.release(operand)
+        return _Value(dest, owned=True)
+
+    _BINARY_OPCODES = {
+        "+": Opcode.ADD,
+        "-": Opcode.SUB,
+        "*": Opcode.MUL,
+        "&": Opcode.AND,
+        "|": Opcode.OR,
+        "^": Opcode.XOR,
+        "<<": Opcode.SLL,
+        ">>": Opcode.SRA,
+        "==": Opcode.CMPEQ,
+        "!=": Opcode.CMPNE,
+        "<": Opcode.CMPLT,
+        "<=": Opcode.CMPLE,
+    }
+
+    def _gen_binary_into(self, dest: Reg, expr: ast.Binary) -> None:
+        """Emit a binary operation writing ``dest`` (not for &&/||)."""
+        op = expr.op
+        left_expr, right_expr = expr.left, expr.right
+        swapped = False
+        if op == ">":
+            op, left_expr, right_expr, swapped = "<", right_expr, left_expr, True
+        elif op == ">=":
+            op, left_expr, right_expr, swapped = "<=", right_expr, left_expr, True
+        opcode = self._BINARY_OPCODES[op]
+
+        left = self._gen_expression(left_expr)
+        if isinstance(right_expr, ast.IntLiteral) and not swapped:
+            right_operand: object = Imm(right_expr.value)
+            right = None
+        else:
+            right = self._gen_expression(right_expr)
+            right_operand = right.reg
+        width = self._op_width(expr.ctype)
+        # Comparisons and shifts observe their operands at the promoted
+        # width of the *inputs*, not of the (int) result.
+        if op in ("==", "!=", "<", "<="):
+            width = self._op_width(_promoted(left_expr, right_expr))
+        inst = self.builder._emit(opcode, dest, (left.reg, right_operand))
+        inst.width = width
+        self.temps.release(left)
+        if right is not None:
+            self.temps.release(right)
+
+    def _gen_logical(self, expr: ast.Binary) -> _Value:
+        """Short-circuit ``&&`` / ``||`` producing a 0/1 value."""
+        dest = self.temps.alloc()
+        end_label = self._new_label("bool_end")
+        if expr.op == "&&":
+            self.builder.li(dest, 0)
+            left = self._gen_expression(expr.left)
+            self.builder.beq(left.reg, end_label)
+            self.temps.release(left)
+            self.builder.block(self._new_label("bool_rhs"))
+            right = self._gen_expression(expr.right)
+            inst = self.builder.cmp(Opcode.CMPNE, dest, right.reg, 0)
+            inst.width = Width.WORD
+            self.temps.release(right)
+        else:
+            self.builder.li(dest, 1)
+            left = self._gen_expression(expr.left)
+            self.builder.bne(left.reg, end_label)
+            self.temps.release(left)
+            self.builder.block(self._new_label("bool_rhs"))
+            right = self._gen_expression(expr.right)
+            inst = self.builder.cmp(Opcode.CMPNE, dest, right.reg, 0)
+            inst.width = Width.WORD
+            self.temps.release(right)
+        self.builder.block(end_label)
+        return _Value(dest, owned=True)
+
+    def _gen_call(self, expr: ast.Call) -> _Value:
+        signature = self.symbols.functions[expr.name]
+        arg_values = [self._gen_expression(arg) for arg in expr.args]
+        for index, (value, ptype) in enumerate(zip(arg_values, signature.param_types)):
+            self._normalize(ARG_REGISTERS[index], value.reg, ptype)
+        for value in arg_values:
+            self.temps.release(value)
+        live = self.temps.live_temps()
+        for slot, reg in enumerate(live):
+            self.builder.store(Opcode.STQ, reg, STACK_POINTER, self._spill_base + 8 * slot)
+        self.builder.call(expr.name)
+        for slot, reg in enumerate(live):
+            self.builder.load(Opcode.LDQ, reg, STACK_POINTER, self._spill_base + 8 * slot)
+        if signature.return_type.name == "void":
+            return _Value(ZERO, owned=False)
+        dest = self.temps.alloc()
+        self._normalize(dest, RETURN_VALUE, signature.return_type)
+        return _Value(dest, owned=True)
+
+    # ------------------------------------------------------------------
+    # Width helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _op_width(ctype: Optional[ast.CType]) -> Width:
+        """ALU width for an expression type (int ops are 32-bit, long 64)."""
+        if ctype is not None and ctype.name == "long":
+            return Width.QUAD
+        return Width.WORD
+
+    def _normalize(self, dest: Reg, src: Reg, ctype: ast.CType, comment: str = "") -> None:
+        """Move ``src`` to ``dest`` normalised to ``ctype``'s storage width."""
+        name = ctype.name
+        if name == "long" or name == "void":
+            if dest != src:
+                self.builder.mov(dest, src, comment=comment)
+            return
+        if name == "int":
+            self.builder.mask(Opcode.SEXTL, dest, src, comment=comment)
+        elif name == "short":
+            self.builder.mask(Opcode.MSKW, dest, src, comment=comment)
+        else:  # char
+            self.builder.mask(Opcode.MSKB, dest, src, comment=comment)
+
+    def _narrow_in_place(self, reg: Reg, ctype: ast.CType) -> None:
+        """Re-normalise a register after an in-place update, if needed."""
+        if ctype.name in ("char", "short"):
+            opcode = Opcode.MSKB if ctype.name == "char" else Opcode.MSKW
+            self.builder.mask(opcode, reg, reg)
+
+    # ------------------------------------------------------------------
+    # Stack local helpers
+    # ------------------------------------------------------------------
+    def _store_local(self, slot: _LocalSlot, reg: Reg) -> None:
+        assert slot.stack_offset is not None
+        self.builder.store(_STORE_BY_TYPE[slot.ctype.name], reg, STACK_POINTER, slot.stack_offset)
+
+    def _load_local(self, slot: _LocalSlot, reg: Reg) -> None:
+        assert slot.stack_offset is not None
+        self.builder.load(_LOAD_BY_TYPE[slot.ctype.name], reg, STACK_POINTER, slot.stack_offset)
+
+
+def _promoted(left: ast.Expression, right: ast.Expression) -> ast.CType:
+    """Promoted type of two already-annotated operand expressions."""
+    if (left.ctype is not None and left.ctype.name == "long") or (
+        right.ctype is not None and right.ctype.name == "long"
+    ):
+        return ast.CType("long")
+    return ast.CType("int")

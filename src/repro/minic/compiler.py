@@ -1,0 +1,26 @@
+"""Top-level mini-C compiler driver."""
+
+from __future__ import annotations
+
+from ..ir import Program, validate_program
+from .codegen import generate_program
+from .parser import parse
+from .semantics import analyze
+from .tokens import MiniCError
+
+__all__ = ["compile_source", "MiniCError"]
+
+
+def compile_source(source: str, validate: bool = True) -> Program:
+    """Compile mini-C ``source`` into an executable :class:`Program`.
+
+    The pipeline is parse → semantic analysis → code generation, mirroring
+    the "HLL compiler" stage of the paper's toolchain; the resulting program
+    is what the binary-level analyses (VRP/VRS) and the simulators consume.
+    """
+    module = parse(source)
+    symbols = analyze(module)
+    program = generate_program(module, symbols)
+    if validate:
+        validate_program(program)
+    return program

@@ -1,0 +1,127 @@
+"""Lexer for the mini-C language."""
+
+from __future__ import annotations
+
+from .tokens import KEYWORDS, MiniCError, Token
+
+__all__ = ["tokenize"]
+
+#: Multi-character operators, longest first so maximal munch works.
+_OPERATORS = [
+    "<<",
+    ">>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "=",
+    "&",
+    "|",
+    "^",
+    "~",
+    "!",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    ",",
+    ";",
+]
+
+_ESCAPES = {"n": 10, "t": 9, "0": 0, "\\": 92, "'": 39}
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize mini-C source text.
+
+    Supports ``//`` and ``/* */`` comments, decimal and hexadecimal integer
+    literals, and character literals (``'a'``, ``'\\n'``).
+    """
+    tokens: list[Token] = []
+    line = 1
+    i = 0
+    length = len(source)
+    while i < length:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch.isspace():
+            i += 1
+            continue
+        if source.startswith("//", i):
+            while i < length and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise MiniCError("unterminated /* comment", line)
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch == "'":
+            value, consumed = _char_literal(source, i, line)
+            tokens.append(Token("number", source[i : i + consumed], line, value))
+            i += consumed
+            continue
+        if ch.isdigit():
+            j = i
+            while j < length and (source[j].isalnum()):
+                j += 1
+            text = source[i:j]
+            try:
+                value = int(text, 0)
+            except ValueError as exc:
+                raise MiniCError(f"bad number literal {text!r}", line) from exc
+            tokens.append(Token("number", text, line, value))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < length and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line))
+            i = j
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line))
+                i += len(op)
+                matched = True
+                break
+        if not matched:
+            raise MiniCError(f"unexpected character {ch!r}", line)
+    tokens.append(Token("eof", "", line))
+    return tokens
+
+
+def _char_literal(source: str, start: int, line: int) -> tuple[int, int]:
+    """Parse a character literal starting at ``start``; return (value, length)."""
+    if start + 2 >= len(source):
+        raise MiniCError("unterminated character literal", line)
+    if source[start + 1] == "\\":
+        escape = source[start + 2]
+        if escape not in _ESCAPES:
+            raise MiniCError(f"unknown escape '\\{escape}'", line)
+        if start + 3 >= len(source) or source[start + 3] != "'":
+            raise MiniCError("unterminated character literal", line)
+        return _ESCAPES[escape], 4
+    if source[start + 2] != "'":
+        raise MiniCError("unterminated character literal", line)
+    return ord(source[start + 1]), 3

@@ -1,0 +1,332 @@
+"""Recursive-descent parser for mini-C."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import ast_nodes as ast
+from .lexer import tokenize
+from .tokens import MiniCError, Token
+
+__all__ = ["parse"]
+
+_TYPE_NAMES = ("char", "short", "int", "long", "void")
+
+
+def parse(source: str) -> ast.Module:
+    """Parse mini-C source text into a :class:`~repro.minic.ast_nodes.Module`."""
+    return _Parser(tokenize(source)).parse_module()
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _peek(self, offset: int = 1) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _expect_op(self, text: str) -> Token:
+        if not self._current.is_op(text):
+            raise MiniCError(f"expected {text!r}, got {self._current.text!r}", self._current.line)
+        return self._advance()
+
+    def _expect_ident(self) -> Token:
+        if self._current.kind != "ident":
+            raise MiniCError(f"expected an identifier, got {self._current.text!r}", self._current.line)
+        return self._advance()
+
+    def _accept_op(self, text: str) -> bool:
+        if self._current.is_op(text):
+            self._advance()
+            return True
+        return False
+
+    def _at_type(self) -> bool:
+        return self._current.kind == "keyword" and self._current.text in _TYPE_NAMES
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+    def parse_module(self) -> ast.Module:
+        module = ast.Module()
+        while self._current.kind != "eof":
+            if not self._at_type():
+                raise MiniCError(
+                    f"expected a declaration, got {self._current.text!r}", self._current.line
+                )
+            ctype_name = self._advance().text
+            name_token = self._expect_ident()
+            if self._current.is_op("("):
+                module.functions.append(self._parse_function(ctype_name, name_token))
+            else:
+                module.globals.append(self._parse_global(ctype_name, name_token))
+        return module
+
+    def _parse_global(self, type_name: str, name_token: Token) -> ast.GlobalVar:
+        array_length: Optional[int] = None
+        if self._accept_op("["):
+            length_token = self._advance()
+            if length_token.kind != "number" or length_token.value is None:
+                raise MiniCError("array length must be a constant", length_token.line)
+            array_length = length_token.value
+            self._expect_op("]")
+        initial: tuple[int, ...] = ()
+        if self._accept_op("="):
+            initial = self._parse_initializer()
+        self._expect_op(";")
+        return ast.GlobalVar(
+            ctype=ast.CType(type_name, array_length),
+            name=name_token.text,
+            initial_values=initial,
+            line=name_token.line,
+        )
+
+    def _parse_initializer(self) -> tuple[int, ...]:
+        if self._accept_op("{"):
+            values: list[int] = []
+            while not self._current.is_op("}"):
+                values.append(self._parse_constant())
+                if not self._accept_op(","):
+                    break
+            self._expect_op("}")
+            return tuple(values)
+        return (self._parse_constant(),)
+
+    def _parse_constant(self) -> int:
+        negative = self._accept_op("-")
+        token = self._advance()
+        if token.kind != "number" or token.value is None:
+            raise MiniCError("expected a constant", token.line)
+        return -token.value if negative else token.value
+
+    def _parse_function(self, return_type: str, name_token: Token) -> ast.FunctionDef:
+        self._expect_op("(")
+        params: list[ast.Param] = []
+        if not self._current.is_op(")"):
+            if self._current.is_keyword("void") and self._peek().is_op(")"):
+                self._advance()
+            else:
+                while True:
+                    if not self._at_type():
+                        raise MiniCError("expected a parameter type", self._current.line)
+                    ptype = self._advance().text
+                    pname = self._expect_ident()
+                    params.append(ast.Param(ast.CType(ptype), pname.text))
+                    if not self._accept_op(","):
+                        break
+        self._expect_op(")")
+        body = self._parse_block()
+        return ast.FunctionDef(
+            return_type=ast.CType(return_type),
+            name=name_token.text,
+            params=params,
+            body=body,
+            line=name_token.line,
+        )
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _parse_block(self) -> ast.Block:
+        self._expect_op("{")
+        block = ast.Block()
+        while not self._current.is_op("}"):
+            block.statements.append(self._parse_statement())
+        self._expect_op("}")
+        return block
+
+    def _parse_statement(self) -> ast.Statement:
+        token = self._current
+        if token.is_op("{"):
+            return self._parse_block()
+        if self._at_type():
+            return self._parse_declaration()
+        if token.is_keyword("if"):
+            return self._parse_if()
+        if token.is_keyword("while"):
+            return self._parse_while()
+        if token.is_keyword("for"):
+            return self._parse_for()
+        if token.is_keyword("return"):
+            self._advance()
+            value = None if self._current.is_op(";") else self._parse_expression()
+            self._expect_op(";")
+            return ast.Return(value=value, line=token.line)
+        if token.is_keyword("break"):
+            self._advance()
+            self._expect_op(";")
+            return ast.Break(line=token.line)
+        if token.is_keyword("continue"):
+            self._advance()
+            self._expect_op(";")
+            return ast.Continue(line=token.line)
+        if token.is_keyword("print"):
+            self._advance()
+            self._expect_op("(")
+            value = self._parse_expression()
+            self._expect_op(")")
+            self._expect_op(";")
+            return ast.PrintStatement(value=value, line=token.line)
+        statement = self._parse_simple_statement()
+        self._expect_op(";")
+        return statement
+
+    def _parse_declaration(self) -> ast.Declaration:
+        type_token = self._advance()
+        name_token = self._expect_ident()
+        initializer = None
+        if self._accept_op("="):
+            initializer = self._parse_expression()
+        self._expect_op(";")
+        return ast.Declaration(
+            ctype=ast.CType(type_token.text),
+            name=name_token.text,
+            initializer=initializer,
+            line=name_token.line,
+        )
+
+    def _parse_simple_statement(self) -> ast.Statement:
+        """Assignment, array assignment or bare expression (no trailing ';')."""
+        token = self._current
+        if token.kind == "ident":
+            if self._peek().is_op("="):
+                name = self._advance().text
+                self._advance()
+                value = self._parse_expression()
+                return ast.Assign(name=name, value=value, line=token.line)
+            if self._peek().is_op("["):
+                saved = self._pos
+                name = self._advance().text
+                self._advance()
+                index = self._parse_expression()
+                self._expect_op("]")
+                if self._accept_op("="):
+                    value = self._parse_expression()
+                    return ast.ArrayAssign(name=name, index=index, value=value, line=token.line)
+                self._pos = saved
+        expr = self._parse_expression()
+        return ast.ExprStatement(expr=expr, line=token.line)
+
+    def _parse_if(self) -> ast.If:
+        token = self._advance()
+        self._expect_op("(")
+        condition = self._parse_expression()
+        self._expect_op(")")
+        then_body = self._parse_statement_as_block()
+        else_body = None
+        if self._current.is_keyword("else"):
+            self._advance()
+            else_body = self._parse_statement_as_block()
+        return ast.If(condition=condition, then_body=then_body, else_body=else_body, line=token.line)
+
+    def _parse_while(self) -> ast.While:
+        token = self._advance()
+        self._expect_op("(")
+        condition = self._parse_expression()
+        self._expect_op(")")
+        body = self._parse_statement_as_block()
+        return ast.While(condition=condition, body=body, line=token.line)
+
+    def _parse_for(self) -> ast.For:
+        token = self._advance()
+        self._expect_op("(")
+        init: Optional[ast.Statement] = None
+        if not self._current.is_op(";"):
+            init = self._parse_simple_statement()
+        self._expect_op(";")
+        condition: Optional[ast.Expression] = None
+        if not self._current.is_op(";"):
+            condition = self._parse_expression()
+        self._expect_op(";")
+        step: Optional[ast.Statement] = None
+        if not self._current.is_op(")"):
+            step = self._parse_simple_statement()
+        self._expect_op(")")
+        body = self._parse_statement_as_block()
+        return ast.For(init=init, condition=condition, step=step, body=body, line=token.line)
+
+    def _parse_statement_as_block(self) -> ast.Block:
+        statement = self._parse_statement()
+        if isinstance(statement, ast.Block):
+            return statement
+        return ast.Block(statements=[statement])
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    _PRECEDENCE = [
+        ("||",),
+        ("&&",),
+        ("|",),
+        ("^",),
+        ("&",),
+        ("==", "!="),
+        ("<", "<=", ">", ">="),
+        ("<<", ">>"),
+        ("+", "-"),
+        ("*", "/", "%"),
+    ]
+
+    def _parse_expression(self) -> ast.Expression:
+        return self._parse_binary(0)
+
+    def _parse_binary(self, level: int) -> ast.Expression:
+        if level >= len(self._PRECEDENCE):
+            return self._parse_unary()
+        left = self._parse_binary(level + 1)
+        while self._current.kind == "op" and self._current.text in self._PRECEDENCE[level]:
+            op_token = self._advance()
+            right = self._parse_binary(level + 1)
+            left = ast.Binary(op=op_token.text, left=left, right=right, line=op_token.line)
+        return left
+
+    def _parse_unary(self) -> ast.Expression:
+        token = self._current
+        if token.kind == "op" and token.text in ("-", "~", "!"):
+            self._advance()
+            operand = self._parse_unary()
+            return ast.Unary(op=token.text, operand=operand, line=token.line)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expression:
+        token = self._current
+        if token.kind == "number":
+            self._advance()
+            return ast.IntLiteral(value=token.value or 0, line=token.line)
+        if token.is_op("("):
+            self._advance()
+            expr = self._parse_expression()
+            self._expect_op(")")
+            return expr
+        if token.kind == "ident":
+            name = self._advance().text
+            if self._accept_op("("):
+                args: list[ast.Expression] = []
+                if not self._current.is_op(")"):
+                    while True:
+                        args.append(self._parse_expression())
+                        if not self._accept_op(","):
+                            break
+                self._expect_op(")")
+                return ast.Call(name=name, args=args, line=token.line)
+            if self._accept_op("["):
+                index = self._parse_expression()
+                self._expect_op("]")
+                return ast.ArrayRef(name=name, index=index, line=token.line)
+            return ast.VarRef(name=name, line=token.line)
+        raise MiniCError(f"unexpected token {token.text!r} in expression", token.line)

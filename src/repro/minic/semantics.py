@@ -1,0 +1,236 @@
+"""Semantic analysis for mini-C: symbol resolution and type annotation.
+
+The pass fills in the ``ctype`` field of every expression node, checks that
+identifiers are declared before use, that calls match their callee's
+signature, and rejects the few constructs the backend does not support
+(integer division/modulo — the target ISA has no divide unit, mirroring the
+fact that the paper's technique targets simple integer operations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from . import ast_nodes as ast
+from .tokens import MiniCError
+
+__all__ = ["FunctionSignature", "ModuleSymbols", "analyze"]
+
+_INT = ast.CType("int")
+_LONG = ast.CType("long")
+
+
+@dataclass
+class FunctionSignature:
+    """Declared interface of a function."""
+
+    name: str
+    return_type: ast.CType
+    param_types: list[ast.CType]
+
+
+@dataclass
+class ModuleSymbols:
+    """Module-level symbol tables produced by :func:`analyze`."""
+
+    globals: dict[str, ast.GlobalVar] = field(default_factory=dict)
+    functions: dict[str, FunctionSignature] = field(default_factory=dict)
+    #: Per function: flat mapping of local/parameter names to their types.
+    locals: dict[str, dict[str, ast.CType]] = field(default_factory=dict)
+
+
+def analyze(module: ast.Module) -> ModuleSymbols:
+    """Run semantic analysis over ``module`` and return its symbol tables."""
+    symbols = ModuleSymbols()
+    for gvar in module.globals:
+        if gvar.name in symbols.globals:
+            raise MiniCError(f"duplicate global {gvar.name!r}", gvar.line)
+        if gvar.ctype.name == "void":
+            raise MiniCError("globals cannot be void", gvar.line)
+        symbols.globals[gvar.name] = gvar
+    for fn in module.functions:
+        if fn.name in symbols.functions:
+            raise MiniCError(f"duplicate function {fn.name!r}", fn.line)
+        if len(fn.params) > 6:
+            raise MiniCError("at most 6 parameters are supported", fn.line)
+        symbols.functions[fn.name] = FunctionSignature(
+            name=fn.name,
+            return_type=fn.return_type,
+            param_types=[p.ctype for p in fn.params],
+        )
+    for fn in module.functions:
+        symbols.locals[fn.name] = _analyze_function(fn, symbols)
+    return symbols
+
+
+# ----------------------------------------------------------------------
+# Function-level analysis
+# ----------------------------------------------------------------------
+def _analyze_function(fn: ast.FunctionDef, symbols: ModuleSymbols) -> dict[str, ast.CType]:
+    scope: dict[str, ast.CType] = {}
+    for param in fn.params:
+        if param.name in scope:
+            raise MiniCError(f"duplicate parameter {param.name!r}", fn.line)
+        if param.ctype.name == "void":
+            raise MiniCError("parameters cannot be void", fn.line)
+        scope[param.name] = param.ctype
+    checker = _FunctionChecker(fn, symbols, scope)
+    checker.check_block(fn.body, loop_depth=0)
+    return scope
+
+
+class _FunctionChecker:
+    def __init__(
+        self, fn: ast.FunctionDef, symbols: ModuleSymbols, scope: dict[str, ast.CType]
+    ) -> None:
+        self.fn = fn
+        self.symbols = symbols
+        self.scope = scope
+
+    # -------------------------- statements ---------------------------
+    def check_block(self, block: ast.Block, loop_depth: int) -> None:
+        for statement in block.statements:
+            self.check_statement(statement, loop_depth)
+
+    def check_statement(self, statement: ast.Statement, loop_depth: int) -> None:
+        if isinstance(statement, ast.Block):
+            self.check_block(statement, loop_depth)
+        elif isinstance(statement, ast.Declaration):
+            self._check_declaration(statement)
+        elif isinstance(statement, ast.Assign):
+            self._check_assign(statement)
+        elif isinstance(statement, ast.ArrayAssign):
+            self._check_array_assign(statement)
+        elif isinstance(statement, ast.ExprStatement):
+            self.check_expression(statement.expr)
+        elif isinstance(statement, ast.If):
+            self.check_expression(statement.condition)
+            self.check_block(statement.then_body, loop_depth)
+            if statement.else_body is not None:
+                self.check_block(statement.else_body, loop_depth)
+        elif isinstance(statement, ast.While):
+            self.check_expression(statement.condition)
+            self.check_block(statement.body, loop_depth + 1)
+        elif isinstance(statement, ast.For):
+            if statement.init is not None:
+                self.check_statement(statement.init, loop_depth)
+            if statement.condition is not None:
+                self.check_expression(statement.condition)
+            if statement.step is not None:
+                self.check_statement(statement.step, loop_depth)
+            self.check_block(statement.body, loop_depth + 1)
+        elif isinstance(statement, ast.Return):
+            self._check_return(statement)
+        elif isinstance(statement, (ast.Break, ast.Continue)):
+            if loop_depth == 0:
+                raise MiniCError("break/continue outside of a loop", statement.line)
+        elif isinstance(statement, ast.PrintStatement):
+            self.check_expression(statement.value)
+        else:  # pragma: no cover - parser produces no other nodes
+            raise MiniCError(f"unsupported statement {type(statement).__name__}")
+
+    def _check_declaration(self, decl: ast.Declaration) -> None:
+        if decl.name in self.scope:
+            raise MiniCError(f"duplicate local {decl.name!r}", decl.line)
+        if decl.name in self.symbols.globals:
+            raise MiniCError(f"local {decl.name!r} shadows a global", decl.line)
+        if decl.ctype.name == "void":
+            raise MiniCError("locals cannot be void", decl.line)
+        if decl.ctype.is_array:
+            raise MiniCError("local arrays are not supported; use a global", decl.line)
+        self.scope[decl.name] = decl.ctype
+        if decl.initializer is not None:
+            self.check_expression(decl.initializer)
+
+    def _check_assign(self, assign: ast.Assign) -> None:
+        target = self._variable_type(assign.name, assign.line)
+        if target.is_array:
+            raise MiniCError(f"cannot assign to array {assign.name!r}", assign.line)
+        self.check_expression(assign.value)
+
+    def _check_array_assign(self, assign: ast.ArrayAssign) -> None:
+        target = self._variable_type(assign.name, assign.line)
+        if not target.is_array:
+            raise MiniCError(f"{assign.name!r} is not an array", assign.line)
+        self.check_expression(assign.index)
+        self.check_expression(assign.value)
+
+    def _check_return(self, statement: ast.Return) -> None:
+        returns_value = self.fn.return_type.name != "void"
+        if returns_value and statement.value is None:
+            raise MiniCError(f"{self.fn.name} must return a value", statement.line)
+        if not returns_value and statement.value is not None:
+            raise MiniCError(f"{self.fn.name} returns void", statement.line)
+        if statement.value is not None:
+            self.check_expression(statement.value)
+
+    # -------------------------- expressions --------------------------
+    def check_expression(self, expr: ast.Expression) -> ast.CType:
+        ctype = self._expression_type(expr)
+        expr.ctype = ctype
+        return ctype
+
+    def _expression_type(self, expr: ast.Expression) -> ast.CType:
+        if isinstance(expr, ast.IntLiteral):
+            return _LONG if abs(expr.value) > 0x7FFFFFFF else _INT
+        if isinstance(expr, ast.VarRef):
+            ctype = self._variable_type(expr.name, expr.line)
+            if ctype.is_array:
+                raise MiniCError(f"array {expr.name!r} used without an index", expr.line)
+            return ctype
+        if isinstance(expr, ast.ArrayRef):
+            ctype = self._variable_type(expr.name, expr.line)
+            if not ctype.is_array:
+                raise MiniCError(f"{expr.name!r} is not an array", expr.line)
+            self.check_expression(expr.index)
+            return ctype.element_type()
+        if isinstance(expr, ast.Unary):
+            operand = self.check_expression(expr.operand)
+            if expr.op == "!":
+                return _INT
+            return _promote(operand, _INT)
+        if isinstance(expr, ast.Binary):
+            if expr.op in ("/", "%"):
+                raise MiniCError(
+                    "integer division/modulo is not supported by the target ISA; "
+                    "use shifts and masks",
+                    expr.line,
+                )
+            left = self.check_expression(expr.left)
+            right = self.check_expression(expr.right)
+            if expr.op in ("<", "<=", ">", ">=", "==", "!=", "&&", "||"):
+                return _INT
+            return _promote(left, right)
+        if isinstance(expr, ast.Call):
+            signature = self.symbols.functions.get(expr.name)
+            if signature is None:
+                raise MiniCError(f"call to undefined function {expr.name!r}", expr.line)
+            if len(expr.args) != len(signature.param_types):
+                raise MiniCError(
+                    f"{expr.name} expects {len(signature.param_types)} arguments, "
+                    f"got {len(expr.args)}",
+                    expr.line,
+                )
+            for arg in expr.args:
+                self.check_expression(arg)
+            if signature.return_type.name == "void":
+                return ast.CType("void")
+            return signature.return_type
+        raise MiniCError(f"unsupported expression {type(expr).__name__}")
+
+    def _variable_type(self, name: str, line: int) -> ast.CType:
+        if name in self.scope:
+            return self.scope[name]
+        if name in self.symbols.globals:
+            return self.symbols.globals[name].ctype
+        raise MiniCError(f"undefined variable {name!r}", line)
+
+
+def _promote(left: ast.CType, right: ast.CType) -> ast.CType:
+    """C-style integer promotion: anything below int becomes int."""
+    if "void" in (left.name, right.name):
+        raise MiniCError("void value used in an expression")
+    if "long" in (left.name, right.name):
+        return _LONG
+    return _INT

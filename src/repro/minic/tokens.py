@@ -1,0 +1,61 @@
+"""Token definitions for the mini-C front end."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Token", "KEYWORDS", "MiniCError"]
+
+
+class MiniCError(Exception):
+    """Raised for lexical, syntactic or semantic errors in mini-C source."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+#: Reserved words of the language.  The four integer types mirror the HLL
+#: declared widths the paper's VRP consumes (§2.1): char=8, short=16,
+#: int=32, long=64 bits.
+KEYWORDS = frozenset(
+    {
+        "char",
+        "short",
+        "int",
+        "long",
+        "void",
+        "if",
+        "else",
+        "while",
+        "for",
+        "return",
+        "break",
+        "continue",
+        "print",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is one of: ``ident``, ``keyword``, ``number``, ``op``, ``eof``.
+    """
+
+    kind: str
+    text: str
+    line: int
+    value: int | None = None
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "keyword" and self.text == word
+
+    def is_op(self, text: str) -> bool:
+        return self.kind == "op" and self.text == text
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r}, line {self.line})"

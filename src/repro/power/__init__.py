@@ -1,0 +1,5 @@
+"""Wattch-like activity-based energy model with operand gating."""
+
+from .model import STRUCTURES, EnergyAccountant, EnergyBreakdown, StructureParams
+
+__all__ = ["STRUCTURES", "EnergyAccountant", "EnergyBreakdown", "StructureParams"]

@@ -1,0 +1,318 @@
+"""Functional (architectural) simulator for the Alpha-like ISA.
+
+The machine executes a :class:`~repro.ir.Program` with exact 64-bit
+two's-complement semantics, honouring the *encoded width* of every
+instruction (a ``add.8`` wraps its result to 8 bits).  Because VRP/VRS are
+required to be conservative, running the original and the transformed
+program must produce identical outputs — the test suite checks exactly
+that.
+
+Besides program output, the machine produces the dynamic artefacts the rest
+of the system needs:
+
+* basic-block execution counts (VRS candidate identification, Figure 4),
+* a full dynamic trace (timing model, power model, hardware schemes),
+* value observations at watched instructions (the Calder-style value
+  profiler used by VRS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Protocol
+
+from ..isa import Imm, Instruction, Opcode, OpKind, Reg, Width, to_signed
+from ..isa.semantics import (
+    ARITHMETIC_SEMANTICS as _ARITH,
+    BRANCH_SEMANTICS as _BRANCH,
+    COMPARE_SEMANTICS as _COMPARE,
+    MASK_SEMANTICS as _MASK,
+)
+from ..isa.widths import wrap_to_width
+from ..ir import Program, STACK_BASE_ADDRESS
+from .memory import Memory, load_program_data
+from .trace import StaticInfo, Trace, TraceRecord
+
+__all__ = ["Machine", "RunResult", "SimulationError", "SimulationLimitExceeded", "ValueObserver"]
+
+#: Base address of the (virtual) code segment; instructions are 4 bytes.
+CODE_BASE_ADDRESS = 0x1000
+
+
+class SimulationError(Exception):
+    """Raised when the simulated program performs an illegal operation."""
+
+
+class SimulationLimitExceeded(SimulationError):
+    """Raised when the dynamic instruction limit is exceeded."""
+
+
+class ValueObserver(Protocol):
+    """Interface for value profiling hooks (see :mod:`repro.core.profiling`)."""
+
+    watched_uids: set[int]
+
+    def observe(self, uid: int, value: int) -> None:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass
+class RunResult:
+    """Outcome of one functional simulation."""
+
+    instructions: int
+    output: list[int]
+    block_counts: dict[tuple[str, str], int]
+    halted: bool
+    trace: Optional[Trace] = None
+    call_counts: dict[str, int] = field(default_factory=dict)
+
+    def instruction_counts(self, program: Program) -> dict[int, int]:
+        """Per-static-instruction execution counts, derived from block counts."""
+        counts: dict[int, int] = {}
+        for function in program.iter_functions():
+            for block in function.iter_blocks():
+                count = self.block_counts.get((function.name, block.label), 0)
+                if count == 0:
+                    continue
+                for inst in block.instructions:
+                    counts[inst.uid] = counts.get(inst.uid, 0) + count
+        return counts
+
+
+class Machine:
+    """Functional simulator."""
+
+    def __init__(self, program: Program, max_instructions: int = 20_000_000) -> None:
+        self.program = program
+        self.max_instructions = max_instructions
+        # Flatten the program into an address-indexed instruction sequence.
+        self._flat: list[tuple[str, str, Instruction]] = []
+        self._block_start: dict[tuple[str, str], int] = {}
+        self._function_entry: dict[str, int] = {}
+        for function in program.iter_functions():
+            self._function_entry[function.name] = len(self._flat)
+            for block in function.iter_blocks():
+                self._block_start[(function.name, block.label)] = len(self._flat)
+                for inst in block.instructions:
+                    self._flat.append((function.name, block.label, inst))
+        self.static_info = StaticInfo.from_program(program)
+
+    # ------------------------------------------------------------------
+    # Address helpers
+    # ------------------------------------------------------------------
+    def address_of_index(self, index: int) -> int:
+        return CODE_BASE_ADDRESS + 4 * index
+
+    def index_of_address(self, address: int) -> int:
+        index = (address - CODE_BASE_ADDRESS) // 4
+        if not 0 <= index <= len(self._flat):
+            raise SimulationError(f"jump to invalid code address {address:#x}")
+        return index
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        collect_trace: bool = False,
+        value_observer: Optional[ValueObserver] = None,
+        arguments: Optional[list[int]] = None,
+    ) -> RunResult:
+        """Execute the program from its entry function until HALT.
+
+        Args:
+            collect_trace: record a full :class:`Trace` (needed by the
+                timing/power models; costs memory proportional to the run).
+            value_observer: optional value-profiling hook.
+            arguments: optional initial values for the argument registers of
+                the entry function (``a0``, ``a1``...).
+        """
+        regs = [0] * 32
+        regs[30] = STACK_BASE_ADDRESS
+        memory = Memory()
+        load_program_data(memory, self.program)
+        if arguments:
+            for index, value in enumerate(arguments[:6]):
+                regs[16 + index] = to_signed(value)
+
+        entry = self.program.entry
+        if entry not in self._function_entry:
+            raise SimulationError(f"entry function {entry!r} not found")
+        pc = self._function_entry[entry]
+        # A return address outside the code segment terminates execution
+        # (used when the entry function returns instead of halting).
+        stop_address = self.address_of_index(len(self._flat) + 16)
+        regs[26] = stop_address
+
+        block_counts: dict[tuple[str, str], int] = {}
+        call_counts: dict[str, int] = {}
+        records: list[TraceRecord] = []
+        output: list[int] = []
+        watched = value_observer.watched_uids if value_observer is not None else frozenset()
+
+        executed = 0
+        halted = False
+        current_block_key: Optional[tuple[str, str]] = None
+
+        while True:
+            if pc >= len(self._flat):
+                raise SimulationError("program counter ran past the end of the program")
+            function_name, block_label, inst = self._flat[pc]
+            block_key = (function_name, block_label)
+            if self._block_start[block_key] == pc:
+                block_counts[block_key] = block_counts.get(block_key, 0) + 1
+                current_block_key = block_key
+
+            executed += 1
+            if executed > self.max_instructions:
+                raise SimulationLimitExceeded(
+                    f"exceeded the limit of {self.max_instructions} dynamic instructions"
+                )
+
+            next_pc = pc + 1
+            taken: Optional[bool] = None
+            mem_address: Optional[int] = None
+            result: Optional[int] = None
+            srcs: tuple[int, ...] = ()
+
+            op = inst.op
+            kind = inst.kind
+            width = inst.width
+
+            if kind is OpKind.ALU or kind is OpKind.MUL or kind is OpKind.LOGICAL or kind is OpKind.SHIFT:
+                a = self._read(regs, inst.srcs[0])
+                b = self._read(regs, inst.srcs[1])
+                srcs = (a, b)
+                result = _ARITH[op](a, b, width)
+                self._write(regs, inst.dest, result)
+            elif kind is OpKind.COMPARE:
+                a = self._read(regs, inst.srcs[0])
+                b = self._read(regs, inst.srcs[1])
+                srcs = (a, b)
+                result = _COMPARE[op](a, b)
+                self._write(regs, inst.dest, result)
+            elif kind is OpKind.CMOV:
+                cond = self._read(regs, inst.srcs[0])
+                value = self._read(regs, inst.srcs[1])
+                old = self._read(regs, inst.dest)
+                srcs = (cond, value, old)
+                take = cond == 0 if op is Opcode.CMOVEQ else cond != 0
+                result = wrap_to_width(value, width) if take else old
+                self._write(regs, inst.dest, result)
+            elif kind is OpKind.MASK or kind is OpKind.EXTEND:
+                a = self._read(regs, inst.srcs[0])
+                srcs = (a,)
+                result = _MASK[op](a)
+                self._write(regs, inst.dest, result)
+            elif kind is OpKind.MOVE:
+                if op is Opcode.LI:
+                    result = to_signed(self._read(regs, inst.srcs[0]))
+                elif op is Opcode.MOV:
+                    a = self._read(regs, inst.srcs[0])
+                    srcs = (a,)
+                    result = a
+                else:  # LDA
+                    a = self._read(regs, inst.srcs[0])
+                    offset = self._read(regs, inst.srcs[1])
+                    srcs = (a,)
+                    result = wrap_to_width(a + offset, Width.QUAD)
+                self._write(regs, inst.dest, result)
+            elif kind is OpKind.LOAD:
+                base = self._read(regs, inst.srcs[0])
+                offset = self._read(regs, inst.srcs[1])
+                mem_address = (base + offset) & ((1 << 64) - 1)
+                srcs = (base,)
+                signed = op in (Opcode.LDW, Opcode.LDQ)
+                result = memory.load(mem_address, inst.memory_width, signed)
+                self._write(regs, inst.dest, result)
+            elif kind is OpKind.STORE:
+                value = self._read(regs, inst.srcs[0])
+                base = self._read(regs, inst.srcs[1])
+                offset = self._read(regs, inst.srcs[2])
+                mem_address = (base + offset) & ((1 << 64) - 1)
+                srcs = (value, base)
+                memory.store(mem_address, value, inst.memory_width)
+            elif kind is OpKind.BRANCH:
+                if op is Opcode.BR:
+                    taken = True
+                else:
+                    cond = self._read(regs, inst.srcs[0])
+                    srcs = (cond,)
+                    taken = _BRANCH[op](cond)
+                if taken:
+                    next_pc = self._block_start[(function_name, inst.target)]
+            elif kind is OpKind.CALL:
+                return_address = self.address_of_index(pc + 1)
+                self._write(regs, inst.dest, return_address)
+                result = return_address
+                next_pc = self._function_entry[inst.target]
+                call_counts[inst.target] = call_counts.get(inst.target, 0) + 1
+                taken = True
+            elif kind is OpKind.RETURN:
+                address = self._read(regs, inst.srcs[0])
+                srcs = (address,)
+                taken = True
+                if address == stop_address:
+                    halted = True
+                else:
+                    next_pc = self.index_of_address(address)
+            elif kind is OpKind.HALT:
+                halted = True
+            elif kind is OpKind.OUTPUT:
+                value = self._read(regs, inst.srcs[0])
+                srcs = (value,)
+                output.append(value)
+            elif kind is OpKind.NOP:
+                pass
+            else:  # pragma: no cover - all kinds handled above
+                raise SimulationError(f"cannot execute {inst}")
+
+            if inst.uid in watched and result is not None:
+                value_observer.observe(inst.uid, result)
+
+            if collect_trace:
+                records.append(
+                    TraceRecord(
+                        uid=inst.uid,
+                        address=self.address_of_index(pc),
+                        srcs=srcs,
+                        result=result,
+                        mem_address=mem_address,
+                        taken=taken,
+                        next_address=self.address_of_index(next_pc),
+                    )
+                )
+
+            if halted:
+                break
+            pc = next_pc
+
+        trace = Trace(records=records, static=self.static_info) if collect_trace else None
+        return RunResult(
+            instructions=executed,
+            output=output,
+            block_counts=block_counts,
+            halted=halted,
+            trace=trace,
+            call_counts=call_counts,
+        )
+
+    # ------------------------------------------------------------------
+    # Register access
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _read(regs: list[int], operand) -> int:
+        if isinstance(operand, Imm):
+            return operand.value
+        if operand.index == 31:
+            return 0
+        return regs[operand.index]
+
+    @staticmethod
+    def _write(regs: list[int], dest: Optional[Reg], value: int) -> None:
+        if dest is None or dest.index == 31:
+            return
+        regs[dest.index] = to_signed(value)
+
+

@@ -1,0 +1,132 @@
+"""Dynamic-trace data structures.
+
+The functional simulator produces a stream of :class:`TraceRecord` entries;
+the out-of-order timing model, the power model and the hardware compression
+schemes all consume this stream.  Records are kept deliberately small: all
+*static* per-instruction facts (opcode, functional unit, encoded width,
+latency...) are looked up from a :class:`StaticInfo` side table by ``uid``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NamedTuple, Optional
+
+from ..isa import Instruction, OpKind, Opcode, Width, op_info
+from ..ir import Program
+
+__all__ = ["TraceRecord", "StaticInfo", "StaticEntry", "Trace"]
+
+
+class TraceRecord(NamedTuple):
+    """One executed instruction.
+
+    Attributes:
+        uid: static instruction uid (index into :class:`StaticInfo`).
+        address: instruction address (for branch-predictor indexing).
+        srcs: values of the source registers that were read.
+        result: value written to the destination register, or None.
+        mem_address: effective address of a load/store, or None.
+        taken: for branches, whether the branch was taken; None otherwise.
+        next_address: address of the next executed instruction.
+    """
+
+    uid: int
+    address: int
+    srcs: tuple[int, ...]
+    result: Optional[int]
+    mem_address: Optional[int]
+    taken: Optional[bool]
+    next_address: int
+
+
+@dataclass(frozen=True)
+class StaticEntry:
+    """Static facts about one instruction, shared by all dynamic instances."""
+
+    uid: int
+    opcode: Opcode
+    kind: OpKind
+    width: Width
+    functional_unit: str
+    latency: int
+    energy_class: str
+    is_load: bool
+    is_store: bool
+    is_branch: bool
+    is_conditional: bool
+    is_call: bool
+    is_return: bool
+    is_guard: bool
+    memory_width: Optional[Width]
+    num_src_regs: int
+    has_dest: bool
+    src_regs: tuple[int, ...]
+    dest_reg: Optional[int]
+    function: str
+    block: str
+
+
+class StaticInfo:
+    """Side table mapping instruction uid → :class:`StaticEntry`."""
+
+    def __init__(self) -> None:
+        self.entries: dict[int, StaticEntry] = {}
+
+    @classmethod
+    def from_program(cls, program: Program) -> "StaticInfo":
+        info = cls()
+        for function in program.iter_functions():
+            for block in function.iter_blocks():
+                for inst in block.instructions:
+                    info.add(inst, function.name, block.label)
+        return info
+
+    def add(self, inst: Instruction, function: str, block: str) -> None:
+        meta = op_info(inst.op)
+        self.entries[inst.uid] = StaticEntry(
+            uid=inst.uid,
+            opcode=inst.op,
+            kind=meta.kind,
+            width=inst.width,
+            functional_unit=meta.functional_unit,
+            latency=meta.latency,
+            energy_class=meta.energy_class,
+            is_load=inst.is_load,
+            is_store=inst.is_store,
+            is_branch=inst.is_branch,
+            is_conditional=inst.is_conditional_branch,
+            is_call=inst.is_call,
+            is_return=inst.is_return,
+            is_guard=inst.is_guard,
+            memory_width=inst.memory_width if inst.is_memory else None,
+            num_src_regs=len(inst.uses()),
+            has_dest=inst.dest is not None,
+            src_regs=tuple(reg.index for reg in inst.uses()),
+            dest_reg=inst.dest.index if inst.dest is not None else None,
+            function=function,
+            block=block,
+        )
+
+    def __getitem__(self, uid: int) -> StaticEntry:
+        return self.entries[uid]
+
+    def __contains__(self, uid: int) -> bool:
+        return uid in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+@dataclass
+class Trace:
+    """A complete dynamic trace plus its static side table."""
+
+    records: list[TraceRecord]
+    static: StaticInfo
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)

@@ -1,0 +1,17 @@
+"""Out-of-order microarchitecture timing model (Table 2 machine)."""
+
+from .branch_predictor import CombinedPredictor
+from .caches import Cache, CacheHierarchy
+from .config import CacheConfig, MachineConfig, PredictorConfig
+from .ooo import OutOfOrderModel, TimingResult
+
+__all__ = [
+    "CombinedPredictor",
+    "Cache",
+    "CacheHierarchy",
+    "CacheConfig",
+    "MachineConfig",
+    "PredictorConfig",
+    "OutOfOrderModel",
+    "TimingResult",
+]

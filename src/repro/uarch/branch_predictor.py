@@ -1,0 +1,80 @@
+"""Combined branch predictor (gshare + bimodal with a selector), per Table 2."""
+
+from __future__ import annotations
+
+from .config import PredictorConfig
+
+__all__ = ["CombinedPredictor"]
+
+
+class _CounterTable:
+    """A table of 2-bit saturating counters."""
+
+    def __init__(self, entries: int, initial: int = 1) -> None:
+        self._mask = entries - 1
+        self._counters = [initial] * entries
+
+    def index(self, key: int) -> int:
+        return key & self._mask
+
+    def predict(self, key: int) -> bool:
+        return self._counters[self.index(key)] >= 2
+
+    def update(self, key: int, outcome: bool) -> None:
+        index = self.index(key)
+        counter = self._counters[index]
+        if outcome:
+            self._counters[index] = min(3, counter + 1)
+        else:
+            self._counters[index] = max(0, counter - 1)
+
+
+class CombinedPredictor:
+    """Selector-based combination of a gshare and a bimodal predictor."""
+
+    def __init__(self, config: PredictorConfig | None = None) -> None:
+        config = config or PredictorConfig()
+        self.config = config
+        self._gshare = _CounterTable(config.gshare_entries)
+        self._bimodal = _CounterTable(config.bimodal_entries)
+        self._selector = _CounterTable(config.selector_entries, initial=2)
+        self._history = 0
+        self._history_mask = (1 << config.history_bits) - 1
+        self.lookups = 0
+        self.mispredictions = 0
+
+    # ------------------------------------------------------------------
+    def _gshare_key(self, pc: int) -> int:
+        return (pc >> 2) ^ self._history
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at ``pc``."""
+        use_gshare = self._selector.predict(pc >> 2)
+        if use_gshare:
+            return self._gshare.predict(self._gshare_key(pc))
+        return self._bimodal.predict(pc >> 2)
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Record the outcome; returns True when the prediction was correct."""
+        self.lookups += 1
+        gshare_prediction = self._gshare.predict(self._gshare_key(pc))
+        bimodal_prediction = self._bimodal.predict(pc >> 2)
+        use_gshare = self._selector.predict(pc >> 2)
+        prediction = gshare_prediction if use_gshare else bimodal_prediction
+
+        if gshare_prediction != bimodal_prediction:
+            self._selector.update(pc >> 2, gshare_prediction == taken)
+        self._gshare.update(self._gshare_key(pc), taken)
+        self._bimodal.update(pc >> 2, taken)
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+
+        correct = prediction == taken
+        if not correct:
+            self.mispredictions += 1
+        return correct
+
+    @property
+    def misprediction_rate(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.mispredictions / self.lookups

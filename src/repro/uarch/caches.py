@@ -1,0 +1,59 @@
+"""Set-associative cache models with LRU replacement."""
+
+from __future__ import annotations
+
+from .config import CacheConfig
+
+__all__ = ["Cache", "CacheHierarchy"]
+
+
+class Cache:
+    """A single cache level (tag-only model, LRU replacement)."""
+
+    def __init__(self, config: CacheConfig, name: str = "cache") -> None:
+        self.config = config
+        self.name = name
+        self._sets: list[list[int]] = [[] for _ in range(config.num_sets)]
+        self.accesses = 0
+        self.misses = 0
+
+    def access(self, address: int) -> bool:
+        """Access the line containing ``address``; returns True on a hit."""
+        self.accesses += 1
+        line = address // self.config.line_bytes
+        index = line % self.config.num_sets
+        tag = line // self.config.num_sets
+        ways = self._sets[index]
+        if tag in ways:
+            ways.remove(tag)
+            ways.append(tag)
+            return True
+        self.misses += 1
+        ways.append(tag)
+        if len(ways) > self.config.associativity:
+            ways.pop(0)
+        return False
+
+    @property
+    def miss_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+
+class CacheHierarchy:
+    """L1 (instruction or data) backed by a shared L2 and main memory."""
+
+    def __init__(self, l1: CacheConfig, l2: Cache, memory_latency: int) -> None:
+        self.l1 = Cache(l1, name="l1")
+        self.l2 = l2
+        self.memory_latency = memory_latency
+
+    def access(self, address: int) -> int:
+        """Access ``address``; returns the latency in cycles."""
+        if self.l1.access(address):
+            return self.l1.config.hit_cycles
+        latency = self.l1.config.hit_cycles + self.l1.config.miss_penalty_cycles
+        if self.l2.access(address):
+            return latency
+        return latency + self.l2.config.miss_penalty_cycles + self.memory_latency

@@ -1,0 +1,64 @@
+"""Machine configuration (Table 2 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CacheConfig", "PredictorConfig", "MachineConfig"]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One cache level."""
+
+    size_bytes: int
+    associativity: int
+    line_bytes: int
+    hit_cycles: int
+    miss_penalty_cycles: int
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.associativity * self.line_bytes)
+
+
+@dataclass(frozen=True)
+class PredictorConfig:
+    """Combined gshare + bimodal predictor (Table 2)."""
+
+    gshare_entries: int = 64 * 1024
+    history_bits: int = 16
+    bimodal_entries: int = 2 * 1024
+    selector_entries: int = 1024
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Out-of-order machine parameters from Table 2."""
+
+    fetch_width: int = 4
+    decode_width: int = 4
+    issue_width: int = 4
+    retire_width: int = 4
+    max_in_flight: int = 64
+    int_alus: int = 3
+    int_muls: int = 1
+    fp_alus: int = 3
+    fp_muls: int = 1
+    physical_registers: int = 96
+    lsq_ports: int = 3
+    frontend_depth: int = 3
+    mispredict_redirect_penalty: int = 2
+    memory_first_chunk_cycles: int = 16
+    memory_interchunk_cycles: int = 2
+
+    icache: CacheConfig = CacheConfig(
+        size_bytes=64 * 1024, associativity=2, line_bytes=32, hit_cycles=1, miss_penalty_cycles=6
+    )
+    dcache: CacheConfig = CacheConfig(
+        size_bytes=64 * 1024, associativity=2, line_bytes=32, hit_cycles=1, miss_penalty_cycles=6
+    )
+    l2cache: CacheConfig = CacheConfig(
+        size_bytes=256 * 1024, associativity=4, line_bytes=64, hit_cycles=6, miss_penalty_cycles=18
+    )
+    predictor: PredictorConfig = field(default_factory=PredictorConfig)

@@ -1,0 +1,6 @@
+"""SpecInt95-analogue workload suite."""
+
+from .inputs import DataGenerator
+from .suite import SUITE_NAMES, Workload, load_suite, workload_by_name
+
+__all__ = ["DataGenerator", "SUITE_NAMES", "Workload", "load_suite", "workload_by_name"]

@@ -1,0 +1,50 @@
+"""Deterministic input-data generation for the workload suite.
+
+The paper profiles with the SpecInt95 *train* inputs and evaluates with the
+*reference* inputs.  Our synthetic analogues follow the same split: every
+workload declares a ``train`` and a ``ref`` data set, generated here with a
+small deterministic linear congruential generator so runs are reproducible
+without any external files.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DataGenerator"]
+
+
+class DataGenerator:
+    """A tiny deterministic PRNG (64-bit LCG) for building input arrays."""
+
+    _MULTIPLIER = 6364136223846793005
+    _INCREMENT = 1442695040888963407
+    _MASK = (1 << 64) - 1
+
+    def __init__(self, seed: int) -> None:
+        self._state = (seed * 2654435761 + 1) & self._MASK
+
+    def next(self, bound: int) -> int:
+        """Next value in ``[0, bound)``."""
+        self._state = (self._state * self._MULTIPLIER + self._INCREMENT) & self._MASK
+        return (self._state >> 33) % bound
+
+    def values(self, count: int, bound: int) -> tuple[int, ...]:
+        """A tuple of ``count`` values in ``[0, bound)``."""
+        return tuple(self.next(bound) for _ in range(count))
+
+    def bytes_(self, count: int) -> tuple[int, ...]:
+        """A tuple of ``count`` byte values."""
+        return self.values(count, 256)
+
+    def skewed_bytes(self, count: int, hot_value: int, hot_fraction_percent: int) -> tuple[int, ...]:
+        """Bytes where ``hot_value`` appears roughly ``hot_fraction_percent``% of the time.
+
+        Skewed distributions are what make value (range) specialization
+        profitable, mirroring the mode/flag variables of m88ksim and vortex.
+        """
+        result = []
+        for _ in range(count):
+            if self.next(100) < hot_fraction_percent:
+                result.append(hot_value)
+            else:
+                result.append(self.next(256))
+        return tuple(result)

@@ -1,0 +1,1 @@
+"""Workload program definitions (one module per SpecInt95 analogue)."""

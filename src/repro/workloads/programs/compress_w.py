@@ -1,0 +1,98 @@
+"""``compress`` analogue: byte-stream compression (hash + run-length).
+
+SpecInt95's compress spends its time hashing byte pairs and emitting codes;
+almost all of its data fits in one or two bytes, which is why the paper's
+width distributions are so narrow for it.
+"""
+
+from __future__ import annotations
+
+from ..inputs import DataGenerator
+from ..suite import Workload, register
+
+_SOURCE = """
+int job_size;
+char input[1024];
+char output[2048];
+int htab[256];
+int codes[256];
+
+int hash_pair(int previous, int current) {
+    int h;
+    h = (previous * 37 + current * 17) & 255;
+    return h;
+}
+
+int emit(int position, int code) {
+    output[position & 2047] = code & 255;
+    return position + 1;
+}
+
+int main() {
+    int i;
+    int n;
+    int prev;
+    int cur;
+    int h;
+    int out_pos;
+    int run;
+    long checksum;
+
+    n = job_size;
+    out_pos = 0;
+    prev = 0;
+    run = 0;
+    checksum = 0;
+
+    for (i = 0; i < 256; i = i + 1) {
+        htab[i] = 0;
+        codes[i] = i & 255;
+    }
+
+    for (i = 0; i < n; i = i + 1) {
+        cur = input[i & 1023];
+        if (cur == prev) {
+            run = run + 1;
+            if (run == 255) {
+                out_pos = emit(out_pos, run);
+                run = 0;
+            }
+        } else {
+            if (run > 0) {
+                out_pos = emit(out_pos, run);
+            }
+            h = hash_pair(prev, cur);
+            htab[h] = htab[h] + 1;
+            out_pos = emit(out_pos, codes[h]);
+            run = 0;
+        }
+        prev = cur;
+    }
+
+    for (i = 0; i < 256; i = i + 1) {
+        checksum = checksum + htab[i];
+    }
+    checksum = checksum + out_pos;
+    print(checksum);
+    return 0;
+}
+"""
+
+
+@register("compress")
+def build() -> Workload:
+    train = DataGenerator(101)
+    ref = DataGenerator(202)
+    return Workload(
+        name="compress",
+        description="byte-stream compression: pair hashing plus run-length encoding",
+        source=_SOURCE,
+        train_data={
+            "job_size": (600,),
+            "input": train.skewed_bytes(1024, hot_value=32, hot_fraction_percent=35),
+        },
+        ref_data={
+            "job_size": (900,),
+            "input": ref.skewed_bytes(1024, hot_value=32, hot_fraction_percent=30),
+        },
+    )

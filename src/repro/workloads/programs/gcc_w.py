@@ -1,0 +1,97 @@
+"""``gcc`` analogue: table-driven peephole optimisation over an opcode stream.
+
+gcc's hot loops walk instruction lists making small table-driven decisions;
+operands are small enumerations while pointers/addresses stay wide.
+"""
+
+from __future__ import annotations
+
+from ..inputs import DataGenerator
+from ..suite import Workload, register
+
+_SOURCE = """
+int job_size;
+int opcodes[1024];
+int operands[1024];
+int costs[32];
+int rewritten[1024];
+
+int op_cost(int op) {
+    int c;
+    c = costs[op & 31];
+    return c;
+}
+
+int simplify(int op, int operand) {
+    int result;
+    result = op;
+    if (op == 3) {
+        if (operand == 0) {
+            result = 0;
+        }
+    }
+    if (op == 5) {
+        if (operand == 1) {
+            result = 4;
+        }
+    }
+    if (op > 24) {
+        result = op & 7;
+    }
+    return result;
+}
+
+int main() {
+    int i;
+    int n;
+    int op;
+    int arg;
+    int new_op;
+    int folded;
+    long total_cost;
+
+    n = job_size;
+    folded = 0;
+    total_cost = 0;
+
+    for (i = 0; i < 32; i = i + 1) {
+        costs[i] = (i * 3) & 15;
+    }
+
+    for (i = 0; i < n; i = i + 1) {
+        op = opcodes[i & 1023];
+        arg = operands[i & 1023];
+        new_op = simplify(op, arg);
+        rewritten[i & 1023] = new_op;
+        if (new_op != op) {
+            folded = folded + 1;
+        }
+        total_cost = total_cost + op_cost(new_op);
+    }
+
+    print(total_cost);
+    print(folded);
+    return 0;
+}
+"""
+
+
+@register("gcc")
+def build() -> Workload:
+    train = DataGenerator(303)
+    ref = DataGenerator(404)
+    return Workload(
+        name="gcc",
+        description="peephole optimizer walking an opcode/operand stream",
+        source=_SOURCE,
+        train_data={
+            "job_size": (700,),
+            "opcodes": train.values(1024, 32),
+            "operands": train.values(1024, 8),
+        },
+        ref_data={
+            "job_size": (1100,),
+            "opcodes": ref.values(1024, 32),
+            "operands": ref.values(1024, 8),
+        },
+    )

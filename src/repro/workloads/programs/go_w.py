@@ -1,0 +1,85 @@
+"""``go`` analogue: board evaluation with neighbour counting and influence.
+
+Go engines spend their time scanning a 19x19 board of tiny values
+(empty/black/white) and accumulating small influence scores.
+"""
+
+from __future__ import annotations
+
+from ..inputs import DataGenerator
+from ..suite import Workload, register
+
+_SOURCE = """
+int job_size;
+char board[400];
+char influence[400];
+int liberties[400];
+
+int neighbour_count(int point, int colour) {
+    int count;
+    int up;
+    int down;
+    count = 0;
+    up = point - 19;
+    down = point + 19;
+    if (up >= 0) {
+        if (board[up] == colour) { count = count + 1; }
+    }
+    if (down < 361) {
+        if (board[down] == colour) { count = count + 1; }
+    }
+    if (point > 0) {
+        if (board[point - 1] == colour) { count = count + 1; }
+    }
+    if (point < 360) {
+        if (board[point + 1] == colour) { count = count + 1; }
+    }
+    return count;
+}
+
+int main() {
+    int pass;
+    int point;
+    int stone;
+    int score;
+    long evaluation;
+
+    evaluation = 0;
+    for (pass = 0; pass < job_size; pass = pass + 1) {
+        for (point = 0; point < 361; point = point + 1) {
+            stone = board[point];
+            if (stone == 0) {
+                influence[point] = neighbour_count(point, 1) - neighbour_count(point, 2) + 8;
+            } else {
+                liberties[point] = neighbour_count(point, 0);
+            }
+        }
+        score = 0;
+        for (point = 0; point < 361; point = point + 1) {
+            score = score + influence[point] - 8;
+        }
+        evaluation = evaluation + score;
+    }
+    print(evaluation);
+    return 0;
+}
+"""
+
+
+@register("go")
+def build() -> Workload:
+    train = DataGenerator(505)
+    ref = DataGenerator(606)
+    return Workload(
+        name="go",
+        description="Go board evaluation: neighbour counting and influence maps",
+        source=_SOURCE,
+        train_data={
+            "job_size": (2,),
+            "board": train.values(361, 3),
+        },
+        ref_data={
+            "job_size": (3,),
+            "board": ref.values(361, 3),
+        },
+    )

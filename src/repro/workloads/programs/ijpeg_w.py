@@ -1,0 +1,83 @@
+"""``ijpeg`` analogue: 8x8 block transform and quantisation.
+
+Image compression works on byte pixels, widens them briefly inside the
+transform butterflies, then quantises back down with shifts — a classic
+mix of 8/16-bit useful data inside 32-bit arithmetic.
+"""
+
+from __future__ import annotations
+
+from ..inputs import DataGenerator
+from ..suite import Workload, register
+
+_SOURCE = """
+int job_size;
+char image[1024];
+int block[64];
+int coeffs[64];
+int quant[64];
+long histogram[16];
+
+int transform_row(int base) {
+    int j;
+    int a;
+    int b;
+    for (j = 0; j < 4; j = j + 1) {
+        a = block[base + j];
+        b = block[base + 7 - j];
+        block[base + j] = a + b;
+        block[base + 7 - j] = (a - b) << 1;
+    }
+    return base;
+}
+
+int main() {
+    int blk;
+    int i;
+    int pixel;
+    int q;
+    int bucket;
+    long energy;
+
+    energy = 0;
+    for (i = 0; i < 64; i = i + 1) {
+        quant[i] = (i & 7) + 1;
+    }
+    for (i = 0; i < 16; i = i + 1) {
+        histogram[i] = 0;
+    }
+
+    for (blk = 0; blk < job_size; blk = blk + 1) {
+        for (i = 0; i < 64; i = i + 1) {
+            pixel = image[((blk << 6) + i) & 1023];
+            block[i] = pixel - 128;
+        }
+        for (i = 0; i < 8; i = i + 1) {
+            transform_row(i << 3);
+        }
+        for (i = 0; i < 64; i = i + 1) {
+            q = block[i] >> (quant[i] & 7);
+            coeffs[i] = q;
+            bucket = q & 15;
+            histogram[bucket] = histogram[bucket] + 1;
+            energy = energy + (q * q);
+        }
+    }
+
+    print(energy);
+    return 0;
+}
+"""
+
+
+@register("ijpeg")
+def build() -> Workload:
+    train = DataGenerator(707)
+    ref = DataGenerator(808)
+    return Workload(
+        name="ijpeg",
+        description="8x8 image block transform, quantisation and histogramming",
+        source=_SOURCE,
+        train_data={"job_size": (4,), "image": train.bytes_(1024)},
+        ref_data={"job_size": (12,), "image": ref.bytes_(1024)},
+    )

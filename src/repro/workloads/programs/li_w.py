@@ -1,0 +1,108 @@
+"""``li`` analogue: a small expression-tree interpreter.
+
+xlisp (SpecInt95's li) recursively evaluates tagged cells; the tags and
+most leaf values are tiny, while cell indices behave like pointers.
+"""
+
+from __future__ import annotations
+
+from ..inputs import DataGenerator
+from ..suite import Workload, register
+
+_SOURCE = """
+int job_size;
+char cell_op[512];
+int cell_left[512];
+int cell_right[512];
+int leaf_value[512];
+
+long eval_cell(int node) {
+    int op;
+    long left;
+    long right;
+    long result;
+    op = cell_op[node & 511];
+    if (op == 0) {
+        result = leaf_value[node & 511];
+    } else {
+        left = eval_cell(cell_left[node & 511]);
+        right = eval_cell(cell_right[node & 511]);
+        if (op == 1) { result = left + right; }
+        else {
+            if (op == 2) { result = left - right; }
+            else {
+                if (op == 3) { result = left & right; }
+                else { result = left ^ right; }
+            }
+        }
+    }
+    return result;
+}
+
+int main() {
+    int round;
+    int root;
+    long accumulator;
+
+    accumulator = 0;
+    for (round = 0; round < job_size; round = round + 1) {
+        for (root = 256; root < 512; root = root + 8) {
+            accumulator = accumulator + eval_cell(root);
+        }
+    }
+    print(accumulator);
+    return 0;
+}
+"""
+
+
+def _tree_data(generator: DataGenerator) -> dict[str, tuple[int, ...]]:
+    """Build a forest of shallow expression trees over 512 cells.
+
+    Cells 0-255 are leaves, cells 256-383 are depth-1 operators over leaves,
+    and cells 384-511 are depth-2 operators over depth-1 cells, so every
+    evaluation touches at most seven cells and the recursion is bounded.
+    """
+    ops = []
+    left = []
+    right = []
+    leaves = []
+    for index in range(512):
+        if index < 256:
+            ops.append(0)
+            left.append(0)
+            right.append(0)
+            leaves.append(generator.next(64))
+        elif index < 384:
+            ops.append(1 + generator.next(4))
+            left.append(generator.next(256))
+            right.append(generator.next(256))
+            leaves.append(0)
+        else:
+            ops.append(1 + generator.next(4))
+            left.append(256 + generator.next(128))
+            right.append(256 + generator.next(128))
+            leaves.append(0)
+    return {
+        "cell_op": tuple(ops),
+        "cell_left": tuple(left),
+        "cell_right": tuple(right),
+        "leaf_value": tuple(leaves),
+    }
+
+
+@register("li")
+def build() -> Workload:
+    train = DataGenerator(909)
+    ref = DataGenerator(1010)
+    train_data = _tree_data(train)
+    ref_data = _tree_data(ref)
+    train_data["job_size"] = (2,)
+    ref_data["job_size"] = (5,)
+    return Workload(
+        name="li",
+        description="recursive evaluation of tagged expression cells",
+        source=_SOURCE,
+        train_data=train_data,
+        ref_data=ref_data,
+    )

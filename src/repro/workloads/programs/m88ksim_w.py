@@ -1,0 +1,104 @@
+"""``m88ksim`` analogue: an instruction-set simulator's decode/execute loop.
+
+m88ksim decodes 32-bit instruction words into small fields and dispatches
+on them; its processor-mode flag is almost always the same value, which is
+exactly the pattern the paper's value range specialization (and its
+constant-propagation clean-up) exploits.
+"""
+
+from __future__ import annotations
+
+from ..inputs import DataGenerator
+from ..suite import Workload, register
+
+_SOURCE = """
+int job_size;
+int imem[512];
+long cpuregs[16];
+int cpu_mode;
+int exception_count;
+
+int decode_op(int word) {
+    int op;
+    op = (word >> 12) & 7;
+    return op;
+}
+
+long alu(int op, long a, long b) {
+    long r;
+    if (op == 0) { r = a + b; }
+    else {
+        if (op == 1) { r = a - b; }
+        else {
+            if (op == 2) { r = a & b; }
+            else {
+                if (op == 3) { r = a | b; }
+                else { r = a ^ b; }
+            }
+        }
+    }
+    return r;
+}
+
+int main() {
+    int pc;
+    int cycles;
+    int word;
+    int op;
+    int rd;
+    int rs;
+    int imm;
+    long result;
+    long checksum;
+
+    checksum = 0;
+    exception_count = 0;
+    for (pc = 0; pc < 16; pc = pc + 1) {
+        cpuregs[pc] = pc;
+    }
+
+    for (cycles = 0; cycles < job_size; cycles = cycles + 1) {
+        word = imem[cycles & 511];
+        op = decode_op(word);
+        rd = (word >> 8) & 15;
+        rs = (word >> 4) & 15;
+        imm = word & 15;
+        if (cpu_mode == 0) {
+            result = alu(op, cpuregs[rs], imm);
+            cpuregs[rd] = result & 65535;
+        } else {
+            if (op > 5) {
+                exception_count = exception_count + 1;
+            }
+            result = alu(op, cpuregs[rs], cpuregs[rd]);
+            cpuregs[rd] = result;
+        }
+        checksum = checksum + cpuregs[rd];
+    }
+
+    print(checksum);
+    print(exception_count);
+    return 0;
+}
+"""
+
+
+@register("m88ksim")
+def build() -> Workload:
+    train = DataGenerator(1111)
+    ref = DataGenerator(1212)
+    return Workload(
+        name="m88ksim",
+        description="CPU simulator decode/execute loop with a dominant mode flag",
+        source=_SOURCE,
+        train_data={
+            "job_size": (700,),
+            "imem": train.values(512, 1 << 16),
+            "cpu_mode": (0,),
+        },
+        ref_data={
+            "job_size": (1000,),
+            "imem": ref.values(512, 1 << 16),
+            "cpu_mode": (0,),
+        },
+    )

@@ -1,0 +1,96 @@
+"""``perl`` analogue: word hashing into an associative table.
+
+perl's interpreter loops hash short strings into hash tables; characters
+and hash buckets are narrow while the table slots behave like pointers.
+"""
+
+from __future__ import annotations
+
+from ..inputs import DataGenerator
+from ..suite import Workload, register
+
+_SOURCE = """
+int job_size;
+char text[2048];
+int buckets[256];
+int bucket_keys[256];
+int collisions;
+
+int hash_word(int start, int length) {
+    int i;
+    int h;
+    int c;
+    h = 5381 & 1023;
+    for (i = 0; i < length; i = i + 1) {
+        c = text[(start + i) & 2047];
+        h = ((h << 5) + h + c) & 1023;
+    }
+    return h & 255;
+}
+
+int insert(int key, int value) {
+    int slot;
+    int probes;
+    slot = key;
+    probes = 0;
+    while (probes < 8) {
+        if (buckets[slot] == 0) {
+            buckets[slot] = value;
+            bucket_keys[slot] = key;
+            return probes;
+        }
+        if (bucket_keys[slot] == key) {
+            buckets[slot] = buckets[slot] + value;
+            return probes;
+        }
+        slot = (slot + 1) & 255;
+        probes = probes + 1;
+        collisions = collisions + 1;
+    }
+    return probes;
+}
+
+int main() {
+    int word;
+    int start;
+    int length;
+    int key;
+    long checksum;
+    int i;
+
+    collisions = 0;
+    checksum = 0;
+    for (i = 0; i < 256; i = i + 1) {
+        buckets[i] = 0;
+        bucket_keys[i] = 0;
+    }
+
+    start = 0;
+    for (word = 0; word < job_size; word = word + 1) {
+        length = (text[start & 2047] & 7) + 2;
+        key = hash_word(start, length);
+        insert(key, length);
+        start = start + length;
+    }
+
+    for (i = 0; i < 256; i = i + 1) {
+        checksum = checksum + buckets[i];
+    }
+    print(checksum);
+    print(collisions);
+    return 0;
+}
+"""
+
+
+@register("perl")
+def build() -> Workload:
+    train = DataGenerator(1313)
+    ref = DataGenerator(1414)
+    return Workload(
+        name="perl",
+        description="string hashing into an open-addressed associative table",
+        source=_SOURCE,
+        train_data={"job_size": (220,), "text": train.bytes_(2048)},
+        ref_data={"job_size": (380,), "text": ref.bytes_(2048)},
+    )

@@ -1,0 +1,101 @@
+"""``vortex`` analogue: an object database packing/unpacking record fields.
+
+vortex manipulates object records whose status/type fields take one hot
+value almost always — the second workload (with m88ksim) where VRS's
+single-value specialization plus constant propagation removes most of the
+specialized region.
+"""
+
+from __future__ import annotations
+
+from ..inputs import DataGenerator
+from ..suite import Workload, register
+
+_SOURCE = """
+int job_size;
+int records[1024];
+int index_table[256];
+int status_counts[8];
+long field_sum;
+
+int unpack_status(int record) {
+    int status;
+    status = record & 7;
+    return status;
+}
+
+int unpack_field(int record) {
+    int field;
+    field = (record >> 3) & 255;
+    return field;
+}
+
+int lookup(int key) {
+    int slot;
+    slot = index_table[key & 255];
+    return slot;
+}
+
+int main() {
+    int i;
+    int record;
+    int status;
+    int field;
+    int slot;
+    long checksum;
+
+    field_sum = 0;
+    checksum = 0;
+    for (i = 0; i < 8; i = i + 1) {
+        status_counts[i] = 0;
+    }
+    for (i = 0; i < 256; i = i + 1) {
+        index_table[i] = (i * 7) & 1023;
+    }
+
+    for (i = 0; i < job_size; i = i + 1) {
+        record = records[i & 1023];
+        status = unpack_status(record);
+        field = unpack_field(record);
+        status_counts[status] = status_counts[status] + 1;
+        if (status == 1) {
+            slot = lookup(field);
+            field_sum = field_sum + field + (slot & 63);
+        } else {
+            field_sum = field_sum + (field << 1);
+        }
+        checksum = checksum + status;
+    }
+
+    print(field_sum);
+    print(checksum);
+    return 0;
+}
+"""
+
+
+def _records(generator: DataGenerator, count: int, hot_percent: int) -> tuple[int, ...]:
+    """Records whose status field (low 3 bits) is 1 ``hot_percent``% of the time."""
+    values = []
+    for _ in range(count):
+        field = generator.next(256)
+        extra = generator.next(4)
+        if generator.next(100) < hot_percent:
+            status = 1
+        else:
+            status = generator.next(8)
+        values.append((extra << 11) | (field << 3) | status)
+    return tuple(values)
+
+
+@register("vortex")
+def build() -> Workload:
+    train = DataGenerator(1515)
+    ref = DataGenerator(1616)
+    return Workload(
+        name="vortex",
+        description="object-database record unpacking with a dominant status value",
+        source=_SOURCE,
+        train_data={"job_size": (700,), "records": _records(train, 1024, 85)},
+        ref_data={"job_size": (1100,), "records": _records(ref, 1024, 85)},
+    )

@@ -1,0 +1,94 @@
+"""Tests for the assembler: parsing, symbol resolution, round-tripping."""
+
+import pytest
+
+from repro.asm import AsmSyntaxError, assemble_program, tokenize_line
+from repro.ir import format_program
+from repro.isa import Opcode, Width
+from repro.sim import Machine
+
+_PROGRAM = """
+.data table 32 32 5 6 7 8
+.func main 0
+entry:
+    li r1, =table
+    ldw r2, 0(r1)
+    ldw r3, 4(r1)
+    add.32 r4, r2, r3
+    print r4
+    halt
+.endfunc
+"""
+
+
+class TestLexer:
+    def test_tokenize_instruction(self):
+        tokens = tokenize_line("  add r1, r2, 3  ; comment")
+        assert [t.text for t in tokens] == ["add", "r1", ",", "r2", ",", "3"]
+
+    def test_symbol_reference(self):
+        tokens = tokenize_line("li r1, =table")
+        assert tokens[-1].kind == "symbol"
+        assert tokens[-1].text == "table"
+
+    def test_hex_and_negative_numbers(self):
+        tokens = tokenize_line("and r1, r2, 0xff")
+        assert tokens[-1].value == 255
+        tokens = tokenize_line("add r1, r2, -7")
+        assert tokens[-1].value == -7
+
+    def test_bad_character(self):
+        with pytest.raises(AsmSyntaxError):
+            tokenize_line("add r1, r2, $3")
+
+
+class TestAssembler:
+    def test_assemble_and_run(self):
+        program = assemble_program(_PROGRAM)
+        result = Machine(program).run()
+        assert result.output == [11]
+
+    def test_width_suffix(self):
+        program = assemble_program(_PROGRAM)
+        add = [i for i in program.functions["main"].instructions() if i.op is Opcode.ADD]
+        assert add[0].width is Width.WORD
+
+    def test_symbol_resolves_to_data_address(self):
+        program = assemble_program(_PROGRAM)
+        li = next(iter(program.functions["main"].instructions()))
+        assert li.srcs[0].value == program.symbol_address("table")
+
+    def test_memory_operand_forms(self):
+        text = """
+.func main 0
+entry:
+    ldq r1, 8(sp)
+    ldq r2, sp, 16
+    stq r1, 0(sp)
+    halt
+.endfunc
+"""
+        program = assemble_program(text)
+        instructions = list(program.functions["main"].instructions())
+        assert instructions[0].srcs[1].value == 8
+        assert instructions[1].srcs[1].value == 16
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AsmSyntaxError):
+            assemble_program(".func main 0\nentry:\n    frobnicate r1\n    halt\n.endfunc")
+
+    def test_missing_endfunc(self):
+        with pytest.raises(AsmSyntaxError):
+            assemble_program(".func main 0\nentry:\n    halt\n")
+
+    def test_branch_to_unknown_label(self):
+        with pytest.raises(Exception):
+            assemble_program(".func main 0\nentry:\n    br nowhere\n    halt\n.endfunc")
+
+
+class TestRoundTrip:
+    def test_print_then_reassemble_preserves_behaviour(self):
+        program = assemble_program(_PROGRAM)
+        text = format_program(program)
+        reassembled = assemble_program(text)
+        assert Machine(reassembled).run().output == Machine(program).run().output

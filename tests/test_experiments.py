@@ -1,0 +1,56 @@
+"""Tests for the experiment harness plumbing (kept light: one workload)."""
+
+from repro.experiments import (
+    evaluate_workload,
+    format_percent,
+    format_table,
+    policy_for,
+    table1_alu_energy_matrix,
+)
+from repro.isa import Width
+from repro.workloads import workload_by_name
+
+
+class TestReportFormatting:
+    def test_format_percent(self):
+        assert format_percent(0.1375) == "13.8%"
+
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.0], ["long-name", 2.5]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "long-name" in text
+        assert "2.500" in text
+
+
+class TestRunner:
+    def test_policy_names(self):
+        for name in ("baseline", "software", "hw-size", "hw-significance", "sw+hw-significance"):
+            assert policy_for(name) is policy_for(name)
+
+    def test_evaluate_workload_caches_and_reuses_trace(self):
+        workload = workload_by_name("ijpeg")
+        first = evaluate_workload(workload, mechanism="none")
+        second = evaluate_workload(workload, mechanism="none")
+        assert first is second
+        baseline = first.outcome("baseline")
+        hardware = first.outcome("hw-significance")
+        assert baseline.timing is hardware.timing
+        assert hardware.energy.total < baseline.energy.total
+
+    def test_vrp_narrows_dynamic_widths(self):
+        workload = workload_by_name("ijpeg")
+        baseline = evaluate_workload(workload, mechanism="none")
+        vrp = evaluate_workload(workload, mechanism="vrp")
+        base_widths = baseline.dynamic_width_distribution()
+        vrp_widths = vrp.dynamic_width_distribution()
+        assert vrp_widths[Width.QUAD] <= base_widths[Width.QUAD]
+        assert sum(vrp_widths.values()) == len(vrp.trace.records)
+
+
+class TestTable1:
+    def test_matrix_shape(self):
+        matrix = table1_alu_energy_matrix()
+        assert set(matrix) == set(Width.all_widths())
+        for row in matrix.values():
+            assert set(row) == set(Width.all_widths())

@@ -1,0 +1,163 @@
+"""Tests for the IR: CFG, dominators, loops, def-use chains, validation."""
+
+import pytest
+
+from repro.ir import (
+    IRBuilder,
+    Program,
+    ValidationError,
+    build_call_graph,
+    build_cfg,
+    build_dependence_graph,
+    compute_dominators,
+    find_loops,
+    format_program,
+    loop_nesting_depth,
+    validate_program,
+)
+from repro.isa import Opcode, Reg
+
+
+def _loop_function():
+    builder = IRBuilder("main")
+    builder.block("entry")
+    builder.li(Reg(1), 0)
+    builder.block("loop")
+    builder.add(Reg(1), Reg(1), 1)
+    builder.cmp(Opcode.CMPLT, Reg(2), Reg(1), 100)
+    builder.bne(Reg(2), "loop")
+    builder.block("exit")
+    builder.halt()
+    return builder.build()
+
+
+def _diamond_function():
+    builder = IRBuilder("diamond")
+    builder.block("entry")
+    builder.cmp(Opcode.CMPLT, Reg(1), Reg(16), 5)
+    builder.beq(Reg(1), "else")
+    builder.block("then")
+    builder.li(Reg(2), 1)
+    builder.br("join")
+    builder.block("else")
+    builder.li(Reg(2), 2)
+    builder.block("join")
+    builder.mov(Reg(0), Reg(2))
+    builder.ret()
+    return builder.build()
+
+
+class TestCfg:
+    def test_successors_and_predecessors(self):
+        function = _loop_function()
+        assert function.blocks["entry"].successors == ["loop"]
+        assert set(function.blocks["loop"].successors) == {"loop", "exit"}
+        assert "loop" in function.blocks["loop"].predecessors
+
+    def test_unconditional_branch_does_not_fall_through(self):
+        function = _diamond_function()
+        assert function.blocks["then"].successors == ["join"]
+
+    def test_branch_to_unknown_label_rejected(self):
+        builder = IRBuilder("bad")
+        builder.block("entry")
+        builder.br("nowhere")
+        with pytest.raises(ValueError):
+            build_cfg(builder.function)
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        function = _diamond_function()
+        dom = compute_dominators(function)
+        for label in function.layout():
+            assert dom.dominates("entry", label)
+
+    def test_branch_arms_do_not_dominate_join(self):
+        function = _diamond_function()
+        dom = compute_dominators(function)
+        assert not dom.dominates("then", "join")
+        assert dom.idom["join"] == "entry"
+
+    def test_dominated_region(self):
+        function = _diamond_function()
+        dom = compute_dominators(function)
+        assert dom.dominated_region("then") == {"then"}
+
+
+class TestLoops:
+    def test_natural_loop_detected(self):
+        function = _loop_function()
+        loops = find_loops(function)
+        assert len(loops) == 1
+        assert loops[0].header == "loop"
+        assert loops[0].blocks == {"loop"}
+
+    def test_nesting_depth(self):
+        function = _loop_function()
+        depth = loop_nesting_depth(function)
+        assert depth["loop"] == 1
+        assert depth["entry"] == 0
+
+
+class TestDefUse:
+    def test_reaching_definitions_in_loop(self):
+        function = _loop_function()
+        program = Program()
+        program.add_function(function)
+        graph = build_dependence_graph(function, program)
+        add = function.blocks["loop"].instructions[0]
+        defs = graph.reaching_definitions(add, Reg(1))
+        kinds = {d.kind for d in defs}
+        # Both the initial li and the loop-carried add reach the use.
+        assert len(defs) == 2
+        assert kinds == {"inst"}
+
+    def test_uses_of_definition(self):
+        function = _loop_function()
+        program = Program()
+        program.add_function(function)
+        graph = build_dependence_graph(function, program)
+        li = function.blocks["entry"].instructions[0]
+        uses = graph.uses_of_instruction(li)
+        assert any(reg == Reg(1) for _, reg in uses)
+
+
+class TestValidationAndPrinting:
+    def test_valid_program_passes(self):
+        program = Program()
+        program.add_function(_loop_function())
+        validate_program(program)
+
+    def test_missing_entry_function_rejected(self):
+        program = Program(entry="main")
+        program.add_function(_diamond_function())
+        with pytest.raises(ValidationError):
+            validate_program(program)
+
+    def test_format_program_mentions_blocks(self):
+        program = Program()
+        program.add_function(_loop_function())
+        program.add_data("table", 64, initial_values=(1, 2, 3))
+        text = format_program(program)
+        assert ".func main" in text
+        assert "loop:" in text
+        assert ".data table" in text
+
+
+class TestCallGraph:
+    def test_bottom_up_order(self):
+        program = Program()
+        caller = IRBuilder("main")
+        caller.block("entry")
+        caller.call("helper")
+        caller.halt()
+        program.add_function(caller.build())
+        callee = IRBuilder("helper")
+        callee.block("entry")
+        callee.ret()
+        program.add_function(callee.build())
+        graph = build_call_graph(program)
+        order = graph.bottom_up_order()
+        assert order.index("helper") < order.index("main")
+        assert graph.callers_of("helper") == {"main"}

@@ -1,0 +1,168 @@
+"""Tests for the mini-C front end: lexer, parser, semantics and codegen."""
+
+import pytest
+
+from repro.minic import MiniCError, compile_source, parse, tokenize
+from repro.minic.semantics import analyze
+from repro.sim import Machine
+
+
+def run_main(source: str) -> list[int]:
+    """Compile and execute a program, returning its printed output."""
+    program = compile_source(source)
+    return Machine(program).run().output
+
+
+class TestLexer:
+    def test_tokens_and_comments(self):
+        tokens = tokenize("int x; // comment\n/* more */ x = 0x10 + 'A';")
+        kinds = [t.kind for t in tokens]
+        assert "eof" == kinds[-1]
+        values = [t.value for t in tokens if t.kind == "number"]
+        assert values == [16, 65]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(MiniCError):
+            tokenize("/* oops")
+
+
+class TestParserAndSemantics:
+    def test_undefined_variable(self):
+        with pytest.raises(MiniCError):
+            compile_source("int main() { return missing; }")
+
+    def test_duplicate_local(self):
+        with pytest.raises(MiniCError):
+            compile_source("int main() { int a; int a; return 0; }")
+
+    def test_call_arity_checked(self):
+        source = "int f(int a) { return a; } int main() { return f(1, 2); }"
+        with pytest.raises(MiniCError):
+            compile_source(source)
+
+    def test_division_rejected(self):
+        with pytest.raises(MiniCError):
+            compile_source("int main() { return 10 / 2; }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(MiniCError):
+            compile_source("int main() { break; return 0; }")
+
+    def test_array_requires_index(self):
+        with pytest.raises(MiniCError):
+            compile_source("int t[4]; int main() { return t; }")
+
+    def test_types_annotated(self):
+        module = parse("long f(int a) { return a + 1; }")
+        analyze(module)
+        ret = module.functions[0].body.statements[0]
+        assert ret.value.ctype.name == "int"
+
+
+class TestCodegenExecution:
+    def test_arithmetic_and_precedence(self):
+        assert run_main("int main() { print(2 + 3 * 4); return 0; }") == [14]
+
+    def test_int_wraparound_matches_c(self):
+        source = "int main() { int x; x = 2147483647; x = x + 1; print(x); return 0; }"
+        assert run_main(source) == [-2147483648]
+
+    def test_long_does_not_wrap_at_32_bits(self):
+        source = "long big() { long x; x = 2147483647; return x + 1; } int main() { print(big()); return 0; }"
+        assert run_main(source) == [2147483648]
+
+    def test_char_array_zero_extends(self):
+        source = """
+        char buf[4];
+        int main() { buf[0] = 255; print(buf[0]); return 0; }
+        """
+        assert run_main(source) == [255]
+
+    def test_if_else_and_comparisons(self):
+        source = """
+        int main() {
+            int a;
+            a = 7;
+            if (a >= 10) { print(1); } else { print(0); }
+            if (a != 7 || a > 3) { print(2); }
+            return 0;
+        }
+        """
+        assert run_main(source) == [0, 2]
+
+    def test_while_and_break_continue(self):
+        source = """
+        int main() {
+            int i;
+            int total;
+            total = 0;
+            i = 0;
+            while (i < 10) {
+                i = i + 1;
+                if (i == 3) { continue; }
+                if (i == 8) { break; }
+                total = total + i;
+            }
+            print(total);
+            return 0;
+        }
+        """
+        # 1+2+4+5+6+7 = 25
+        assert run_main(source) == [25]
+
+    def test_for_loop_and_global_array(self):
+        source = """
+        int squares[16];
+        int main() {
+            int i;
+            long sum;
+            sum = 0;
+            for (i = 0; i < 16; i = i + 1) { squares[i] = i * i; }
+            for (i = 0; i < 16; i = i + 1) { sum = sum + squares[i]; }
+            print(sum);
+            return 0;
+        }
+        """
+        assert run_main(source) == [sum(i * i for i in range(16))]
+
+    def test_function_calls_and_recursion(self):
+        source = """
+        int fib(int n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        int main() { print(fib(12)); return 0; }
+        """
+        assert run_main(source) == [144]
+
+    def test_shifts_masks_and_bitops(self):
+        source = """
+        int main() {
+            int x;
+            x = 0x1234;
+            print((x >> 4) & 0xff);
+            print(x << 2);
+            print(x ^ 0xffff);
+            print(~5 & 255);
+            return 0;
+        }
+        """
+        assert run_main(source) == [0x23, 0x1234 << 2, 0x1234 ^ 0xFFFF, (~5) & 255]
+
+    def test_short_parameters_zero_extend(self):
+        source = """
+        int widen(short value) { return value + 1; }
+        int main() { print(widen(65535)); return 0; }
+        """
+        assert run_main(source) == [65536]
+
+    def test_global_scalar_initializer(self):
+        source = """
+        int seed = 41;
+        int main() { print(seed + 1); return 0; }
+        """
+        assert run_main(source) == [42]
+
+    def test_missing_main_rejected(self):
+        with pytest.raises(MiniCError):
+            compile_source("int helper() { return 1; }")

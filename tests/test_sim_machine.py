@@ -1,0 +1,159 @@
+"""Tests for the functional simulator: memory, execution, traces, profiling."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.asm import assemble_program
+from repro.ir import Program
+from repro.isa import Width
+from repro.sim import Machine, Memory, SimulationLimitExceeded, ValueProfiler
+
+
+class TestMemory:
+    def test_roundtrip_widths(self):
+        memory = Memory()
+        memory.store(0x1000, -2, Width.QUAD)
+        assert memory.load(0x1000, Width.QUAD, signed=True) == -2
+        memory.store(0x2000, 0xABCD, Width.HALF)
+        assert memory.load(0x2000, Width.HALF, signed=False) == 0xABCD
+        assert memory.load(0x2000, Width.BYTE, signed=False) == 0xCD  # little endian
+
+    @given(st.integers(min_value=0, max_value=2**40), st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_word_roundtrip_signed(self, address, value):
+        memory = Memory()
+        memory.store(address, value, Width.WORD)
+        assert memory.load(address, Width.WORD, signed=True) == value
+
+    def test_cross_page_access(self):
+        memory = Memory()
+        memory.write_bytes(4094, b"abcdef")
+        assert memory.read_bytes(4094, 6) == b"abcdef"
+
+
+def _run(asm: str):
+    program = assemble_program(asm)
+    return Machine(program).run(collect_trace=True)
+
+
+class TestExecution:
+    def test_arithmetic_width_wrapping(self):
+        result = _run(
+            """
+.func main 0
+entry:
+    li r1, 127
+    add.8 r2, r1, 1
+    add r3, r1, 1
+    print r2
+    print r3
+    halt
+.endfunc
+"""
+        )
+        assert result.output == [-128, 128]
+
+    def test_call_and_return(self):
+        result = _run(
+            """
+.func double 1
+entry:
+    add v0, a0, a0
+    ret
+.endfunc
+.func main 0
+entry:
+    li a0, 21
+    jsr double
+    print v0
+    halt
+.endfunc
+"""
+        )
+        assert result.output == [42]
+
+    def test_conditional_branches_and_cmov(self):
+        result = _run(
+            """
+.func main 0
+entry:
+    li r1, 5
+    cmplt r2, r1, 10
+    cmoveq r3, r2, r1
+    cmovne r4, r2, r1
+    print r3
+    print r4
+    halt
+.endfunc
+"""
+        )
+        assert result.output == [0, 5]
+
+    def test_block_counts_and_instruction_counts(self):
+        result = _run(
+            """
+.func main 0
+entry:
+    li r1, 0
+loop:
+    add r1, r1, 1
+    cmplt r2, r1, 5
+    bne r2, loop
+done:
+    print r1
+    halt
+.endfunc
+"""
+        )
+        assert result.output == [5]
+        assert result.block_counts[("main", "loop")] == 5
+        assert result.block_counts[("main", "done")] == 1
+
+    def test_trace_records_memory_and_branches(self):
+        result = _run(
+            """
+.data buf 8 64
+.func main 0
+entry:
+    li r1, =buf
+    li r2, 77
+    stq r2, 0(r1)
+    ldq r3, 0(r1)
+    print r3
+    halt
+.endfunc
+"""
+        )
+        assert result.output == [77]
+        memory_records = [r for r in result.trace.records if r.mem_address is not None]
+        assert len(memory_records) == 2
+        assert memory_records[0].mem_address == memory_records[1].mem_address
+
+    def test_instruction_limit(self):
+        program = assemble_program(
+            """
+.func main 0
+entry:
+    br entry
+.endfunc
+"""
+        )
+        with pytest.raises(SimulationLimitExceeded):
+            Machine(program, max_instructions=100).run()
+
+    def test_value_observer_hook(self):
+        program = assemble_program(
+            """
+.func main 0
+entry:
+    li r1, 3
+    add r2, r1, 4
+    print r2
+    halt
+.endfunc
+"""
+        )
+        add = [i for i in program.functions["main"].instructions() if i.op.value == "add"][0]
+        profiler = ValueProfiler({add.uid})
+        Machine(program).run(value_observer=profiler)
+        assert profiler.table(add.uid).entries == {7: 1}

@@ -1,0 +1,127 @@
+"""Tests for the timing model, caches, branch predictor, power model, gating."""
+
+from repro.hardware import (
+    CooperativeGating,
+    NoGating,
+    SignificanceCompression,
+    SizeCompression,
+    SoftwareGating,
+)
+from repro.minic import compile_source
+from repro.power import EnergyAccountant, STRUCTURES
+from repro.sim import Machine
+from repro.uarch import Cache, CacheConfig, CombinedPredictor, MachineConfig, OutOfOrderModel
+
+_SOURCE = """
+int table[64];
+int main() {
+    int i;
+    long total;
+    total = 0;
+    for (i = 0; i < 64; i = i + 1) { table[i] = (i * 13) & 255; }
+    for (i = 0; i < 64; i = i + 1) { total = total + table[i]; }
+    print(total);
+    return 0;
+}
+"""
+
+
+def _trace():
+    program = compile_source(_SOURCE)
+    run = Machine(program).run(collect_trace=True)
+    return run.trace
+
+
+class TestCaches:
+    def test_hits_after_first_access(self):
+        cache = Cache(CacheConfig(1024, 2, 32, 1, 6))
+        assert cache.access(0x100) is False
+        assert cache.access(0x104) is True
+        assert cache.miss_rate < 1.0
+
+    def test_lru_eviction(self):
+        cache = Cache(CacheConfig(64, 1, 32, 1, 6))  # 2 sets, direct mapped
+        assert cache.access(0) is False
+        assert cache.access(64) is False  # same set, evicts line 0
+        assert cache.access(0) is False   # line 0 was evicted
+
+
+class TestBranchPredictor:
+    def test_learns_a_strongly_biased_branch(self):
+        predictor = CombinedPredictor()
+        for _ in range(200):
+            predictor.update(0x4000, True)
+        assert predictor.predict(0x4000) is True
+        assert predictor.misprediction_rate < 0.2
+
+    def test_alternating_pattern_uses_history(self):
+        predictor = CombinedPredictor()
+        outcome = True
+        for _ in range(400):
+            predictor.update(0x8000, outcome)
+            outcome = not outcome
+        # gshare should learn the period-2 pattern far better than chance.
+        assert predictor.misprediction_rate < 0.5
+
+
+class TestTimingModel:
+    def test_cycles_bounded_by_width_and_instructions(self):
+        trace = _trace()
+        timing = OutOfOrderModel().run(trace)
+        config = MachineConfig()
+        assert timing.instructions == len(trace.records)
+        assert timing.cycles >= timing.instructions / config.fetch_width
+        assert timing.cycles < timing.instructions * 10
+        assert 0.0 < timing.ipc <= config.issue_width
+
+    def test_memory_ops_counted(self):
+        trace = _trace()
+        timing = OutOfOrderModel().run(trace)
+        assert timing.loads > 0
+        assert timing.stores > 0
+        assert timing.dcache_accesses == timing.loads + timing.stores
+
+
+class TestGatingPolicies:
+    def test_policy_byte_counts(self):
+        trace = _trace()
+        entry = next(iter(trace.static.entries.values()))
+        assert NoGating().value_bytes(entry, 3) == entry.width.bytes if entry.memory_width is None else True
+        assert SignificanceCompression().value_bytes(entry, 3) == 1
+        assert SizeCompression().value_bytes(entry, 0x1_0000_0000) == 5
+        cooperative = CooperativeGating(SignificanceCompression())
+        assert cooperative.value_bytes(entry, 3) == 1
+
+    def test_tag_overheads(self):
+        assert SignificanceCompression().tag_bits == 7
+        assert SizeCompression().tag_bits == 2
+        assert SoftwareGating().tag_bits == 0
+
+
+class TestEnergyModel:
+    def test_breakdown_covers_all_structures(self):
+        trace = _trace()
+        timing = OutOfOrderModel().run(trace)
+        breakdown = EnergyAccountant(NoGating()).account(trace, timing)
+        assert set(breakdown.by_structure) == set(STRUCTURES)
+        assert breakdown.total > 0
+        assert breakdown.energy_delay_squared() > 0
+
+    def test_hardware_gating_reduces_data_structures_only(self):
+        trace = _trace()
+        timing = OutOfOrderModel().run(trace)
+        baseline = EnergyAccountant(NoGating()).account(trace, timing)
+        gated = EnergyAccountant(SignificanceCompression()).account(trace, timing)
+        savings = gated.savings_vs(baseline)
+        assert savings["register_file"] > 0.0
+        assert savings["icache"] == 0.0
+        assert savings["processor"] > 0.0
+
+    def test_cooperative_is_at_least_as_good_as_software(self):
+        trace = _trace()
+        timing = OutOfOrderModel().run(trace)
+        software = EnergyAccountant(SoftwareGating()).account(trace, timing)
+        cooperative = EnergyAccountant(CooperativeGating(SizeCompression())).account(trace, timing)
+        # The cooperative scheme gates at least as many bytes but pays a small
+        # tag overhead, so allow a tiny tolerance.
+        assert cooperative.total <= software.total * 1.05

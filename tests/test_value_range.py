@@ -1,0 +1,101 @@
+"""Unit and property tests for the value-range domain and transfer functions."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import ValueRange, bits_needed_for_mask, forward_transfer, range_for_width
+from repro.isa import Imm, Instruction, Opcode, Reg, Width
+from repro.isa.semantics import evaluate_operation
+
+small_int = st.integers(min_value=-(2**20), max_value=2**20)
+
+
+def make_range(a: int, b: int) -> ValueRange:
+    return ValueRange(min(a, b), max(a, b))
+
+
+class TestValueRange:
+    def test_union_and_intersect(self):
+        a = ValueRange(0, 10)
+        b = ValueRange(5, 20)
+        assert a.union(b) == ValueRange(0, 20)
+        assert a.intersect(b) == ValueRange(5, 10)
+        assert a.intersect(ValueRange(100, 200)) is None
+
+    def test_width(self):
+        assert ValueRange(0, 100).width() is Width.BYTE
+        assert ValueRange(0, 200).width() is Width.HALF
+        assert ValueRange(-40000, 0).width() is Width.WORD
+        assert ValueRange.full().width() is Width.QUAD
+
+    def test_clamp(self):
+        assert ValueRange(0, 10).clamp(Width.BYTE) == ValueRange(0, 10)
+        assert ValueRange(0, 300).clamp(Width.BYTE) == range_for_width(Width.BYTE)
+
+    def test_mask_bits(self):
+        assert bits_needed_for_mask(0xFF) == 8
+        assert bits_needed_for_mask(0x3F) == 6
+        assert bits_needed_for_mask(0x1FF) == 9
+        assert bits_needed_for_mask(-1) == 64
+
+    @given(small_int, small_int, small_int, small_int)
+    def test_union_contains_both(self, a, b, c, d):
+        left = make_range(a, b)
+        right = make_range(c, d)
+        union = left.union(right)
+        assert union.contains_range(left)
+        assert union.contains_range(right)
+
+
+def _binary(op: Opcode, width: Width = Width.QUAD) -> Instruction:
+    return Instruction(op, Reg(1), (Reg(2), Reg(3)), width=width)
+
+
+class TestForwardTransferSoundness:
+    """The forward transfer must over-approximate the concrete semantics."""
+
+    @given(small_int, small_int, small_int, small_int,
+           st.sampled_from([Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.AND, Opcode.OR, Opcode.XOR,
+                            Opcode.SLL, Opcode.SRL, Opcode.SRA]),
+           st.sampled_from(list(Width)))
+    def test_concrete_result_within_range(self, a, b, c, d, op, width):
+        left = make_range(min(a, b), max(a, b))
+        right = make_range(min(c, d), max(c, d))
+        inst = _binary(op, width)
+        result_range = forward_transfer(inst, [left, right])
+        for x in (left.lo, left.hi, (left.lo + left.hi) // 2):
+            for y in (right.lo, right.hi):
+                concrete = evaluate_operation(op, width, [x, y])
+                assert result_range.contains(concrete)
+
+    def test_load_ranges_follow_opcode(self):
+        load = Instruction(Opcode.LDB, Reg(1), (Reg(2), Imm(0)))
+        assert forward_transfer(load, [ValueRange.full(), ValueRange.constant(0)]) == ValueRange(0, 255)
+        load32 = Instruction(Opcode.LDW, Reg(1), (Reg(2), Imm(0)))
+        assert forward_transfer(load32, [ValueRange.full(), ValueRange.constant(0)]) == range_for_width(Width.WORD)
+
+    def test_compare_is_boolean(self):
+        cmp = _binary(Opcode.CMPLT)
+        assert forward_transfer(cmp, [ValueRange.full(), ValueRange.full()]) == ValueRange(0, 1)
+
+    def test_mask_narrows_or_preserves(self):
+        mask = Instruction(Opcode.MSKB, Reg(1), (Reg(2),))
+        assert forward_transfer(mask, [ValueRange(0, 10)]) == ValueRange(0, 10)
+        assert forward_transfer(mask, [ValueRange.full()]) == ValueRange(0, 255)
+
+    def test_and_with_constant_mask(self):
+        inst = Instruction(Opcode.AND, Reg(1), (Reg(2), Imm(0xFF)))
+        result = forward_transfer(inst, [ValueRange.full(), ValueRange.constant(0xFF)])
+        assert result == ValueRange(0, 255)
+
+    def test_cmov_unions_old_and_new(self):
+        inst = Instruction(Opcode.CMOVEQ, Reg(1), (Reg(2), Reg(3)))
+        result = forward_transfer(
+            inst, [ValueRange(0, 1), ValueRange(10, 20)], dest_old=ValueRange(-5, 5)
+        )
+        assert result == ValueRange(-5, 20)
+
+    def test_narrow_width_clamps_result(self):
+        inst = _binary(Opcode.ADD, Width.BYTE)
+        result = forward_transfer(inst, [ValueRange(100, 120), ValueRange(100, 120)])
+        assert result == range_for_width(Width.BYTE)

@@ -1,0 +1,77 @@
+"""Integration tests over the workload suite.
+
+The central soundness property of the whole reproduction is checked here:
+VRP and VRS are *semantics preserving* — the transformed binaries must print
+exactly what the baseline binaries print, on every workload.
+"""
+
+import pytest
+
+from repro.core import VRPConfig, VRSConfig, apply_widths, run_vrp, run_vrs
+from repro.sim import Machine
+from repro.workloads import SUITE_NAMES, load_suite, workload_by_name
+
+
+def _reference_output(workload, which="ref"):
+    program = workload.build()
+    workload.apply_input(program, which)
+    return Machine(program).run().output
+
+
+class TestSuiteDefinition:
+    def test_suite_has_the_eight_specint_analogues(self):
+        names = [w.name for w in load_suite()]
+        assert names == list(SUITE_NAMES)
+
+    def test_inputs_differ_between_train_and_ref(self):
+        for workload in load_suite():
+            assert workload.train_data != workload.ref_data
+
+    def test_unknown_input_set_rejected(self):
+        workload = workload_by_name("compress")
+        program = workload.build()
+        with pytest.raises(ValueError):
+            workload.apply_input(program, "bogus")
+
+
+@pytest.mark.parametrize("name", SUITE_NAMES)
+class TestWorkloadExecution:
+    def test_runs_and_is_deterministic(self, name):
+        workload = workload_by_name(name)
+        first = _reference_output(workload)
+        second = _reference_output(workload)
+        assert first == second
+        assert len(first) >= 1
+
+    def test_train_and_ref_produce_different_work(self, name):
+        workload = workload_by_name(name)
+        program_ref = workload.build()
+        workload.apply_input(program_ref, "ref")
+        program_train = workload.build()
+        workload.apply_input(program_train, "train")
+        ref_instructions = Machine(program_ref).run().instructions
+        train_instructions = Machine(program_train).run().instructions
+        assert ref_instructions > train_instructions
+
+
+@pytest.mark.parametrize("name", SUITE_NAMES)
+def test_vrp_preserves_output(name):
+    workload = workload_by_name(name)
+    expected = _reference_output(workload)
+    program = workload.build()
+    workload.apply_input(program, "ref")
+    result = run_vrp(program, VRPConfig())
+    apply_widths(program, result)
+    assert Machine(program).run().output == expected
+    assert result.narrowed_instructions() > 0
+
+
+@pytest.mark.parametrize("name", ("m88ksim", "vortex", "gcc"))
+def test_vrs_preserves_output(name):
+    workload = workload_by_name(name)
+    expected = _reference_output(workload)
+    program = workload.build()
+    workload.apply_input(program, "train")
+    run_vrs(program, VRSConfig(threshold_nj=50.0))
+    workload.apply_input(program, "ref")
+    assert Machine(program).run().output == expected
