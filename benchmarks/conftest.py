@@ -1,9 +1,12 @@
 """Shared helpers for the per-figure benchmark targets.
 
 Every benchmark regenerates one table or figure of the paper.  The heavy
-lifting (compilation, VRP/VRS, simulation) is cached process-wide by
-``repro.experiments.runner``, so later benchmarks in a session reuse the
-simulations performed by earlier ones.
+lifting (compilation, VRP/VRS, simulation) is resolved through the
+experiment engine: results are memoized in-process and persisted to the
+content-addressed result store, so later benchmarks in a session reuse the
+simulations performed by earlier ones — and a *second* benchmark session is
+served from disk without running the simulator at all (relocate or disable
+the store with ``REPRO_RESULT_STORE``).
 """
 
 from __future__ import annotations
@@ -12,8 +15,13 @@ import pytest
 
 
 @pytest.fixture(scope="session", autouse=True)
-def _warm_suite_cache():
-    """Pre-simulate the baseline configuration once for the whole session."""
+def _warm_result_store():
+    """Pre-simulate the baseline configuration once for the whole session.
+
+    ``evaluate_suite`` fans cold configurations out across the engine's
+    worker pool and fills the persistent store; on warm stores this is a
+    handful of JSON reads.
+    """
     from repro.experiments import evaluate_suite
 
     evaluate_suite(mechanism="none")

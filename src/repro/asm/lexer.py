@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
 
 __all__ = ["AsmToken", "AsmSyntaxError", "tokenize_line", "strip_comment"]
 

@@ -39,16 +39,21 @@ from .energy import (
     figure14_hardware_energy_by_structure,
     table1_alu_energy_matrix,
 )
+from .engine import ExperimentConfig, ExperimentEngine, default_engine, reset_default_engine
 from .report import format_percent, format_table
 from .runner import (
+    POLICY_NAMES,
     SimulationOutcome,
     WorkloadEvaluation,
     clear_cache,
+    compute_evaluation,
     evaluate_program,
     evaluate_suite,
     evaluate_workload,
     policy_for,
 )
+from .store import ResultStore, StoreEntry, config_key, default_store_root
+from .summary import EvaluationSummary
 from .specialization import (
     figure04_profiled_point_distribution,
     figure05_static_specialized_instructions,
@@ -79,9 +84,20 @@ __all__ = [
     "table1_alu_energy_matrix",
     "format_percent",
     "format_table",
+    "ExperimentConfig",
+    "ExperimentEngine",
+    "default_engine",
+    "reset_default_engine",
+    "ResultStore",
+    "StoreEntry",
+    "config_key",
+    "default_store_root",
+    "EvaluationSummary",
+    "POLICY_NAMES",
     "SimulationOutcome",
     "WorkloadEvaluation",
     "clear_cache",
+    "compute_evaluation",
     "evaluate_program",
     "evaluate_suite",
     "evaluate_workload",

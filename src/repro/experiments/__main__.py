@@ -1,0 +1,191 @@
+"""Command-line interface to the experiment engine and result store.
+
+Usage::
+
+    python -m repro.experiments run [--workload NAME ...] [--mechanism M]
+                                    [--threshold NJ] [--conventional-vrp]
+                                    [--policy P] [--jobs N]
+    python -m repro.experiments ls
+    python -m repro.experiments clear [--yes]
+
+``run`` evaluates the requested configurations (all eight suite workloads
+by default) through the engine — memo, then persistent store, then a
+parallel compute fan-out — and prints one row per workload.  ``ls`` and
+``clear`` inspect and empty the content-addressed result store.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from ..workloads import SUITE_NAMES
+from .engine import ExperimentConfig, default_engine
+from .report import format_table
+from .runner import POLICY_NAMES
+from .store import ResultStore
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    engine = default_engine()
+    workloads = args.workload or list(SUITE_NAMES)
+    unknown = sorted(set(workloads) - set(SUITE_NAMES))
+    if unknown:
+        print(
+            f"unknown workload(s): {', '.join(unknown)}; "
+            f"the suite is: {', '.join(SUITE_NAMES)}",
+            file=sys.stderr,
+        )
+        return 2
+    configs = [
+        ExperimentConfig(
+            workload=name,
+            mechanism=args.mechanism,
+            threshold_nj=args.threshold,
+            conventional_vrp=args.conventional_vrp,
+        )
+        for name in workloads
+    ]
+    start = time.perf_counter()
+    evaluations = engine.map(configs, jobs=args.jobs)
+    elapsed = time.perf_counter() - start
+
+    rows = []
+    for evaluation in evaluations:
+        outcome = evaluation.outcome(args.policy)
+        rows.append(
+            [
+                evaluation.workload.name,
+                evaluation.total_dynamic_instructions,
+                outcome.cycles,
+                outcome.energy.total,
+                outcome.ed2,
+                "computed" if evaluation.freshly_computed else "store",
+            ]
+        )
+    title = f"mechanism={args.mechanism} policy={args.policy}"
+    if args.mechanism == "vrs":
+        title += f" threshold={args.threshold:g}nJ"
+    print(
+        format_table(
+            ["workload", "instructions", "cycles", "energy (nJ)", "ED^2", "source"],
+            rows,
+            title=title,
+        )
+    )
+    print(f"{len(evaluations)} configuration(s) in {elapsed:.2f}s")
+    return 0
+
+
+def _cmd_ls(_args: argparse.Namespace) -> int:
+    store = ResultStore()
+    if not store.enabled:
+        print("result store is disabled (REPRO_RESULT_STORE=off)")
+        return 0
+    entries = store.entries()
+    print(f"store root: {store.root}")
+    if not entries:
+        print("(empty)")
+        return 0
+    rows = []
+    now = time.time()
+    for entry in entries:
+        config = entry.mechanism
+        if entry.mechanism == "vrs":
+            config += f"@{entry.threshold_nj:g}nJ"
+        if entry.conventional_vrp:
+            config += " (conventional)"
+        rows.append(
+            [
+                entry.key[:12],
+                entry.workload,
+                config,
+                f"{entry.size_bytes / 1024:.1f} KiB",
+                f"{(now - entry.created) / 60:.1f} min ago",
+            ]
+        )
+    print(format_table(["key", "workload", "mechanism", "size", "created"], rows))
+    print(f"{len(entries)} entr{'y' if len(entries) == 1 else 'ies'}")
+    return 0
+
+
+def _cmd_clear(args: argparse.Namespace) -> int:
+    store = ResultStore()
+    if not store.enabled:
+        print("result store is disabled (REPRO_RESULT_STORE=off)")
+        return 0
+    count = len(store.entries())
+    if count and not args.yes:
+        try:
+            reply = input(f"delete {count} stored result(s) under {store.root}? [y/N] ")
+        except EOFError:  # non-interactive stdin: treat as "no"
+            reply = ""
+        if reply.strip().lower() not in ("y", "yes"):
+            print("aborted")
+            return 1
+    removed = store.clear()
+    print(f"removed {removed} entr{'y' if removed == 1 else 'ies'}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Evaluate paper configurations through the parallel experiment engine.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="evaluate workload configurations")
+    run_parser.add_argument(
+        "--workload",
+        action="append",
+        metavar="NAME",
+        help="workload to evaluate (repeatable; default: the whole suite)",
+    )
+    run_parser.add_argument(
+        "--mechanism",
+        choices=("none", "vrp", "vrs"),
+        default="none",
+        help="width mechanism to apply (default: none)",
+    )
+    run_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=50.0,
+        metavar="NJ",
+        help="VRS specialization-cost threshold in nanojoules (default: 50)",
+    )
+    run_parser.add_argument(
+        "--conventional-vrp",
+        action="store_true",
+        help="use conventional (non-useful-range) VRP",
+    )
+    run_parser.add_argument(
+        "--policy",
+        choices=POLICY_NAMES,
+        default="baseline",
+        help="gating policy for the reported energy column (default: baseline)",
+    )
+    run_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for cold configurations (default: REPRO_JOBS or CPU count)",
+    )
+    run_parser.set_defaults(func=_cmd_run)
+
+    ls_parser = subparsers.add_parser("ls", help="list persisted results")
+    ls_parser.set_defaults(func=_cmd_ls)
+
+    clear_parser = subparsers.add_parser("clear", help="empty the result store")
+    clear_parser.add_argument("--yes", action="store_true", help="skip the confirmation prompt")
+    clear_parser.set_defaults(func=_cmd_clear)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,8 +6,7 @@ over the eight workloads, exactly as the paper reports them for SpecInt95.
 
 from __future__ import annotations
 
-from ..isa import OpKind, Width, significant_bytes
-from ..isa.opcodes import OPERATION_TYPE
+from ..isa import Width
 from .report import format_percent, format_table
 from .runner import evaluate_suite
 
@@ -21,24 +20,6 @@ __all__ = [
 
 _WIDTH_ORDER = (Width.BYTE, Width.HALF, Width.WORD, Width.QUAD)
 
-#: Instruction kinds counted in the width distributions: the paper's
-#: technique applies to integer computation, not to control flow.
-_COUNTED_KINDS = frozenset(
-    {
-        OpKind.ALU,
-        OpKind.MUL,
-        OpKind.LOGICAL,
-        OpKind.SHIFT,
-        OpKind.COMPARE,
-        OpKind.CMOV,
-        OpKind.MASK,
-        OpKind.EXTEND,
-        OpKind.MOVE,
-        OpKind.LOAD,
-        OpKind.STORE,
-    }
-)
-
 
 def dynamic_width_fractions(
     mechanism: str, conventional_vrp: bool = False, threshold_nj: float = 50.0
@@ -49,15 +30,8 @@ def dynamic_width_fractions(
     )
     per_benchmark: list[dict[Width, float]] = []
     for evaluation in evaluations.values():
-        counts = {width: 0 for width in _WIDTH_ORDER}
-        total = 0
-        for record in evaluation.trace.records:
-            entry = evaluation.trace.static[record.uid]
-            if entry.kind not in _COUNTED_KINDS:
-                continue
-            width = entry.memory_width if entry.memory_width is not None else entry.width
-            counts[width] += 1
-            total += 1
+        counts = evaluation.counted_width_counts()
+        total = sum(counts.values())
         if total:
             per_benchmark.append({width: counts[width] / total for width in _WIDTH_ORDER})
     return {
@@ -87,13 +61,10 @@ def figure12_data_size_distribution() -> dict[int, float]:
     """Figure 12: distribution of result-value sizes (in bytes) on the baseline."""
     evaluations = evaluate_suite(mechanism="none")
     histogram = {size: 0 for size in range(1, 9)}
-    total = 0
     for evaluation in evaluations.values():
-        for record in evaluation.trace.records:
-            if record.result is None:
-                continue
-            histogram[significant_bytes(record.result)] += 1
-            total += 1
+        for size, count in evaluation.result_size_histogram().items():
+            histogram[size] += count
+    total = sum(histogram.values())
     if total == 0:
         return {size: 0.0 for size in histogram}
     return {size: count / total for size, count in histogram.items()}
@@ -102,21 +73,14 @@ def figure12_data_size_distribution() -> dict[int, float]:
 def table3_operation_distribution() -> list[dict[str, object]]:
     """Table 3: dynamic operation-type mix and per-type width distribution (VRP)."""
     evaluations = evaluate_suite(mechanism="vrp")
-    type_counts: dict[str, int] = {}
     type_width_counts: dict[str, dict[Width, int]] = {}
-    total = 0
     for evaluation in evaluations.values():
-        for record in evaluation.trace.records:
-            entry = evaluation.trace.static[record.uid]
-            if entry.kind not in _COUNTED_KINDS or entry.kind in (OpKind.LOAD, OpKind.STORE):
-                continue
-            if entry.kind is OpKind.MOVE:
-                continue  # Table 3 lists computation classes, not moves.
-            op_type = OPERATION_TYPE[entry.opcode]
-            type_counts[op_type] = type_counts.get(op_type, 0) + 1
+        for op_type, per_width in evaluation.operation_type_width_counts().items():
             widths = type_width_counts.setdefault(op_type, {w: 0 for w in _WIDTH_ORDER})
-            widths[entry.width] += 1
-            total += 1
+            for width, count in per_width.items():
+                widths[width] += count
+    type_counts = {op_type: sum(widths.values()) for op_type, widths in type_width_counts.items()}
+    total = sum(type_counts.values())
 
     rows: list[dict[str, object]] = []
     for op_type, count in sorted(type_counts.items(), key=lambda item: item[1], reverse=True):

@@ -1,0 +1,307 @@
+"""Parallel experiment engine over the persistent result store.
+
+The engine resolves every requested configuration through three layers:
+
+1. an in-process memo (same object returned for repeated requests, so a
+   pytest/benchmark session never simulates a configuration twice),
+2. the content-addressed on-disk :class:`ResultStore` (a fresh process
+   serves previously simulated configurations without touching the
+   simulator at all),
+3. a ``multiprocessing`` fan-out that computes the remaining
+   configurations in worker processes — with a graceful single-process
+   fallback when only one CPU is available, ``REPRO_JOBS=1`` is set, or
+   pool creation fails (restricted sandboxes).
+
+Workers return plain JSON-serializable summaries; the parent persists them
+and hands out *restored* :class:`WorkloadEvaluation` objects, so parallel
+and serial evaluation are observationally equivalent for every figure and
+table of the paper.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..uarch import MachineConfig
+from ..workloads import Workload, workload_by_name
+from .runner import WorkloadEvaluation, compute_evaluation
+from .store import ResultStore, config_key
+from .summary import EvaluationSummary
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentEngine",
+    "default_engine",
+    "reset_default_engine",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One independent (workload, mechanism, threshold, policy-set) point."""
+
+    workload: str
+    mechanism: str = "none"
+    threshold_nj: float = 50.0
+    conventional_vrp: bool = False
+    machine_config: Optional[MachineConfig] = None
+
+
+def _resolve_jobs(jobs: Optional[int]) -> int:
+    """Worker-process count: explicit argument > ``REPRO_JOBS`` > CPU count."""
+    if jobs is not None:
+        return max(1, jobs)
+    configured = os.environ.get("REPRO_JOBS", "")
+    if configured:
+        try:
+            return max(1, int(configured))
+        except ValueError:
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
+def _compute_summary_for(config: ExperimentConfig) -> tuple[str, dict]:
+    """Worker entry point: simulate one configuration, return its summary.
+
+    Returns ``(store key, JSON-ready summary dict)`` — both plain data, so
+    the result crosses the process boundary cheaply and the parent can
+    persist it without re-deriving anything.
+    """
+    workload = workload_by_name(config.workload)
+    key = config_key(
+        workload,
+        config.mechanism,
+        config.threshold_nj,
+        config.conventional_vrp,
+        config.machine_config,
+    )
+    evaluation = compute_evaluation(
+        workload,
+        mechanism=config.mechanism,
+        threshold_nj=config.threshold_nj,
+        conventional_vrp=config.conventional_vrp,
+        machine_config=config.machine_config,
+    )
+    return key, evaluation.summarize().to_json_dict()
+
+
+class ExperimentEngine:
+    """Memoizing, store-backed, process-parallel experiment evaluator."""
+
+    def __init__(
+        self, store: Optional[ResultStore] = None, jobs: Optional[int] = None
+    ) -> None:
+        self.store = store if store is not None else ResultStore()
+        self.jobs = _resolve_jobs(jobs)
+        self._memo: dict[str, WorkloadEvaluation] = {}
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+    def key_for(self, config: ExperimentConfig, workload: Optional[Workload] = None) -> str:
+        """Content-hash store key of ``config``."""
+        if workload is None:
+            workload = workload_by_name(config.workload)
+        return config_key(
+            workload,
+            config.mechanism,
+            config.threshold_nj,
+            config.conventional_vrp,
+            config.machine_config,
+        )
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, config: ExperimentConfig, workload: Optional[Workload] = None
+    ) -> WorkloadEvaluation:
+        """Resolve one configuration: memo → store → compute (this process).
+
+        ``workload`` lets callers evaluate a hand-modified workload object;
+        its content hash (not just its name) keys the result, so a modified
+        workload never aliases the registry entry.
+
+        The returned evaluation is *live* (trace/program attached) only when
+        this call actually simulated; memo and store hits may be restored,
+        summary-only objects.  Callers that require a live trace should use
+        :func:`~repro.experiments.runner.compute_evaluation` directly.
+        """
+        if workload is None:
+            workload = workload_by_name(config.workload)
+        key = self.key_for(config, workload)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        summary = self.store.load(key)
+        if summary is not None:
+            evaluation = WorkloadEvaluation.from_summary(workload, summary)
+        else:
+            evaluation = compute_evaluation(
+                workload,
+                mechanism=config.mechanism,
+                threshold_nj=config.threshold_nj,
+                conventional_vrp=config.conventional_vrp,
+                machine_config=config.machine_config,
+            )
+            if self.store.enabled:
+                self.store.save(key, evaluation.summarize())
+            evaluation.freshly_computed = True
+        self._memo[key] = evaluation
+        return evaluation
+
+    def map(
+        self, configs: Sequence[ExperimentConfig], jobs: Optional[int] = None
+    ) -> list[WorkloadEvaluation]:
+        """Evaluate many independent configurations, in parallel when possible.
+
+        Memo/store hits are resolved inline; the remaining configurations
+        are computed by a process pool (or serially as a fallback) and their
+        summaries persisted, so a crashed or interrupted sweep loses at most
+        the configurations still in flight.
+
+        Cold configurations always come back *restored* (summary-backed,
+        ``trace is None``) — regardless of whether the pool or the serial
+        fallback computed them — so the result shape never depends on the
+        machine's CPU count.  Use :func:`compute_evaluation` when a live
+        trace is genuinely required (:meth:`evaluate` returns a live object
+        only when it computes; store hits are restored there too).
+        """
+        results: list[Optional[WorkloadEvaluation]] = [None] * len(configs)
+        # Deduplicate misses by key: the same configuration requested twice
+        # in one call must be simulated once.
+        missing: dict[str, tuple[ExperimentConfig, Workload]] = {}
+        missing_indices: dict[str, list[int]] = {}
+        for index, config in enumerate(configs):
+            workload = workload_by_name(config.workload)
+            key = self.key_for(config, workload)
+            cached = self._memo.get(key)
+            if cached is not None:
+                results[index] = cached
+                continue
+            if key in missing:
+                missing_indices[key].append(index)
+                continue
+            summary = self.store.load(key)
+            if summary is not None:
+                evaluation = WorkloadEvaluation.from_summary(workload, summary)
+                self._memo[key] = evaluation
+                results[index] = evaluation
+                continue
+            missing[key] = (config, workload)
+            missing_indices[key] = [index]
+
+        if missing:
+            order = list(missing.items())
+            worker_count = min(_resolve_jobs(jobs) if jobs is not None else self.jobs, len(order))
+            produced = (
+                self._map_parallel([config for _, (config, _) in order], worker_count)
+                if worker_count > 1
+                else None
+            )
+            if produced is None:
+                produced = []
+                for key, (config, workload) in order:
+                    # A failed pool attempt may have persisted some results
+                    # before dying; serve those instead of recomputing.
+                    summary = self.store.load(key)
+                    if summary is not None:
+                        produced.append((key, summary, False))
+                        continue
+                    live = compute_evaluation(
+                        workload,
+                        mechanism=config.mechanism,
+                        threshold_nj=config.threshold_nj,
+                        conventional_vrp=config.conventional_vrp,
+                        machine_config=config.machine_config,
+                    )
+                    summary = live.summarize()
+                    self.store.save(key, summary)
+                    produced.append((key, summary, True))
+            for (key, (_, workload)), (worker_key, summary, fresh) in zip(order, produced):
+                evaluation = WorkloadEvaluation.from_summary(workload, summary)
+                evaluation.freshly_computed = fresh
+                self._memo[worker_key] = evaluation
+                for index in missing_indices[key]:
+                    results[index] = evaluation
+        return results  # type: ignore[return-value]
+
+    def _map_parallel(
+        self,
+        configs: Sequence[ExperimentConfig],
+        worker_count: int,
+    ) -> Optional[list[tuple[str, "EvaluationSummary", bool]]]:
+        """Fan the missing configurations out across a process pool.
+
+        Results are persisted to the store *as they arrive*, so an
+        interrupted sweep loses at most the configurations still in flight.
+        Returns None only when the pool *infrastructure* is unavailable or
+        dies — including a worker killed abruptly (OOM, segfault), which
+        ``ProcessPoolExecutor`` surfaces as ``BrokenProcessPool`` where a
+        raw ``multiprocessing.Pool`` would hang forever; the caller then
+        falls back to in-process serial evaluation, which picks up any
+        partial progress from the store.  A genuine simulation error raised
+        by a worker propagates to the caller — re-running a deterministic
+        failure serially would only double the latency and hide the
+        traceback.
+        """
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+        from concurrent.futures.process import BrokenProcessPool
+
+        try:
+            context = multiprocessing.get_context(
+                "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+            )
+            executor = ProcessPoolExecutor(max_workers=worker_count, mp_context=context)
+        except (OSError, ValueError, RuntimeError, ImportError):
+            return None
+        try:
+            with executor:
+                futures = {
+                    executor.submit(_compute_summary_for, config): position
+                    for position, config in enumerate(configs)
+                }
+                produced: list[Optional[tuple[str, EvaluationSummary, bool]]] = [None] * len(
+                    configs
+                )
+                # Persist in *arrival* order: if the sweep dies while the
+                # slowest worker is still running, everything already
+                # finished has hit the disk.
+                for future in as_completed(futures):
+                    worker_key, summary_dict = future.result()
+                    summary = EvaluationSummary.from_json_dict(summary_dict)
+                    self.store.save(worker_key, summary)
+                    produced[futures[future]] = (worker_key, summary, True)
+                return produced  # type: ignore[return-value]
+        except (BrokenProcessPool, OSError, EOFError, BrokenPipeError):
+            return None
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def clear_memory(self) -> None:
+        """Drop the in-process memo (the on-disk store is untouched)."""
+        self._memo.clear()
+
+
+# ----------------------------------------------------------------------
+# Process-wide default engine
+# ----------------------------------------------------------------------
+_DEFAULT_ENGINE: Optional[ExperimentEngine] = None
+
+
+def default_engine() -> ExperimentEngine:
+    """The process-wide engine used by ``evaluate_workload``/``evaluate_suite``."""
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = ExperimentEngine()
+    return _DEFAULT_ENGINE
+
+
+def reset_default_engine() -> None:
+    """Forget the default engine (re-reads environment configuration)."""
+    global _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = None

@@ -4,9 +4,16 @@ Every table/figure module composes the same few steps: compile a workload,
 optionally apply VRP or VRS, run the functional simulator on the reference
 input, feed the trace to the timing model and the energy accountant under a
 chosen gating policy.  ``evaluate_program`` performs one such run;
-``evaluate_workload`` wraps the per-workload build/transform logic and
-caches results so that one pytest/benchmark session never simulates the same
-configuration twice.
+``evaluate_workload``/``evaluate_suite`` are thin compatibility wrappers
+over the :class:`~repro.experiments.engine.ExperimentEngine`, which
+memoizes evaluations in-process, persists their summaries to the on-disk
+:class:`~repro.experiments.store.ResultStore` and fans independent
+configurations out across worker processes.
+
+A :class:`WorkloadEvaluation` therefore comes in two flavours: *live* (just
+simulated in this process; carries the program, trace and run) and
+*restored* (served from the store; carries only the persisted summary).
+Every accessor the figure functions use works identically on both.
 """
 
 from __future__ import annotations
@@ -30,8 +37,16 @@ from ..power import EnergyAccountant, EnergyBreakdown
 from ..sim import Machine, RunResult, Trace
 from ..uarch import MachineConfig, OutOfOrderModel, TimingResult
 from ..workloads import Workload, load_suite
+from .summary import (
+    EvaluationSummary,
+    aggregate_trace,
+    runtime_specialization_fractions,
+    vrp_stats,
+    vrs_stats,
+)
 
 __all__ = [
+    "POLICY_NAMES",
     "SimulationOutcome",
     "WorkloadEvaluation",
     "evaluate_program",
@@ -47,7 +62,7 @@ class SimulationOutcome:
     """One (program, gating policy) simulation."""
 
     policy: str
-    run: RunResult
+    run: Optional[RunResult]
     timing: TimingResult
     energy: EnergyBreakdown
 
@@ -61,12 +76,7 @@ class SimulationOutcome:
 
     def dynamic_width_distribution(self, trace: Trace) -> dict[Width, int]:
         """Dynamic instruction counts per encoded width (software view)."""
-        distribution: dict[Width, int] = {w: 0 for w in Width.all_widths()}
-        for record in trace.records:
-            entry = trace.static[record.uid]
-            width = entry.memory_width if entry.memory_width is not None else entry.width
-            distribution[width] += 1
-        return distribution
+        return trace.width_distribution()
 
 
 @dataclass
@@ -75,36 +85,184 @@ class WorkloadEvaluation:
 
     The functional run and the timing model run once per (mechanism,
     threshold); energy accounting under different gating policies reuses
-    the same trace and timing result.
+    the same trace and timing result.  A *restored* evaluation (served from
+    the persistent result store) has ``program``/``trace``/``run`` set to
+    ``None`` and answers every query from its :class:`EvaluationSummary`.
     """
 
     workload: Workload
-    program: Program
-    trace: Trace
-    run: RunResult
+    program: Optional[Program]
+    trace: Optional[Trace]
+    run: Optional[RunResult]
     timing: TimingResult
     vrp_result: Optional[VRPResult] = None
     vrs_result: Optional[VRSResult] = None
     outcomes: dict[str, SimulationOutcome] = field(default_factory=dict)
+    mechanism: str = "none"
+    threshold_nj: float = 50.0
+    conventional_vrp: bool = False
+    summary: Optional[EvaluationSummary] = None
+    #: True when this process ran the simulation (False: served from disk).
+    freshly_computed: bool = False
+    _aggregates: Optional[tuple] = field(default=None, repr=False)
 
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_summary(cls, workload: Workload, summary: EvaluationSummary) -> "WorkloadEvaluation":
+        """Rebuild an evaluation from a persisted summary (no simulation)."""
+        return cls(
+            workload=workload,
+            program=None,
+            trace=None,
+            run=None,
+            timing=summary.timing,
+            mechanism=summary.mechanism,
+            threshold_nj=summary.threshold_nj,
+            conventional_vrp=summary.conventional_vrp,
+            summary=summary,
+        )
+
+    @property
+    def is_restored(self) -> bool:
+        """True when this evaluation was served from the result store."""
+        return self.trace is None
+
+    @property
+    def total_dynamic_instructions(self) -> int:
+        """Dynamic instruction count of the functional run."""
+        if self.run is not None:
+            return self.run.instructions
+        return self.summary.instructions
+
+    # ------------------------------------------------------------------
+    # Energy outcomes
+    # ------------------------------------------------------------------
     def outcome(self, policy_name: str = "baseline") -> SimulationOutcome:
         """Energy/timing outcome under the named gating policy (cached)."""
         if policy_name not in self.outcomes:
-            energy = EnergyAccountant(policy_for(policy_name)).account(self.trace, self.timing)
+            policy = policy_for(policy_name)
+            if self.trace is not None:
+                energy = EnergyAccountant(policy).account(self.trace, self.timing)
+            else:
+                energy = self.summary.energies.get(policy_name)
+                if energy is None:
+                    raise KeyError(
+                        f"policy {policy_name!r} is not part of the stored summary for "
+                        f"workload {self.workload.name!r}; available: "
+                        f"{', '.join(sorted(self.summary.energies))}"
+                    )
             self.outcomes[policy_name] = SimulationOutcome(
                 policy=policy_name, run=self.run, timing=self.timing, energy=energy
             )
         return self.outcomes[policy_name]
 
+    # ------------------------------------------------------------------
+    # Dynamic distributions (live: from the trace; restored: from summary)
+    # ------------------------------------------------------------------
+    def _trace_aggregates(self) -> tuple:
+        """All four trace distributions, computed in one walk and cached."""
+        if self._aggregates is None:
+            self._aggregates = aggregate_trace(self.trace)
+        return self._aggregates
+
     def dynamic_width_distribution(self) -> dict[Width, int]:
         """Dynamic instruction counts per encoded (software) width."""
-        distribution: dict[Width, int] = {w: 0 for w in Width.all_widths()}
-        for record in self.trace.records:
-            entry = self.trace.static[record.uid]
-            width = entry.memory_width if entry.memory_width is not None else entry.width
-            distribution[width] += 1
-        return distribution
+        if self.trace is not None:
+            return dict(self._trace_aggregates()[0])
+        return dict(self.summary.width_distribution)
 
+    def counted_width_counts(self) -> dict[Width, int]:
+        """Width counts over the integer-computation instruction kinds."""
+        if self.trace is not None:
+            return dict(self._trace_aggregates()[1])
+        return dict(self.summary.counted_widths)
+
+    def result_size_histogram(self) -> dict[int, int]:
+        """Histogram of result-value significant-byte sizes (Figure 12)."""
+        if self.trace is not None:
+            return dict(self._trace_aggregates()[2])
+        return dict(self.summary.result_sizes)
+
+    def operation_type_width_counts(self) -> dict[str, dict[Width, int]]:
+        """Per-operation-type dynamic width counts (Table 3)."""
+        if self.trace is not None:
+            per_type = self._trace_aggregates()[3]
+        else:
+            per_type = self.summary.operation_types
+        return {op_type: dict(widths) for op_type, widths in per_type.items()}
+
+    # ------------------------------------------------------------------
+    # Specialization statistics (Figures 4, 5, 6)
+    # ------------------------------------------------------------------
+    def vrp_statistics(self) -> Optional[dict]:
+        """VRP summary statistics, or None when VRP did not run."""
+        if self.vrp_result is not None:
+            return vrp_stats(self.vrp_result)
+        return self.summary.vrp if self.summary is not None else None
+
+    def vrs_statistics(self) -> Optional[dict]:
+        """VRS point/static statistics, or None when VRS did not run."""
+        if self.vrs_result is not None:
+            return vrs_stats(self.vrs_result)
+        return self.summary.vrs if self.summary is not None else None
+
+    def runtime_specialization(self) -> Optional[dict]:
+        """Executed-instruction specialization fractions (Figure 6)."""
+        if self.vrs_result is not None and self.program is not None and self.run is not None:
+            return runtime_specialization_fractions(self.program, self.run, self.vrs_result)
+        return self.summary.runtime_specialization if self.summary is not None else None
+
+    # ------------------------------------------------------------------
+    # Summarization
+    # ------------------------------------------------------------------
+    def summarize(self) -> EvaluationSummary:
+        """Aggregate this evaluation into its persistable summary (cached).
+
+        Energy breakdowns for *every* gating policy are materialized so a
+        restored evaluation can answer any ``outcome()`` request without
+        the trace.
+        """
+        if self.summary is not None:
+            return self.summary
+        energies = {name: self.outcome(name).energy for name in POLICY_NAMES}
+        width_distribution, counted_widths, result_sizes, operation_types = (
+            self._trace_aggregates()
+        )
+        self.summary = EvaluationSummary(
+            workload=self.workload.name,
+            mechanism=self.mechanism,
+            threshold_nj=self.threshold_nj,
+            conventional_vrp=self.conventional_vrp,
+            instructions=self.run.instructions,
+            output=list(self.run.output),
+            timing=self.timing,
+            energies=energies,
+            width_distribution=width_distribution,
+            counted_widths=counted_widths,
+            result_sizes=result_sizes,
+            operation_types=operation_types,
+            vrp=vrp_stats(self.vrp_result) if self.vrp_result is not None else None,
+            vrs=vrs_stats(self.vrs_result) if self.vrs_result is not None else None,
+            runtime_specialization=(
+                runtime_specialization_fractions(self.program, self.run, self.vrs_result)
+                if self.vrs_result is not None
+                else None
+            ),
+        )
+        return self.summary
+
+
+#: Gating policies materialized in every stored summary.
+POLICY_NAMES = (
+    "baseline",
+    "software",
+    "hw-significance",
+    "hw-size",
+    "sw+hw-significance",
+    "sw+hw-size",
+)
 
 _POLICIES: dict[str, GatingPolicy] = {}
 
@@ -122,7 +280,13 @@ def policy_for(name: str) -> GatingPolicy:
                 "sw+hw-size": CooperativeGating(SizeCompression()),
             }
         )
-    return _POLICIES[name]
+    try:
+        return _POLICIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown gating policy {name!r}; valid policies are: "
+            f"{', '.join(sorted(_POLICIES))}"
+        ) from None
 
 
 def evaluate_program(
@@ -144,20 +308,61 @@ def evaluate_program(
 
 
 # ----------------------------------------------------------------------
-# Per-workload evaluation with caching
+# One full build → transform → simulate pipeline (live path)
 # ----------------------------------------------------------------------
-_CACHE: dict[tuple, object] = {}
+def compute_evaluation(
+    workload: Workload,
+    mechanism: str = "none",
+    threshold_nj: float = 50.0,
+    conventional_vrp: bool = False,
+    machine_config: Optional[MachineConfig] = None,
+) -> WorkloadEvaluation:
+    """Build, transform and simulate one workload configuration (uncached)."""
+    program = workload.build()
+    vrp_result = None
+    vrs_result = None
+    if mechanism == "vrp":
+        config = VRPConfig().conventional() if conventional_vrp else VRPConfig()
+        workload.apply_input(program, "ref")
+        vrp_result = run_vrp(program, config)
+        apply_widths(program, vrp_result)
+    elif mechanism == "vrs":
+        workload.apply_input(program, "train")
+        vrs_result = run_vrs(program, VRSConfig(threshold_nj=threshold_nj))
+        vrp_result = vrs_result.vrp_after
+    elif mechanism != "none":
+        raise ValueError(f"unknown mechanism {mechanism!r}; expected 'none', 'vrp' or 'vrs'")
+    workload.apply_input(program, "ref")
+    machine = Machine(program)
+    run = machine.run(collect_trace=True)
+    timing = OutOfOrderModel(machine_config).run(run.trace)
+    return WorkloadEvaluation(
+        workload=workload,
+        program=program,
+        trace=run.trace,
+        run=run,
+        timing=timing,
+        vrp_result=vrp_result,
+        vrs_result=vrs_result,
+        mechanism=mechanism,
+        threshold_nj=threshold_nj,
+        conventional_vrp=conventional_vrp,
+    )
 
 
+# ----------------------------------------------------------------------
+# Compatibility wrappers over the experiment engine
+# ----------------------------------------------------------------------
 def clear_cache() -> None:
-    """Drop all cached evaluations (used by tests)."""
-    _CACHE.clear()
+    """Drop all in-process cached evaluations (used by tests).
 
+    The persistent on-disk store is left alone; use
+    ``python -m repro.experiments clear`` or ``ResultStore.clear()`` for
+    that.
+    """
+    from .engine import default_engine
 
-def _cached(key: tuple, factory):
-    if key not in _CACHE:
-        _CACHE[key] = factory()
-    return _CACHE[key]
+    default_engine().clear_memory()
 
 
 def evaluate_workload(
@@ -169,40 +374,21 @@ def evaluate_workload(
 ) -> WorkloadEvaluation:
     """Build, transform and simulate one workload configuration.
 
-    ``mechanism`` is one of ``"none"``, ``"vrp"`` or ``"vrs"``.  The result
-    is cached for the whole process so that tests and benchmark targets can
-    freely re-request configurations.
+    ``mechanism`` is one of ``"none"``, ``"vrp"`` or ``"vrs"``.  Results are
+    memoized for the whole process and persisted to the result store, so
+    tests and benchmark targets can freely re-request configurations — even
+    across processes.
     """
-    key = ("workload", workload.name, mechanism, threshold_nj, conventional_vrp)
+    from .engine import ExperimentConfig, default_engine
 
-    def build() -> WorkloadEvaluation:
-        program = workload.build()
-        vrp_result = None
-        vrs_result = None
-        if mechanism == "vrp":
-            config = VRPConfig().conventional() if conventional_vrp else VRPConfig()
-            workload.apply_input(program, "ref")
-            vrp_result = run_vrp(program, config)
-            apply_widths(program, vrp_result)
-        elif mechanism == "vrs":
-            workload.apply_input(program, "train")
-            vrs_result = run_vrs(program, VRSConfig(threshold_nj=threshold_nj))
-            vrp_result = vrs_result.vrp_after
-        workload.apply_input(program, "ref")
-        machine = Machine(program)
-        run = machine.run(collect_trace=True)
-        timing = OutOfOrderModel(machine_config).run(run.trace)
-        return WorkloadEvaluation(
-            workload=workload,
-            program=program,
-            trace=run.trace,
-            run=run,
-            timing=timing,
-            vrp_result=vrp_result,
-            vrs_result=vrs_result,
-        )
-
-    return _cached(key, build)
+    config = ExperimentConfig(
+        workload=workload.name,
+        mechanism=mechanism,
+        threshold_nj=threshold_nj,
+        conventional_vrp=conventional_vrp,
+        machine_config=machine_config,
+    )
+    return default_engine().evaluate(config, workload=workload)
 
 
 def evaluate_suite(
@@ -210,13 +396,21 @@ def evaluate_suite(
     threshold_nj: float = 50.0,
     conventional_vrp: bool = False,
 ) -> dict[str, WorkloadEvaluation]:
-    """Evaluate every workload of the SpecInt95-analogue suite."""
-    return {
-        workload.name: evaluate_workload(
-            workload,
+    """Evaluate every workload of the SpecInt95-analogue suite.
+
+    Configurations missing from both the in-process memo and the result
+    store are fanned out across the engine's worker pool.
+    """
+    from .engine import ExperimentConfig, default_engine
+
+    configs = [
+        ExperimentConfig(
+            workload=workload.name,
             mechanism=mechanism,
             threshold_nj=threshold_nj,
             conventional_vrp=conventional_vrp,
         )
         for workload in load_suite()
-    }
+    ]
+    evaluations = default_engine().map(configs)
+    return {evaluation.workload.name: evaluation for evaluation in evaluations}

@@ -22,13 +22,13 @@ def figure04_profiled_point_distribution(threshold_nj: float = 50.0) -> dict[str
     evaluations = evaluate_suite(mechanism="vrs", threshold_nj=threshold_nj)
     results: dict[str, dict[str, float]] = {}
     for name in SUITE_NAMES:
-        vrs = evaluations[name].vrs_result
-        total = max(vrs.points_profiled, 1)
+        vrs = evaluations[name].vrs_statistics()
+        total = max(vrs["points_profiled"], 1)
         results[name] = {
-            "points_profiled": float(vrs.points_profiled),
-            "specialized": vrs.points_specialized / total,
-            "dependent_on_another_point": vrs.points_dependent / total,
-            "no_benefit": vrs.points_no_benefit / total,
+            "points_profiled": float(vrs["points_profiled"]),
+            "specialized": vrs["points_specialized"] / total,
+            "dependent_on_another_point": vrs["points_dependent"] / total,
+            "no_benefit": vrs["points_no_benefit"] / total,
         }
     results["average"] = {
         key: sum(results[name][key] for name in SUITE_NAMES) / len(SUITE_NAMES)
@@ -42,9 +42,9 @@ def figure05_static_specialized_instructions(threshold_nj: float = 50.0) -> dict
     evaluations = evaluate_suite(mechanism="vrs", threshold_nj=threshold_nj)
     results: dict[str, dict[str, float]] = {}
     for name in SUITE_NAMES:
-        vrs = evaluations[name].vrs_result
-        specialized = vrs.static_specialized_instructions
-        eliminated = vrs.static_eliminated_instructions
+        vrs = evaluations[name].vrs_statistics()
+        specialized = vrs["static_specialized_instructions"]
+        eliminated = vrs["static_eliminated_instructions"]
         total = max(specialized + eliminated, 1)
         results[name] = {
             "total_static_instructions": float(specialized + eliminated),
@@ -64,25 +64,7 @@ def figure06_runtime_specialized_instructions(threshold_nj: float = 50.0) -> dic
     evaluations = evaluate_suite(mechanism="vrs", threshold_nj=threshold_nj)
     results: dict[str, dict[str, float]] = {}
     for name in SUITE_NAMES:
-        evaluation = evaluations[name]
-        vrs = evaluation.vrs_result
-        guard_uids = vrs.guard_uids
-        counts = evaluation.run.instruction_counts(evaluation.program)
-        total = sum(counts.values()) or 1
-        specialized = 0
-        guards = 0
-        for inst in evaluation.program.instructions():
-            count = counts.get(inst.uid, 0)
-            if count == 0:
-                continue
-            if inst.uid in guard_uids or inst.is_guard:
-                guards += count
-            elif inst.origin is not None:
-                specialized += count
-        results[name] = {
-            "specialized_instructions": specialized / total,
-            "specialization_comparisons": guards / total,
-        }
+        results[name] = dict(evaluations[name].runtime_specialization())
     results["average"] = {
         key: sum(results[name][key] for name in SUITE_NAMES) / len(SUITE_NAMES)
         for key in ("specialized_instructions", "specialization_comparisons")

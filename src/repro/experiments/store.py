@@ -1,0 +1,340 @@
+"""Content-addressed, on-disk store for experiment results.
+
+Every evaluated configuration is keyed by a SHA-256 hash over everything
+that can change its outcome: the workload's source text and input data, the
+mechanism and its parameters, the VRP/VRS configuration defaults, the
+machine configuration and the package/summary format versions.  Entries are
+JSON files holding an :class:`~repro.experiments.summary.EvaluationSummary`,
+so a fresh process (a new pytest session, a benchmark run, the CLI) can
+serve repeated configurations without a single simulator step.
+
+Environment variables:
+
+``REPRO_RESULT_STORE``
+    Relocates the store root, or disables persistence entirely when set to
+    ``off``/``0``/``disabled``/``none``.  The default root is
+    ``$XDG_CACHE_HOME/repro/results`` (``~/.cache/repro/results``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import shutil
+import tempfile
+import time
+from dataclasses import asdict, dataclass
+from functools import lru_cache
+from pathlib import Path
+from typing import Optional
+
+from .. import __version__
+from ..core import VRPConfig, VRSConfig
+from ..uarch import MachineConfig
+from ..workloads import Workload
+from .summary import SUMMARY_FORMAT_VERSION, EvaluationSummary
+
+__all__ = ["ResultStore", "StoreEntry", "config_key", "default_store_root"]
+
+_DISABLED_VALUES = ("off", "0", "disabled", "none", "false")
+
+#: Shape of a generation directory name (12-hex source-fingerprint prefix).
+_GENERATION_DIR_RE = re.compile(r"^[0-9a-f]{12}$")
+
+
+def default_store_root() -> Optional[Path]:
+    """Resolve the store root from the environment (None = disabled)."""
+    configured = os.environ.get("REPRO_RESULT_STORE", "")
+    if configured.lower() in _DISABLED_VALUES and configured:
+        return None
+    if configured:
+        return Path(configured).expanduser()
+    cache_home = os.environ.get("XDG_CACHE_HOME", "")
+    if not cache_home:
+        try:
+            cache_home = str(Path.home() / ".cache")
+        except RuntimeError:  # no resolvable home (bare container): disable
+            return None
+    return Path(cache_home).expanduser() / "repro" / "results"
+
+
+@lru_cache(maxsize=1)
+def _code_fingerprint() -> str:
+    """SHA-256 over every source file of the package.
+
+    Included in the configuration key so that *any* code change — a fixed
+    energy coefficient, a timing-model tweak — invalidates warm store
+    entries instead of silently serving stale numbers.  Computed once per
+    process (~100 small files).
+    """
+    package_root = Path(__file__).resolve().parents[1]
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+@lru_cache(maxsize=256)
+def _config_material(
+    mechanism: str,
+    threshold_nj: float,
+    conventional_vrp: bool,
+    machine_config: Optional[MachineConfig],
+) -> str:
+    """Workload-independent part of the key material (cached: memo hits in
+    hot sessions should not pay for config re-serialization)."""
+    vrp_config = VRPConfig().conventional() if conventional_vrp else VRPConfig()
+    material = {
+        "format": SUMMARY_FORMAT_VERSION,
+        "version": __version__,
+        "code": _code_fingerprint(),
+        "mechanism": mechanism,
+        "threshold_nj": threshold_nj,
+        "conventional_vrp": conventional_vrp,
+        "vrp_config": asdict(vrp_config),
+        "vrs_config": asdict(VRSConfig(threshold_nj=threshold_nj)),
+        "machine_config": asdict(machine_config or MachineConfig()),
+    }
+    return json.dumps(material, sort_keys=True, default=str)
+
+
+def config_key(
+    workload: Workload,
+    mechanism: str,
+    threshold_nj: float,
+    conventional_vrp: bool,
+    machine_config: Optional[MachineConfig] = None,
+) -> str:
+    """Content hash identifying one evaluated configuration.
+
+    The key covers the workload *content* (source and inputs, via
+    :meth:`Workload.content_hash`), the transformation parameters, the
+    analysis/specialization configuration defaults, the machine model and
+    the package + summary format versions — so any change that could alter
+    the stored numbers changes the key.
+    """
+    material = _config_material(mechanism, threshold_nj, conventional_vrp, machine_config)
+    blob = f"{workload.content_hash()}|{material}".encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """Metadata of one persisted result."""
+
+    key: str
+    path: Path
+    workload: str
+    mechanism: str
+    threshold_nj: float
+    conventional_vrp: bool
+    created: float
+    size_bytes: int
+
+
+class ResultStore:
+    """Persistent map from configuration key to :class:`EvaluationSummary`.
+
+    Writes are atomic (temp file + rename) so concurrent worker processes
+    can share one store; corrupted or schema-incompatible entries are
+    deleted on read and treated as misses.
+    """
+
+    def __init__(self, root: Optional[Path | str] = None) -> None:
+        if root is None:
+            resolved = default_store_root()
+        else:
+            resolved = Path(root).expanduser()
+        self.root = resolved
+        self._pruned_stale_generations = False
+
+    @property
+    def enabled(self) -> bool:
+        return self.root is not None
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    @property
+    def generation_root(self) -> Path:
+        """Entries live under a per-code-fingerprint *generation* directory.
+
+        Any source edit changes the fingerprint (and thus every key), which
+        would otherwise orphan old entries forever; grouping them by
+        generation lets :meth:`save` drop dead generations wholesale.
+        """
+        if self.root is None:
+            raise RuntimeError("result store is disabled (REPRO_RESULT_STORE=off)")
+        return self.root / _code_fingerprint()[:12]
+
+    def path_for(self, key: str) -> Path:
+        return self.generation_root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # Read / write
+    # ------------------------------------------------------------------
+    def load(self, key: str) -> Optional[EvaluationSummary]:
+        """Return the stored summary for ``key``, or None on miss.
+
+        A corrupted entry (truncated write, schema drift, hand edits) is
+        removed so the caller recomputes and overwrites it; a transient read
+        failure (fd pressure, momentary permission hiccup on a shared cache
+        dir) is treated as a plain miss and the entry is kept.
+        """
+        if self.root is None:
+            return None
+        path = self.path_for(key)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except OSError:
+            return None
+        except ValueError:
+            self._evict(path)
+            return None
+        try:
+            return EvaluationSummary.from_json_dict(payload["summary"])
+        except (ValueError, KeyError, TypeError):
+            self._evict(path)
+            return None
+
+    @staticmethod
+    def _evict(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def save(self, key: str, summary: EvaluationSummary) -> Optional[Path]:
+        """Persist ``summary`` under ``key``; returns the entry path.
+
+        Persistence is best-effort: a computed result must never be lost to
+        an unwritable store (read-only home, full disk), so write failures
+        return None instead of raising.
+        """
+        if self.root is None:
+            return None
+        try:
+            return self._save(key, summary)
+        except OSError:
+            return None
+
+    def _save(self, key: str, summary: EvaluationSummary) -> Path:
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "key": key,
+            "meta": {
+                "workload": summary.workload,
+                "mechanism": summary.mechanism,
+                "threshold_nj": summary.threshold_nj,
+                "conventional_vrp": summary.conventional_vrp,
+                "created": time.time(),
+                "version": __version__,
+            },
+            "summary": summary.to_json_dict(),
+        }
+        handle = tempfile.NamedTemporaryFile(
+            mode="w",
+            encoding="utf-8",
+            dir=path.parent,
+            prefix=f".{key[:8]}-",
+            suffix=".tmp",
+            delete=False,
+        )
+        try:
+            with handle:
+                json.dump(payload, handle)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        self._prune_stale_generations()
+        return path
+
+    def _prune_stale_generations(self) -> None:
+        """Drop entry directories written by other code generations.
+
+        Their keys can never be requested again (the fingerprint is part of
+        every key), so without this the default store would grow by one dead
+        generation per source edit, forever.  Runs once per store instance,
+        on first successful save.
+
+        Only directories that *look like* generation dirs (12 lowercase hex
+        chars) are touched: the user may point ``REPRO_RESULT_STORE`` at a
+        directory containing unrelated data, which must never be deleted.
+        """
+        if self._pruned_stale_generations or self.root is None:
+            return
+        self._pruned_stale_generations = True
+        current = self.generation_root.name
+        try:
+            children = list(self.root.iterdir())
+        except OSError:
+            return
+        for child in children:
+            if (
+                child.is_dir()
+                and child.name != current
+                and _GENERATION_DIR_RE.fullmatch(child.name)
+            ):
+                shutil.rmtree(child, ignore_errors=True)
+
+    # ------------------------------------------------------------------
+    # Inspection / maintenance
+    # ------------------------------------------------------------------
+    def entries(self) -> list[StoreEntry]:
+        """Metadata of every persisted result of the current code generation,
+        newest first."""
+        if self.root is None or not self.generation_root.exists():
+            return []
+        found: list[StoreEntry] = []
+        for path in self.generation_root.glob("*/*.json"):
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    payload = json.load(handle)
+                meta = payload["meta"]
+                found.append(
+                    StoreEntry(
+                        key=payload["key"],
+                        path=path,
+                        workload=meta["workload"],
+                        mechanism=meta["mechanism"],
+                        threshold_nj=meta["threshold_nj"],
+                        conventional_vrp=meta["conventional_vrp"],
+                        created=meta["created"],
+                        size_bytes=path.stat().st_size,
+                    )
+                )
+            except (OSError, ValueError, KeyError):
+                continue
+        found.sort(key=lambda entry: entry.created, reverse=True)
+        return found
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of entry files removed.
+
+        Orphaned temp files (left by a process killed mid-``save``) are
+        swept as well, though they do not count as entries.
+        """
+        if self.root is None or not self.root.exists():
+            return 0
+        removed = len(self.entries())
+        # Wipe every generation (current and stale), which also sweeps any
+        # orphaned temp files inside them.  Non-generation directories are
+        # untouched: the configured root may hold unrelated user data.
+        try:
+            children = list(self.root.iterdir())
+        except OSError:
+            return 0
+        for child in children:
+            if child.is_dir() and _GENERATION_DIR_RE.fullmatch(child.name):
+                shutil.rmtree(child, ignore_errors=True)
+        return removed

@@ -1,0 +1,269 @@
+"""Serializable summaries of one workload evaluation.
+
+The persistent result store (:mod:`repro.experiments.store`) keeps the
+*outcomes* of a simulation — timing, per-policy energy breakdowns, dynamic
+width/size/operation distributions and the VRP/VRS statistics the figure
+functions consume — but never the raw trace, which is three orders of
+magnitude larger and cheap to regenerate when genuinely needed.  This module
+defines that summary record plus the trace-aggregation helpers shared by the
+live path (fresh simulation) and the figure modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from ..isa import OpKind, Width, significant_bytes
+from ..isa.opcodes import OPERATION_TYPE
+from ..power import EnergyBreakdown
+from ..uarch import TimingResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from ..core.vrp import VRPResult
+    from ..core.vrs import VRSResult
+    from ..ir import Program
+    from ..sim import RunResult, Trace
+
+__all__ = [
+    "COUNTED_KINDS",
+    "EvaluationSummary",
+    "SUMMARY_FORMAT_VERSION",
+    "aggregate_trace",
+    "counted_width_counts",
+    "operation_type_width_counts",
+    "result_size_histogram",
+    "runtime_specialization_fractions",
+    "vrp_stats",
+    "vrs_stats",
+]
+
+#: Bump when the summary schema changes; stored entries with another format
+#: version are treated as misses.
+SUMMARY_FORMAT_VERSION = 1
+
+#: Instruction kinds counted in the width distributions: the paper's
+#: technique applies to integer computation, not to control flow.
+COUNTED_KINDS = frozenset(
+    {
+        OpKind.ALU,
+        OpKind.MUL,
+        OpKind.LOGICAL,
+        OpKind.SHIFT,
+        OpKind.COMPARE,
+        OpKind.CMOV,
+        OpKind.MASK,
+        OpKind.EXTEND,
+        OpKind.MOVE,
+        OpKind.LOAD,
+        OpKind.STORE,
+    }
+)
+
+
+# ----------------------------------------------------------------------
+# Trace aggregation helpers
+# ----------------------------------------------------------------------
+def aggregate_trace(
+    trace: "Trace",
+) -> tuple[dict[Width, int], dict[Width, int], dict[int, int], dict[str, dict[Width, int]]]:
+    """All four dynamic distributions in a single pass over the trace.
+
+    Returns ``(width_distribution, counted_width_counts,
+    result_size_histogram, operation_type_width_counts)`` — semantically
+    identical to the individual helpers below, fused because summarization
+    runs over every record of every cold evaluation.
+    """
+    width_distribution: dict[Width, int] = {w: 0 for w in Width.all_widths()}
+    counted: dict[Width, int] = {w: 0 for w in Width.all_widths()}
+    sizes = {size: 0 for size in range(1, 9)}
+    per_type: dict[str, dict[Width, int]] = {}
+    static = trace.static
+    for record in trace.records:
+        entry = static[record.uid]
+        kind = entry.kind
+        width = entry.memory_width if entry.memory_width is not None else entry.width
+        width_distribution[width] += 1
+        if kind in COUNTED_KINDS:
+            counted[width] += 1
+            if kind not in (OpKind.LOAD, OpKind.STORE, OpKind.MOVE):
+                op_type = OPERATION_TYPE[entry.opcode]
+                widths = per_type.setdefault(op_type, {w: 0 for w in Width.all_widths()})
+                widths[entry.width] += 1
+        if record.result is not None:
+            sizes[significant_bytes(record.result)] += 1
+    return width_distribution, counted, sizes, per_type
+
+
+def counted_width_counts(trace: "Trace") -> dict[Width, int]:
+    """Dynamic width counts restricted to :data:`COUNTED_KINDS`.
+
+    Derived from :func:`aggregate_trace` so the counting semantics cannot
+    drift between the live accessors and the persisted summaries.
+    """
+    return aggregate_trace(trace)[1]
+
+
+def result_size_histogram(trace: "Trace") -> dict[int, int]:
+    """Histogram of result-value sizes in significant bytes (Figure 12)."""
+    return aggregate_trace(trace)[2]
+
+
+def operation_type_width_counts(trace: "Trace") -> dict[str, dict[Width, int]]:
+    """Dynamic per-operation-type width counts (Table 3).
+
+    Loads, stores and moves are excluded: the table lists computation
+    classes only.
+    """
+    return aggregate_trace(trace)[3]
+
+
+def runtime_specialization_fractions(
+    program: "Program", run: "RunResult", vrs_result: "VRSResult"
+) -> dict[str, float]:
+    """Fraction of executed instructions that are specialized code / guards
+    (Figure 6)."""
+    guard_uids = vrs_result.guard_uids
+    counts = run.instruction_counts(program)
+    total = sum(counts.values()) or 1
+    specialized = 0
+    guards = 0
+    for inst in program.instructions():
+        count = counts.get(inst.uid, 0)
+        if count == 0:
+            continue
+        if inst.uid in guard_uids or inst.is_guard:
+            guards += count
+        elif inst.origin is not None:
+            specialized += count
+    return {
+        "specialized_instructions": specialized / total,
+        "specialization_comparisons": guards / total,
+    }
+
+
+def vrp_stats(vrp_result: "VRPResult") -> dict[str, object]:
+    """The VRP statistics worth keeping once the result object is gone."""
+    return {
+        "narrowed_instructions": vrp_result.narrowed_instructions(),
+        "static_width_distribution": {
+            int(width): count for width, count in vrp_result.static_width_distribution().items()
+        },
+        "analysis_seconds": vrp_result.analysis_seconds,
+        "global_rounds": vrp_result.global_rounds,
+    }
+
+
+def vrs_stats(vrs_result: "VRSResult") -> dict[str, object]:
+    """The VRS statistics consumed by Figures 4 and 5."""
+    return {
+        "points_profiled": vrs_result.points_profiled,
+        "points_specialized": vrs_result.points_specialized,
+        "points_dependent": vrs_result.points_dependent,
+        "points_no_benefit": vrs_result.points_no_benefit,
+        "static_specialized_instructions": vrs_result.static_specialized_instructions,
+        "static_eliminated_instructions": vrs_result.static_eliminated_instructions,
+    }
+
+
+# ----------------------------------------------------------------------
+# The summary record
+# ----------------------------------------------------------------------
+@dataclass
+class EvaluationSummary:
+    """Everything the figure/table experiments need from one configuration.
+
+    All fields survive a JSON round trip; :class:`Width` keys are encoded as
+    their bit counts.
+    """
+
+    workload: str
+    mechanism: str
+    threshold_nj: float
+    conventional_vrp: bool
+    instructions: int
+    output: list[int]
+    timing: TimingResult
+    energies: dict[str, EnergyBreakdown]
+    width_distribution: dict[Width, int]
+    counted_widths: dict[Width, int]
+    result_sizes: dict[int, int]
+    operation_types: dict[str, dict[Width, int]]
+    vrp: Optional[dict] = None
+    vrs: Optional[dict] = None
+    runtime_specialization: Optional[dict] = None
+    format_version: int = SUMMARY_FORMAT_VERSION
+    extra: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # JSON round trip
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> dict:
+        return {
+            "format_version": self.format_version,
+            "workload": self.workload,
+            "mechanism": self.mechanism,
+            "threshold_nj": self.threshold_nj,
+            "conventional_vrp": self.conventional_vrp,
+            "instructions": self.instructions,
+            "output": list(self.output),
+            "timing": asdict(self.timing),
+            "energies": {name: asdict(breakdown) for name, breakdown in self.energies.items()},
+            "width_distribution": {int(w): c for w, c in self.width_distribution.items()},
+            "counted_widths": {int(w): c for w, c in self.counted_widths.items()},
+            "result_sizes": {int(size): c for size, c in self.result_sizes.items()},
+            "operation_types": {
+                op_type: {int(w): c for w, c in widths.items()}
+                for op_type, widths in self.operation_types.items()
+            },
+            "vrp": self.vrp,
+            "vrs": self.vrs,
+            "runtime_specialization": self.runtime_specialization,
+            "extra": self.extra,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "EvaluationSummary":
+        if data["format_version"] != SUMMARY_FORMAT_VERSION:
+            raise ValueError(
+                f"summary format {data['format_version']!r} != {SUMMARY_FORMAT_VERSION}"
+            )
+        vrp = data.get("vrp")
+        if vrp is not None and "static_width_distribution" in vrp:
+            # JSON stringifies the int bit-count keys; restore them so live
+            # and restored vrp_statistics() are observationally identical.
+            vrp = dict(
+                vrp,
+                static_width_distribution={
+                    int(bits): count
+                    for bits, count in vrp["static_width_distribution"].items()
+                },
+            )
+        return cls(
+            workload=data["workload"],
+            mechanism=data["mechanism"],
+            threshold_nj=data["threshold_nj"],
+            conventional_vrp=data["conventional_vrp"],
+            instructions=data["instructions"],
+            output=list(data["output"]),
+            timing=TimingResult(**data["timing"]),
+            energies={
+                name: EnergyBreakdown(**breakdown) for name, breakdown in data["energies"].items()
+            },
+            width_distribution=_width_keys(data["width_distribution"]),
+            counted_widths=_width_keys(data["counted_widths"]),
+            result_sizes={int(size): count for size, count in data["result_sizes"].items()},
+            operation_types={
+                op_type: _width_keys(widths) for op_type, widths in data["operation_types"].items()
+            },
+            vrp=vrp,
+            vrs=data.get("vrs"),
+            runtime_specialization=data.get("runtime_specialization"),
+            format_version=data["format_version"],
+            extra=data.get("extra", {}),
+        )
+
+
+def _width_keys(mapping: dict) -> dict[Width, int]:
+    """Rebuild ``Width`` keys from their JSON encoding (bit counts)."""
+    return {Width(int(bits)): count for bits, count in mapping.items()}

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from .basic_block import BasicBlock
 from .function import Function
 
 __all__ = ["build_cfg", "reverse_postorder", "postorder"]

@@ -10,7 +10,6 @@ fact that the paper's technique targets simple integer operations).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from . import ast_nodes as ast
 from .tokens import MiniCError

@@ -14,12 +14,23 @@ of the system needs:
 * a full dynamic trace (timing model, power model, hardware schemes),
 * value observations at watched instructions (the Calder-style value
   profiler used by VRS).
+
+Two interpreter loops are provided.  The *reference* loop decodes every
+instruction on every dynamic step (attribute loads, kind dispatch, operand
+``isinstance`` checks).  The *fast-dispatch* loop — the default — compiles
+each static instruction once per run into a closure with its opcode
+semantics, operand slots, width wrap, trace emission and successor program
+counter already resolved, so the hot loop is a single indexed call per
+dynamic instruction.  Both produce bit-identical :class:`RunResult`/
+:class:`Trace` contents; select the reference loop with
+``Machine.run(fast_dispatch=False)`` or ``REPRO_SIM_DISPATCH=reference``.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Optional, Protocol
+from typing import Callable, Optional, Protocol
 
 from ..isa import Imm, Instruction, Opcode, OpKind, Reg, Width, to_signed
 from ..isa.semantics import (
@@ -37,6 +48,38 @@ __all__ = ["Machine", "RunResult", "SimulationError", "SimulationLimitExceeded",
 
 #: Base address of the (virtual) code segment; instructions are 4 bytes.
 CODE_BASE_ADDRESS = 0x1000
+
+#: Sentinel program counter returned by fast-dispatch handlers to halt.
+_HALT_PC = -1
+
+_UINT64 = (1 << 64) - 1
+
+
+def _operand_slot(operand) -> tuple[int, int]:
+    """Resolve an operand to ``(register_index, constant)`` at compile time.
+
+    A register index of ``-1`` means the operand is a constant: either an
+    immediate or the hardwired zero register.
+    """
+    if isinstance(operand, Imm):
+        return -1, operand.value
+    if operand.index == 31:
+        return -1, 0
+    return operand.index, 0
+
+
+def _count_block_entry(
+    block_counts: dict[tuple[str, str], int],
+    block_key: tuple[str, str],
+    inner: "Callable[[], int]",
+) -> "Callable[[], int]":
+    """Wrap the first handler of a basic block with an entry counter."""
+
+    def handler() -> int:
+        block_counts[block_key] = block_counts.get(block_key, 0) + 1
+        return inner()
+
+    return handler
 
 
 class SimulationError(Exception):
@@ -80,12 +123,35 @@ class RunResult:
         return counts
 
 
+def _default_fast_dispatch() -> bool:
+    """Fast dispatch is on unless ``REPRO_SIM_DISPATCH`` opts out.
+
+    The opt-out vocabulary is a superset of ``REPRO_RESULT_STORE``'s
+    disabled values, so either spelling works for both variables.
+    """
+    return os.environ.get("REPRO_SIM_DISPATCH", "fast").lower() not in (
+        "reference",
+        "slow",
+        "0",
+        "off",
+        "false",
+        "disabled",
+        "none",
+    )
+
+
 class Machine:
     """Functional simulator."""
 
-    def __init__(self, program: Program, max_instructions: int = 20_000_000) -> None:
+    def __init__(
+        self,
+        program: Program,
+        max_instructions: int = 20_000_000,
+        fast_dispatch: Optional[bool] = None,
+    ) -> None:
         self.program = program
         self.max_instructions = max_instructions
+        self.fast_dispatch = _default_fast_dispatch() if fast_dispatch is None else fast_dispatch
         # Flatten the program into an address-indexed instruction sequence.
         self._flat: list[tuple[str, str, Instruction]] = []
         self._block_start: dict[tuple[str, str], int] = {}
@@ -118,6 +184,7 @@ class Machine:
         collect_trace: bool = False,
         value_observer: Optional[ValueObserver] = None,
         arguments: Optional[list[int]] = None,
+        fast_dispatch: Optional[bool] = None,
     ) -> RunResult:
         """Execute the program from its entry function until HALT.
 
@@ -127,7 +194,21 @@ class Machine:
             value_observer: optional value-profiling hook.
             arguments: optional initial values for the argument registers of
                 the entry function (``a0``, ``a1``...).
+            fast_dispatch: override the machine's dispatch mode for this run
+                (``False`` selects the reference decode-every-step loop).
         """
+        fast = self.fast_dispatch if fast_dispatch is None else fast_dispatch
+        if fast:
+            return self._run_fast(collect_trace, value_observer, arguments)
+        return self._run_reference(collect_trace, value_observer, arguments)
+
+    def _run_reference(
+        self,
+        collect_trace: bool = False,
+        value_observer: Optional[ValueObserver] = None,
+        arguments: Optional[list[int]] = None,
+    ) -> RunResult:
+        """The original decode-every-step interpreter loop."""
         regs = [0] * 32
         regs[30] = STACK_BASE_ADDRESS
         memory = Memory()
@@ -153,7 +234,6 @@ class Machine:
 
         executed = 0
         halted = False
-        current_block_key: Optional[tuple[str, str]] = None
 
         while True:
             if pc >= len(self._flat):
@@ -162,7 +242,6 @@ class Machine:
             block_key = (function_name, block_label)
             if self._block_start[block_key] == pc:
                 block_counts[block_key] = block_counts.get(block_key, 0) + 1
-                current_block_key = block_key
 
             executed += 1
             if executed > self.max_instructions:
@@ -297,6 +376,546 @@ class Machine:
             trace=trace,
             call_counts=call_counts,
         )
+
+    # ------------------------------------------------------------------
+    # Fast dispatch
+    # ------------------------------------------------------------------
+    def _run_fast(
+        self,
+        collect_trace: bool = False,
+        value_observer: Optional[ValueObserver] = None,
+        arguments: Optional[list[int]] = None,
+    ) -> RunResult:
+        """Threaded-code interpreter: one precompiled closure per static pc.
+
+        Every closure returns the next program counter (``_HALT_PC`` to
+        stop); the hot loop is reduced to an index, a call and the dynamic
+        instruction-limit check.
+        """
+        regs = [0] * 32
+        regs[30] = STACK_BASE_ADDRESS
+        memory = Memory()
+        load_program_data(memory, self.program)
+        if arguments:
+            for index, value in enumerate(arguments[:6]):
+                regs[16 + index] = to_signed(value)
+
+        entry = self.program.entry
+        if entry not in self._function_entry:
+            raise SimulationError(f"entry function {entry!r} not found")
+        pc = self._function_entry[entry]
+        stop_address = self.address_of_index(len(self._flat) + 16)
+        regs[26] = stop_address
+
+        block_counts: dict[tuple[str, str], int] = {}
+        call_counts: dict[str, int] = {}
+        records: list[TraceRecord] = []
+        output: list[int] = []
+
+        handlers = self._compile_handlers(
+            regs,
+            memory,
+            records.append if collect_trace else None,
+            output,
+            block_counts,
+            call_counts,
+            value_observer,
+            stop_address,
+        )
+
+        executed = 0
+        limit = self.max_instructions
+        try:
+            while pc >= 0:
+                executed += 1
+                if executed > limit:
+                    raise SimulationLimitExceeded(
+                        f"exceeded the limit of {self.max_instructions} dynamic instructions"
+                    )
+                pc = handlers[pc]()
+        except IndexError:
+            if 0 <= pc < len(handlers):
+                # The dispatch index was valid, so the IndexError escaped a
+                # handler body (e.g. a buggy value observer) — surface it.
+                raise
+            raise SimulationError("program counter ran past the end of the program") from None
+
+        trace = Trace(records=records, static=self.static_info) if collect_trace else None
+        return RunResult(
+            instructions=executed,
+            output=output,
+            block_counts=block_counts,
+            halted=True,
+            trace=trace,
+            call_counts=call_counts,
+        )
+
+    def _compile_handlers(
+        self,
+        regs: list[int],
+        memory: Memory,
+        append: Optional[Callable[[TraceRecord], None]],
+        output: list[int],
+        block_counts: dict[tuple[str, str], int],
+        call_counts: dict[str, int],
+        value_observer: Optional[ValueObserver],
+        stop_address: int,
+    ) -> list[Callable[[], int]]:
+        """Compile one handler closure per flattened instruction.
+
+        Compilation cost is proportional to the *static* program size and is
+        paid once per run; the run state (register file, memory, trace list)
+        is captured directly in the closures so the per-step dispatch does no
+        attribute or dictionary lookups.
+        """
+        watched = value_observer.watched_uids if value_observer is not None else frozenset()
+        handlers: list[Callable[[], int]] = []
+        for pc, (function_name, block_label, inst) in enumerate(self._flat):
+            observe = (
+                value_observer.observe
+                if value_observer is not None and inst.uid in watched
+                else None
+            )
+            handler = self._compile_instruction(
+                pc,
+                function_name,
+                inst,
+                regs,
+                memory,
+                append,
+                output,
+                call_counts,
+                observe,
+                stop_address,
+            )
+            block_key = (function_name, block_label)
+            if self._block_start[block_key] == pc:
+                handler = _count_block_entry(block_counts, block_key, handler)
+            handlers.append(handler)
+        return handlers
+
+    def _compile_instruction(
+        self,
+        pc: int,
+        function_name: str,
+        inst: Instruction,
+        regs: list[int],
+        memory: Memory,
+        append: Optional[Callable[[TraceRecord], None]],
+        output: list[int],
+        call_counts: dict[str, int],
+        observe: Optional[Callable[[int, int], None]],
+        stop_address: int,
+    ) -> Callable[[], int]:
+        op = inst.op
+        kind = inst.kind
+        width = inst.width
+        uid = inst.uid
+        addr = self.address_of_index(pc)
+        next_pc = pc + 1
+        nxt = self.address_of_index(next_pc)
+        di = -1 if inst.dest is None or inst.dest.index == 31 else inst.dest.index
+        # Bind globals used on the hot path into closure cells: a cell load is
+        # cheaper than a global dictionary lookup on every dynamic instruction.
+        record = TraceRecord
+        wrap = wrap_to_width
+        signed64 = to_signed
+
+        if kind is OpKind.ALU or kind is OpKind.MUL or kind is OpKind.LOGICAL or kind is OpKind.SHIFT:
+            fn = _ARITH[op]
+            ai, av = _operand_slot(inst.srcs[0])
+            bi, bv = _operand_slot(inst.srcs[1])
+            if append is None and observe is None:
+
+                def handler() -> int:
+                    a = regs[ai] if ai >= 0 else av
+                    b = regs[bi] if bi >= 0 else bv
+                    if di >= 0:
+                        regs[di] = fn(a, b, width)
+                    return next_pc
+
+            else:
+
+                def handler() -> int:
+                    a = regs[ai] if ai >= 0 else av
+                    b = regs[bi] if bi >= 0 else bv
+                    result = fn(a, b, width)
+                    if di >= 0:
+                        regs[di] = result
+                    if observe is not None:
+                        observe(uid, result)
+                    if append is not None:
+                        append(record(uid, addr, (a, b), result, None, None, nxt))
+                    return next_pc
+
+            return handler
+
+        if kind is OpKind.COMPARE:
+            cmp = _COMPARE[op]
+            ai, av = _operand_slot(inst.srcs[0])
+            bi, bv = _operand_slot(inst.srcs[1])
+            if append is None and observe is None:
+
+                def handler() -> int:
+                    a = regs[ai] if ai >= 0 else av
+                    b = regs[bi] if bi >= 0 else bv
+                    if di >= 0:
+                        regs[di] = cmp(a, b)
+                    return next_pc
+
+            else:
+
+                def handler() -> int:
+                    a = regs[ai] if ai >= 0 else av
+                    b = regs[bi] if bi >= 0 else bv
+                    result = cmp(a, b)
+                    if di >= 0:
+                        regs[di] = result
+                    if observe is not None:
+                        observe(uid, result)
+                    if append is not None:
+                        append(record(uid, addr, (a, b), result, None, None, nxt))
+                    return next_pc
+
+            return handler
+
+        if kind is OpKind.CMOV:
+            take_on_zero = op is Opcode.CMOVEQ
+            ci, cv = _operand_slot(inst.srcs[0])
+            vi, vv = _operand_slot(inst.srcs[1])
+            if append is None and observe is None:
+
+                def handler() -> int:
+                    cond = regs[ci] if ci >= 0 else cv
+                    value = regs[vi] if vi >= 0 else vv
+                    old = regs[di] if di >= 0 else 0
+                    take = cond == 0 if take_on_zero else cond != 0
+                    if di >= 0:
+                        regs[di] = wrap(value, width) if take else old
+                    return next_pc
+
+            else:
+
+                def handler() -> int:
+                    cond = regs[ci] if ci >= 0 else cv
+                    value = regs[vi] if vi >= 0 else vv
+                    old = regs[di] if di >= 0 else 0
+                    take = cond == 0 if take_on_zero else cond != 0
+                    result = wrap(value, width) if take else old
+                    if di >= 0:
+                        regs[di] = result
+                    if observe is not None:
+                        observe(uid, result)
+                    if append is not None:
+                        append(record(uid, addr, (cond, value, old), result, None, None, nxt))
+                    return next_pc
+
+            return handler
+
+        if kind is OpKind.MASK or kind is OpKind.EXTEND:
+            mask = _MASK[op]
+            ai, av = _operand_slot(inst.srcs[0])
+            if append is None and observe is None:
+
+                def handler() -> int:
+                    a = regs[ai] if ai >= 0 else av
+                    if di >= 0:
+                        regs[di] = mask(a)
+                    return next_pc
+
+            else:
+
+                def handler() -> int:
+                    a = regs[ai] if ai >= 0 else av
+                    result = mask(a)
+                    if di >= 0:
+                        regs[di] = result
+                    if observe is not None:
+                        observe(uid, result)
+                    if append is not None:
+                        append(record(uid, addr, (a,), result, None, None, nxt))
+                    return next_pc
+
+            return handler
+
+        if kind is OpKind.MOVE:
+            if op is Opcode.LI:
+                ai, av = _operand_slot(inst.srcs[0])
+
+                def handler() -> int:
+                    result = signed64(regs[ai]) if ai >= 0 else signed64(av)
+                    if di >= 0:
+                        regs[di] = result
+                    if observe is not None:
+                        observe(uid, result)
+                    if append is not None:
+                        append(record(uid, addr, (), result, None, None, nxt))
+                    return next_pc
+
+                return handler
+            if op is Opcode.MOV:
+                ai, av = _operand_slot(inst.srcs[0])
+                if ai >= 0:
+                    # Register values are already signed; store as-is.
+                    def handler() -> int:
+                        a = regs[ai]
+                        if di >= 0:
+                            regs[di] = a
+                        if observe is not None:
+                            observe(uid, a)
+                        if append is not None:
+                            append(record(uid, addr, (a,), a, None, None, nxt))
+                        return next_pc
+
+                    return handler
+                # Immediate source: the reference loop records the raw bit
+                # pattern but writes it through to_signed — precompute both.
+                stored = signed64(av)
+
+                def handler() -> int:
+                    if di >= 0:
+                        regs[di] = stored
+                    if observe is not None:
+                        observe(uid, av)
+                    if append is not None:
+                        append(record(uid, addr, (av,), av, None, None, nxt))
+                    return next_pc
+
+                return handler
+            # LDA
+            ai, av = _operand_slot(inst.srcs[0])
+            bi, bv = _operand_slot(inst.srcs[1])
+
+            def handler() -> int:
+                a = regs[ai] if ai >= 0 else av
+                offset = regs[bi] if bi >= 0 else bv
+                result = wrap(a + offset, Width.QUAD)
+                if di >= 0:
+                    regs[di] = result
+                if observe is not None:
+                    observe(uid, result)
+                if append is not None:
+                    append(record(uid, addr, (a,), result, None, None, nxt))
+                return next_pc
+
+            return handler
+
+        if kind is OpKind.LOAD:
+            ai, av = _operand_slot(inst.srcs[0])
+            bi, bv = _operand_slot(inst.srcs[1])
+            memory_width = inst.memory_width
+            signed = op in (Opcode.LDW, Opcode.LDQ)
+            load = memory.load
+            if append is None and observe is None:
+
+                def handler() -> int:
+                    base = regs[ai] if ai >= 0 else av
+                    offset = regs[bi] if bi >= 0 else bv
+                    if di >= 0:
+                        regs[di] = load((base + offset) & _UINT64, memory_width, signed)
+                    return next_pc
+
+            else:
+
+                def handler() -> int:
+                    base = regs[ai] if ai >= 0 else av
+                    offset = regs[bi] if bi >= 0 else bv
+                    mem_address = (base + offset) & _UINT64
+                    result = load(mem_address, memory_width, signed)
+                    if di >= 0:
+                        regs[di] = result
+                    if observe is not None:
+                        observe(uid, result)
+                    if append is not None:
+                        append(record(uid, addr, (base,), result, mem_address, None, nxt))
+                    return next_pc
+
+            return handler
+
+        if kind is OpKind.STORE:
+            vi, vv = _operand_slot(inst.srcs[0])
+            ai, av = _operand_slot(inst.srcs[1])
+            bi, bv = _operand_slot(inst.srcs[2])
+            memory_width = inst.memory_width
+            store = memory.store
+            if append is None:
+
+                def handler() -> int:
+                    value = regs[vi] if vi >= 0 else vv
+                    base = regs[ai] if ai >= 0 else av
+                    offset = regs[bi] if bi >= 0 else bv
+                    store((base + offset) & _UINT64, value, memory_width)
+                    return next_pc
+
+            else:
+
+                def handler() -> int:
+                    value = regs[vi] if vi >= 0 else vv
+                    base = regs[ai] if ai >= 0 else av
+                    offset = regs[bi] if bi >= 0 else bv
+                    mem_address = (base + offset) & _UINT64
+                    store(mem_address, value, memory_width)
+                    append(record(uid, addr, (value, base), None, mem_address, None, nxt))
+                    return next_pc
+
+            return handler
+
+        if kind is OpKind.BRANCH:
+            taken_pc = self._block_start.get((function_name, inst.target))
+            if taken_pc is None:
+                # Malformed (or dead) branch to a pruned label: defer the
+                # lookup to execution so a never-taken branch behaves exactly
+                # like the reference loop, and a taken one fails identically.
+                block_start = self._block_start
+                target = inst.target
+                if op is Opcode.BR:
+
+                    def handler() -> int:
+                        return block_start[(function_name, target)]
+
+                    return handler
+                pred = _BRANCH[op]
+                ci, cv = _operand_slot(inst.srcs[0])
+
+                def handler() -> int:
+                    cond = regs[ci] if ci >= 0 else cv
+                    if pred(cond):
+                        return block_start[(function_name, target)]
+                    if append is not None:
+                        append(record(uid, addr, (cond,), None, None, False, nxt))
+                    return next_pc
+
+                return handler
+            if op is Opcode.BR:
+                if append is None:
+
+                    def handler() -> int:
+                        return taken_pc
+
+                else:
+                    taken_addr = self.address_of_index(taken_pc)
+
+                    def handler() -> int:
+                        append(record(uid, addr, (), None, None, True, taken_addr))
+                        return taken_pc
+
+                return handler
+            pred = _BRANCH[op]
+            ci, cv = _operand_slot(inst.srcs[0])
+            if append is None:
+
+                def handler() -> int:
+                    cond = regs[ci] if ci >= 0 else cv
+                    return taken_pc if pred(cond) else next_pc
+
+            else:
+                taken_addr = self.address_of_index(taken_pc)
+
+                def handler() -> int:
+                    cond = regs[ci] if ci >= 0 else cv
+                    if pred(cond):
+                        append(record(uid, addr, (cond,), None, None, True, taken_addr))
+                        return taken_pc
+                    append(record(uid, addr, (cond,), None, None, False, nxt))
+                    return next_pc
+
+            return handler
+
+        if kind is OpKind.CALL:
+            return_address = self.address_of_index(pc + 1)
+            target = inst.target
+            target_pc = self._function_entry.get(target)
+            if target_pc is None:
+                # Dead call to a removed function: resolve at execution so
+                # the failure (and its KeyError) matches the reference loop,
+                # after the return-address write exactly as the reference
+                # loop orders it.
+                function_entry = self._function_entry
+
+                def handler() -> int:
+                    if di >= 0:
+                        regs[di] = return_address
+                    return function_entry[target]
+
+                return handler
+            target_addr = self.address_of_index(target_pc)
+
+            def handler() -> int:
+                if di >= 0:
+                    regs[di] = return_address
+                call_counts[target] = call_counts.get(target, 0) + 1
+                if observe is not None:
+                    observe(uid, return_address)
+                if append is not None:
+                    append(record(uid, addr, (), return_address, None, True, target_addr))
+                return target_pc
+
+            return handler
+
+        if kind is OpKind.RETURN:
+            ai, av = _operand_slot(inst.srcs[0])
+            index_of_address = self.index_of_address
+
+            def handler() -> int:
+                address = regs[ai] if ai >= 0 else av
+                if address == stop_address:
+                    if append is not None:
+                        append(record(uid, addr, (address,), None, None, True, nxt))
+                    return _HALT_PC
+                return_pc = index_of_address(address)
+                if append is not None:
+                    append(
+                        TraceRecord(
+                            uid,
+                            addr,
+                            (address,),
+                            None,
+                            None,
+                            True,
+                            CODE_BASE_ADDRESS + 4 * return_pc,
+                        )
+                    )
+                return return_pc
+
+            return handler
+
+        if kind is OpKind.HALT:
+
+            def handler() -> int:
+                if append is not None:
+                    append(record(uid, addr, (), None, None, None, nxt))
+                return _HALT_PC
+
+            return handler
+
+        if kind is OpKind.OUTPUT:
+            vi, vv = _operand_slot(inst.srcs[0])
+            emit = output.append
+
+            def handler() -> int:
+                value = regs[vi] if vi >= 0 else vv
+                emit(value)
+                if append is not None:
+                    append(record(uid, addr, (value,), None, None, None, nxt))
+                return next_pc
+
+            return handler
+
+        if kind is OpKind.NOP:
+            if append is None:
+
+                def handler() -> int:
+                    return next_pc
+
+            else:
+
+                def handler() -> int:
+                    append(record(uid, addr, (), None, None, None, nxt))
+                    return next_pc
+
+            return handler
+
+        raise SimulationError(f"cannot execute {inst}")  # pragma: no cover
 
     # ------------------------------------------------------------------
     # Register access

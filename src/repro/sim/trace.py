@@ -130,3 +130,17 @@ class Trace:
 
     def __iter__(self):
         return iter(self.records)
+
+    def width_distribution(self) -> dict[Width, int]:
+        """Dynamic instruction counts per encoded (software) width.
+
+        Memory operations count under their access width; everything else
+        under the width encoded in the opcode.
+        """
+        distribution: dict[Width, int] = {w: 0 for w in Width.all_widths()}
+        static = self.static
+        for record in self.records:
+            entry = static[record.uid]
+            width = entry.memory_width if entry.memory_width is not None else entry.width
+            distribution[width] += 1
+        return distribution

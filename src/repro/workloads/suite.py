@@ -11,6 +11,8 @@ always a single small value — the pattern VRS exploits.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -36,6 +38,28 @@ class Workload:
     def build(self) -> Program:
         """Compile a fresh program instance for this workload."""
         return compile_source(self.source)
+
+    def content_hash(self) -> str:
+        """Stable SHA-256 over everything that determines this workload's build.
+
+        The hash covers the source text and both input data sets, so two
+        :class:`Workload` instances with the same name but different content
+        (an edited program, changed inputs) never alias in the persistent
+        result store.  The result is cached on the instance — treat a
+        workload as immutable once it has been hashed/evaluated.
+        """
+        cached = self.__dict__.get("_content_hash")
+        if cached is None:
+            material = {
+                "name": self.name,
+                "source": self.source,
+                "train": {name: list(values) for name, values in sorted(self.train_data.items())},
+                "ref": {name: list(values) for name, values in sorted(self.ref_data.items())},
+            }
+            blob = json.dumps(material, sort_keys=True).encode("utf-8")
+            cached = hashlib.sha256(blob).hexdigest()
+            self.__dict__["_content_hash"] = cached
+        return cached
 
     def apply_input(self, program: Program, which: str) -> None:
         """Install the ``train`` or ``ref`` input data into ``program``."""

@@ -1,0 +1,32 @@
+"""Test-suite isolation for the experiment engine.
+
+The engine persists results to a per-user store by default
+(``~/.cache/repro/results``).  Tests must be hermetic — a warm store from a
+previous run would hand back *restored* evaluations (no trace, no program)
+and silently change what the tests exercise — so the whole session is
+pointed at a throwaway store under pytest's tmp directory.  Tests that
+specifically exercise store persistence create their own stores.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_result_store(tmp_path_factory):
+    """Point the default engine at a fresh store for the whole session."""
+    import os
+
+    from repro.experiments import reset_default_engine
+
+    store_root = tmp_path_factory.mktemp("result-store")
+    previous = os.environ.get("REPRO_RESULT_STORE")
+    os.environ["REPRO_RESULT_STORE"] = str(store_root)
+    reset_default_engine()
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_RESULT_STORE", None)
+    else:
+        os.environ["REPRO_RESULT_STORE"] = previous
+    reset_default_engine()

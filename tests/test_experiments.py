@@ -1,5 +1,13 @@
 """Tests for the experiment harness plumbing (kept light: one workload)."""
 
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
 from repro.experiments import (
     evaluate_workload,
     format_percent,
@@ -28,6 +36,14 @@ class TestRunner:
         for name in ("baseline", "software", "hw-size", "hw-significance", "sw+hw-significance"):
             assert policy_for(name) is policy_for(name)
 
+    def test_unknown_policy_lists_valid_names(self):
+        with pytest.raises(KeyError) as excinfo:
+            policy_for("hw-compression")
+        message = str(excinfo.value)
+        assert "hw-compression" in message
+        assert "valid policies" in message
+        assert "sw+hw-significance" in message
+
     def test_evaluate_workload_caches_and_reuses_trace(self):
         workload = workload_by_name("ijpeg")
         first = evaluate_workload(workload, mechanism="none")
@@ -45,7 +61,21 @@ class TestRunner:
         base_widths = baseline.dynamic_width_distribution()
         vrp_widths = vrp.dynamic_width_distribution()
         assert vrp_widths[Width.QUAD] <= base_widths[Width.QUAD]
-        assert sum(vrp_widths.values()) == len(vrp.trace.records)
+        assert sum(vrp_widths.values()) == vrp.total_dynamic_instructions
+
+    def test_width_distribution_matches_between_outcome_and_evaluation(self):
+        # The once copy-pasted aggregation now has a single implementation
+        # on Trace; both public entry points must agree exactly.  Computed
+        # directly (not through the engine) so a prior in-process
+        # evaluate_suite cannot hand back a restored, trace-less object.
+        from repro.experiments import compute_evaluation
+
+        evaluation = compute_evaluation(workload_by_name("ijpeg"), mechanism="none")
+        outcome = evaluation.outcome("baseline")
+        assert (
+            outcome.dynamic_width_distribution(evaluation.trace)
+            == evaluation.dynamic_width_distribution()
+        )
 
 
 class TestTable1:
@@ -54,3 +84,55 @@ class TestTable1:
         assert set(matrix) == set(Width.all_widths())
         for row in matrix.values():
             assert set(row) == set(Width.all_widths())
+
+
+@pytest.mark.suite
+@pytest.mark.slow
+def test_second_suite_evaluation_runs_zero_simulations(tmp_path):
+    """A fresh process re-running ``evaluate_suite`` is served from the
+    on-disk store and never enters ``Machine.run``."""
+    import repro
+
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    store = tmp_path / "store"
+    env = dict(os.environ)
+    env["REPRO_RESULT_STORE"] = str(store)
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+
+    warm_script = textwrap.dedent(
+        """
+        import json
+        from repro.experiments import evaluate_suite
+        evaluations = evaluate_suite(mechanism="none")
+        print(json.dumps({n: e.timing.cycles for n, e in evaluations.items()}))
+        """
+    )
+    warm = subprocess.run(
+        [sys.executable, "-c", warm_script], env=env, capture_output=True, text=True, timeout=900
+    )
+    assert warm.returncode == 0, warm.stderr
+    warm_cycles = json.loads(warm.stdout.strip().splitlines()[-1])
+
+    cold_script = textwrap.dedent(
+        """
+        import json
+        from repro.sim.machine import Machine
+
+        def _forbidden(self, *args, **kwargs):
+            raise AssertionError("Machine.run called despite a warm result store")
+
+        Machine.run = _forbidden
+        from repro.experiments import evaluate_suite
+        evaluations = evaluate_suite(mechanism="none")
+        assert all(e.is_restored for e in evaluations.values())
+        baseline = {n: e.outcome("baseline").energy.total for n, e in evaluations.items()}
+        assert all(total > 0 for total in baseline.values())
+        print(json.dumps({n: e.timing.cycles for n, e in evaluations.items()}))
+        """
+    )
+    served = subprocess.run(
+        [sys.executable, "-c", cold_script], env=env, capture_output=True, text=True, timeout=300
+    )
+    assert served.returncode == 0, served.stderr
+    served_cycles = json.loads(served.stdout.strip().splitlines()[-1])
+    assert served_cycles == warm_cycles

@@ -1,0 +1,311 @@
+"""Tests for the persistent result store and the parallel experiment engine."""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.experiments import (
+    EvaluationSummary,
+    ExperimentConfig,
+    ExperimentEngine,
+    POLICY_NAMES,
+    ResultStore,
+    config_key,
+)
+from repro.uarch import MachineConfig
+from repro.workloads import Workload
+
+# A deliberately small mini-C workload so store/engine mechanics can be
+# exercised in milliseconds instead of re-simulating a suite benchmark.
+TINY_SOURCE = """
+int job_size;
+int data[16];
+
+int main() {
+    int i;
+    long acc;
+    acc = 0;
+    for (i = 0; i < job_size; i = i + 1) {
+        acc = acc + data[i & 15];
+    }
+    print(acc);
+    return 0;
+}
+"""
+
+
+def make_tiny(source: str = TINY_SOURCE) -> Workload:
+    return Workload(
+        name="tiny",
+        description="16-element accumulation loop",
+        source=source,
+        train_data={"job_size": (8,), "data": tuple(range(16))},
+        ref_data={"job_size": (40,), "data": tuple(range(100, 116))},
+    )
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+class TestConfigKey:
+    def test_key_is_stable(self):
+        workload = make_tiny()
+        assert config_key(workload, "none", 50.0, False) == config_key(
+            workload, "none", 50.0, False
+        )
+
+    def test_key_perturbation(self):
+        """Every ingredient of the key changes the hash."""
+        workload = make_tiny()
+        base = config_key(workload, "none", 50.0, False)
+        perturbed = {
+            "mechanism": config_key(workload, "vrp", 50.0, False),
+            "threshold": config_key(workload, "vrs", 30.0, False),
+            "conventional": config_key(workload, "vrp", 50.0, True),
+            "machine": config_key(workload, "none", 50.0, False, MachineConfig(issue_width=8)),
+            "source": config_key(
+                make_tiny(TINY_SOURCE.replace("i & 15", "i & 7")), "none", 50.0, False
+            ),
+        }
+        keys = [base, *perturbed.values()]
+        assert len(set(keys)) == len(keys), perturbed
+
+    def test_input_data_changes_key(self):
+        workload = make_tiny()
+        modified = make_tiny()
+        modified.ref_data = dict(modified.ref_data, job_size=(41,))
+        assert workload.content_hash() != modified.content_hash()
+        assert config_key(workload, "none", 50.0, False) != config_key(
+            modified, "none", 50.0, False
+        )
+
+
+class TestResultStore:
+    def test_miss_then_hit_across_engines(self, store):
+        workload = make_tiny()
+        config = ExperimentConfig(workload="tiny")
+        first_engine = ExperimentEngine(store=store, jobs=1)
+        live = first_engine.evaluate(config, workload=workload)
+        assert not live.is_restored
+
+        # A fresh engine models a fresh process: no memo, only the disk.
+        second_engine = ExperimentEngine(store=store, jobs=1)
+        restored = second_engine.evaluate(config, workload=workload)
+        assert restored.is_restored
+        assert restored.timing.cycles == live.timing.cycles
+        assert restored.total_dynamic_instructions == live.total_dynamic_instructions
+        assert restored.dynamic_width_distribution() == live.dynamic_width_distribution()
+        assert restored.counted_width_counts() == live.counted_width_counts()
+        assert restored.result_size_histogram() == live.result_size_histogram()
+        for policy in POLICY_NAMES:
+            assert (
+                restored.outcome(policy).energy.by_structure
+                == live.outcome(policy).energy.by_structure
+            )
+
+    def test_summary_round_trips_through_json(self, store):
+        workload = make_tiny()
+        engine = ExperimentEngine(store=store, jobs=1)
+        live = engine.evaluate(ExperimentConfig(workload="tiny"), workload=workload)
+        summary = live.summarize()
+        rebuilt = EvaluationSummary.from_json_dict(
+            json.loads(json.dumps(summary.to_json_dict()))
+        )
+        assert rebuilt.to_json_dict() == summary.to_json_dict()
+
+    def test_vrp_statistics_identical_live_and_restored(self, store):
+        workload = make_tiny()
+        config = ExperimentConfig(workload="tiny", mechanism="vrp")
+        live = ExperimentEngine(store=store, jobs=1).evaluate(config, workload=workload)
+        restored = ExperimentEngine(store=store, jobs=1).evaluate(config, workload=workload)
+        assert restored.is_restored
+        # Observational equivalence includes key types: the static width
+        # distribution is keyed by int bit counts on both paths.
+        assert restored.vrp_statistics() == live.vrp_statistics()
+
+    def test_corrupted_entry_is_recovered(self, store):
+        workload = make_tiny()
+        config = ExperimentConfig(workload="tiny")
+        engine = ExperimentEngine(store=store, jobs=1)
+        engine.evaluate(config, workload=workload)
+        key = engine.key_for(config, workload)
+        path = store.path_for(key)
+        assert path.exists()
+        path.write_text("{ truncated garbage", encoding="utf-8")
+
+        assert store.load(key) is None
+        assert not path.exists()  # the bad entry was evicted
+
+        recovered_engine = ExperimentEngine(store=store, jobs=1)
+        recovered = recovered_engine.evaluate(config, workload=workload)
+        assert not recovered.is_restored  # recomputed...
+        assert path.exists()  # ...and re-persisted
+
+    def test_stale_generations_pruned_on_save(self, store):
+        stale = store.root / "deadbeef0000" / "ab"
+        stale.mkdir(parents=True)
+        (stale / "old.json").write_text("{}")
+        # Unrelated user data in the same root must never be touched.
+        precious = store.root / "my-precious-data"
+        precious.mkdir(parents=True)
+        (precious / "notes.txt").write_text("keep me")
+        engine = ExperimentEngine(store=store, jobs=1)
+        engine.evaluate(ExperimentConfig(workload="tiny"), workload=make_tiny())
+        assert not (store.root / "deadbeef0000").exists()
+        assert (precious / "notes.txt").read_text() == "keep me"
+        assert len(store.entries()) == 1
+        store.clear()
+        assert (precious / "notes.txt").exists()
+
+    def test_entries_and_clear(self, store):
+        workload = make_tiny()
+        engine = ExperimentEngine(store=store, jobs=1)
+        engine.evaluate(ExperimentConfig(workload="tiny"), workload=workload)
+        engine.evaluate(ExperimentConfig(workload="tiny", mechanism="vrp"), workload=workload)
+        entries = store.entries()
+        assert len(entries) == 2
+        assert {entry.workload for entry in entries} == {"tiny"}
+        assert {entry.mechanism for entry in entries} == {"none", "vrp"}
+        assert store.clear() == 2
+        assert store.entries() == []
+
+    def test_unwritable_store_does_not_lose_the_result(self, tmp_path):
+        # Root is a *file*, so every mkdir/write under it fails with OSError.
+        blocked = tmp_path / "blocked"
+        blocked.write_text("not a directory")
+        engine = ExperimentEngine(store=ResultStore(blocked), jobs=1)
+        evaluation = engine.evaluate(ExperimentConfig(workload="tiny"), workload=make_tiny())
+        assert evaluation.timing.cycles > 0  # computed fine, persistence skipped
+
+    def test_disabled_store_still_computes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULT_STORE", "off")
+        disabled = ResultStore()
+        assert not disabled.enabled
+        assert disabled.entries() == []
+        assert disabled.clear() == 0
+        engine = ExperimentEngine(store=disabled, jobs=1)
+        evaluation = engine.evaluate(ExperimentConfig(workload="tiny"), workload=make_tiny())
+        assert not evaluation.is_restored
+        assert evaluation.timing.cycles > 0
+
+
+class TestEngine:
+    def test_memo_returns_same_object(self, store):
+        engine = ExperimentEngine(store=store, jobs=1)
+        workload = make_tiny()
+        config = ExperimentConfig(workload="tiny")
+        assert engine.evaluate(config, workload=workload) is engine.evaluate(
+            config, workload=workload
+        )
+
+    def test_map_preserves_order_and_mixes_hits(self, store):
+        engine = ExperimentEngine(store=store, jobs=1)
+        tiny = make_tiny()
+        warm = engine.evaluate(ExperimentConfig(workload="tiny"), workload=tiny)
+        # 'tiny' is not in the registry, so map() is driven by suite names.
+        configs = [
+            ExperimentConfig(workload="li"),
+            ExperimentConfig(workload="ijpeg"),
+        ]
+        results = engine.map(configs)
+        assert [evaluation.workload.name for evaluation in results] == ["li", "ijpeg"]
+        assert warm is engine.evaluate(ExperimentConfig(workload="tiny"), workload=tiny)
+
+    def test_map_deduplicates_identical_configs(self, store):
+        engine = ExperimentEngine(store=store, jobs=1)
+        results = engine.map([ExperimentConfig(workload="li"), ExperimentConfig(workload="li")])
+        assert results[0] is results[1]
+        assert len(store.entries()) == 1
+
+    def test_parallel_and_serial_summaries_are_identical(self, tmp_path):
+        """Pool-computed evaluations are observationally equal to serial ones.
+
+        Two distinct cold configs are required: with a single config,
+        ``map()`` clamps the worker count to 1 and takes the serial
+        fallback, never exercising the pool.
+        """
+        configs = [ExperimentConfig(workload="li"), ExperimentConfig(workload="ijpeg")]
+
+        serial_engine = ExperimentEngine(store=ResultStore(tmp_path / "serial"), jobs=1)
+        serial = [serial_engine.evaluate(config) for config in configs]
+        assert not any(evaluation.is_restored for evaluation in serial)
+
+        parallel_engine = ExperimentEngine(store=ResultStore(tmp_path / "parallel"), jobs=2)
+        parallel = parallel_engine.map(configs, jobs=2)
+
+        for serial_evaluation, parallel_evaluation in zip(serial, parallel):
+            assert (
+                parallel_evaluation.summarize().to_json_dict()
+                == serial_evaluation.summarize().to_json_dict()
+            )
+
+
+def test_fresh_process_is_served_without_simulation(tmp_path):
+    """End-to-end zero-rerun check on the tiny workload: a second process
+    resolves the same configuration purely from the store."""
+    import repro
+
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["REPRO_RESULT_STORE"] = str(tmp_path / "store")
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+
+    prologue = textwrap.dedent(
+        f"""
+        import json
+        from repro.experiments import ExperimentConfig, default_engine
+        from repro.workloads import Workload
+
+        workload = Workload(
+            name="tiny",
+            description="16-element accumulation loop",
+            source={TINY_SOURCE!r},
+            train_data={{"job_size": (8,), "data": tuple(range(16))}},
+            ref_data={{"job_size": (40,), "data": tuple(range(100, 116))}},
+        )
+        """
+    )
+    warm_script = prologue + textwrap.dedent(
+        """
+        evaluation = default_engine().evaluate(ExperimentConfig(workload="tiny"), workload=workload)
+        print(json.dumps([evaluation.is_restored, evaluation.timing.cycles]))
+        """
+    )
+    served_script = (
+        textwrap.dedent(
+            """
+        from repro.sim.machine import Machine
+        def _forbidden(self, *args, **kwargs):
+            raise AssertionError("Machine.run called despite a warm result store")
+        Machine.run = _forbidden
+        """
+        )
+        + prologue
+        + textwrap.dedent(
+            """
+        evaluation = default_engine().evaluate(ExperimentConfig(workload="tiny"), workload=workload)
+        print(json.dumps([evaluation.is_restored, evaluation.timing.cycles]))
+        """
+        )
+    )
+
+    warm = subprocess.run(
+        [sys.executable, "-c", warm_script], env=env, capture_output=True, text=True, timeout=300
+    )
+    assert warm.returncode == 0, warm.stderr
+    warm_restored, warm_cycles = json.loads(warm.stdout.strip().splitlines()[-1])
+    assert warm_restored is False
+
+    served = subprocess.run(
+        [sys.executable, "-c", served_script], env=env, capture_output=True, text=True, timeout=300
+    )
+    assert served.returncode == 0, served.stderr
+    served_restored, served_cycles = json.loads(served.stdout.strip().splitlines()[-1])
+    assert served_restored is True
+    assert served_cycles == warm_cycles

@@ -11,8 +11,8 @@ from repro.core import (
     run_vrs,
     specialize_candidate,
 )
-from repro.ir import IRBuilder, Program, build_cfg, validate_function
-from repro.isa import Imm, Instruction, Opcode, Reg, Width
+from repro.ir import IRBuilder, Program, validate_function
+from repro.isa import Instruction, Opcode, Reg, Width
 from repro.minic import compile_source
 from repro.sim import Machine, ValueProfiler, ValueTable
 

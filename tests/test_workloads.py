@@ -34,6 +34,7 @@ class TestSuiteDefinition:
             workload.apply_input(program, "bogus")
 
 
+@pytest.mark.suite
 @pytest.mark.parametrize("name", SUITE_NAMES)
 class TestWorkloadExecution:
     def test_runs_and_is_deterministic(self, name):
@@ -54,6 +55,7 @@ class TestWorkloadExecution:
         assert ref_instructions > train_instructions
 
 
+@pytest.mark.suite
 @pytest.mark.parametrize("name", SUITE_NAMES)
 def test_vrp_preserves_output(name):
     workload = workload_by_name(name)
@@ -66,6 +68,7 @@ def test_vrp_preserves_output(name):
     assert result.narrowed_instructions() > 0
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("name", ("m88ksim", "vortex", "gcc"))
 def test_vrs_preserves_output(name):
     workload = workload_by_name(name)
