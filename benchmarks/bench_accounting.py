@@ -1,0 +1,74 @@
+"""Fused vs. sequential energy accounting over the whole suite.
+
+Cold store fills materialize the energy breakdowns of every gating policy;
+before the fused :class:`~repro.power.MultiPolicyEnergyAccountant`, that
+cost six independent trace walks per workload.  This benchmark tracks the
+speedup of the fused walk over six sequential single-policy walks — the
+PR that introduced it targets (and asserts) at least 4x — so the win
+stays visible in the perf trajectory instead of silently eroding.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.experiments import POLICY_NAMES, policy_for
+from repro.power import EnergyAccountant, MultiPolicyEnergyAccountant
+from repro.sim import Machine
+from repro.uarch import OutOfOrderModel
+from repro.workloads import load_suite
+
+
+@pytest.fixture(scope="module")
+def suite_traces():
+    """Live traces and timing results for every suite workload."""
+    traces = []
+    for workload in load_suite():
+        program = workload.build()
+        workload.apply_input(program, "ref")
+        run = Machine(program).run(collect_trace=True)
+        timing = OutOfOrderModel().run(run.trace)
+        traces.append((workload.name, run.trace, timing))
+    return traces
+
+
+def _account_fused(traces, policies):
+    for _, trace, timing in traces:
+        MultiPolicyEnergyAccountant(policies).account(trace, timing)
+
+
+def _account_sequential(traces, policies):
+    for _, trace, timing in traces:
+        for policy in policies.values():
+            EnergyAccountant(policy).account(trace, timing)
+
+
+def test_fused_accounting_speedup(benchmark, suite_traces):
+    policies = {name: policy_for(name) for name in POLICY_NAMES}
+
+    fused_durations: list[float] = []
+
+    def fused_round():
+        start = time.perf_counter()
+        _account_fused(suite_traces, policies)
+        fused_durations.append(time.perf_counter() - start)
+
+    benchmark.pedantic(fused_round, rounds=3, iterations=1)
+
+    sequential_durations: list[float] = []
+    for _ in range(3):
+        start = time.perf_counter()
+        _account_sequential(suite_traces, policies)
+        sequential_durations.append(time.perf_counter() - start)
+    sequential_best = min(sequential_durations)
+    fused_best = min(fused_durations)
+    speedup = sequential_best / fused_best
+    benchmark.extra_info["sequential_best_s"] = round(sequential_best, 4)
+    benchmark.extra_info["fused_best_s"] = round(fused_best, 4)
+    benchmark.extra_info["speedup_vs_sequential"] = round(speedup, 2)
+    # The fused walk shares the record decoding, the static lookups and the
+    # significant-byte computations across all six policies; losing the 4x
+    # bar means the accounting hot path regressed.
+    assert speedup >= 4.0, f"fused accounting only {speedup:.2f}x over sequential"

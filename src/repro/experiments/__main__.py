@@ -10,8 +10,11 @@ Usage::
 
 ``run`` evaluates the requested configurations (all eight suite workloads
 by default) through the engine — memo, then persistent store, then a
-parallel compute fan-out — and prints one row per workload.  ``ls`` and
-``clear`` inspect and empty the content-addressed result store.
+parallel compute fan-out — and prints one row per workload.  ``--policy
+all`` prints one energy column per stored gating policy; every summary
+carries all of them because cold evaluations account the whole policy set
+in a single fused trace walk.  ``ls`` and ``clear`` inspect and empty the
+content-addressed result store.
 """
 
 from __future__ import annotations
@@ -51,29 +54,40 @@ def _cmd_run(args: argparse.Namespace) -> int:
     evaluations = engine.map(configs, jobs=args.jobs)
     elapsed = time.perf_counter() - start
 
-    rows = []
-    for evaluation in evaluations:
-        outcome = evaluation.outcome(args.policy)
-        rows.append(
-            [
-                evaluation.workload.name,
-                evaluation.total_dynamic_instructions,
-                outcome.cycles,
-                outcome.energy.total,
-                outcome.ed2,
-                "computed" if evaluation.freshly_computed else "store",
-            ]
-        )
     title = f"mechanism={args.mechanism} policy={args.policy}"
     if args.mechanism == "vrs":
         title += f" threshold={args.threshold:g}nJ"
-    print(
-        format_table(
-            ["workload", "instructions", "cycles", "energy (nJ)", "ED^2", "source"],
-            rows,
-            title=title,
-        )
-    )
+    rows = []
+    if args.policy == "all":
+        # Every summary materializes all gating policies from one fused
+        # trace walk, so the whole matrix is available without re-walking.
+        headers = ["workload", "instructions", "cycles"]
+        headers += [f"E({name})" for name in POLICY_NAMES] + ["source"]
+        for evaluation in evaluations:
+            rows.append(
+                [
+                    evaluation.workload.name,
+                    evaluation.total_dynamic_instructions,
+                    evaluation.outcome("baseline").cycles,
+                ]
+                + [evaluation.outcome(name).energy.total for name in POLICY_NAMES]
+                + ["computed" if evaluation.freshly_computed else "store"]
+            )
+    else:
+        headers = ["workload", "instructions", "cycles", "energy (nJ)", "ED^2", "source"]
+        for evaluation in evaluations:
+            outcome = evaluation.outcome(args.policy)
+            rows.append(
+                [
+                    evaluation.workload.name,
+                    evaluation.total_dynamic_instructions,
+                    outcome.cycles,
+                    outcome.energy.total,
+                    outcome.ed2,
+                    "computed" if evaluation.freshly_computed else "store",
+                ]
+            )
+    print(format_table(headers, rows, title=title))
     print(f"{len(evaluations)} configuration(s) in {elapsed:.2f}s")
     return 0
 
@@ -163,9 +177,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     run_parser.add_argument(
         "--policy",
-        choices=POLICY_NAMES,
+        choices=POLICY_NAMES + ("all",),
         default="baseline",
-        help="gating policy for the reported energy column (default: baseline)",
+        help=(
+            "gating policy for the reported energy column, or 'all' for one "
+            "energy column per stored policy (default: baseline)"
+        ),
     )
     run_parser.add_argument(
         "--jobs",

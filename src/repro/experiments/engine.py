@@ -67,7 +67,11 @@ def _compute_summary_for(config: ExperimentConfig) -> tuple[str, dict]:
 
     Returns ``(store key, JSON-ready summary dict)`` — both plain data, so
     the result crosses the process boundary cheaply and the parent can
-    persist it without re-deriving anything.
+    persist it without re-deriving anything.  ``summarize()`` materializes
+    the energy breakdowns of *all* gating policies from one fused trace
+    walk (:class:`~repro.power.MultiPolicyEnergyAccountant`), so the
+    restored-outcome completeness costs one accounting pass per worker,
+    not one per policy.
     """
     workload = workload_by_name(config.workload)
     key = config_key(

@@ -7,6 +7,7 @@ from .gating import (
     SignificanceCompression,
     SizeCompression,
     SoftwareGating,
+    encoded_bytes,
 )
 
 __all__ = [
@@ -16,4 +17,5 @@ __all__ = [
     "SignificanceCompression",
     "SizeCompression",
     "SoftwareGating",
+    "encoded_bytes",
 ]

@@ -29,6 +29,7 @@ __all__ = [
     "SignificanceCompression",
     "SizeCompression",
     "CooperativeGating",
+    "encoded_bytes",
 ]
 
 
@@ -38,6 +39,24 @@ class GatingPolicy:
     name = "baseline"
     #: Extra tag bits stored alongside every 64-bit value (energy overhead).
     tag_bits = 0
+    #: Declares what :meth:`value_bytes` depends on, so the fused
+    #: multi-policy accountant (:mod:`repro.power.model`) can precompute the
+    #: per-value widths of many policies from one shared trace walk:
+    #:
+    #: * ``None`` — opaque (the safe default): the accountant calls
+    #:   :meth:`value_bytes` per dynamic value,
+    #: * ``"full"`` — constant 8 bytes,
+    #: * ``"encoded"`` — the instruction's encoded width only (entry-static),
+    #: * ``"significant"`` — ``significant_bytes(value)``,
+    #: * ``"size_class"`` — ``size_class_bytes(value)``,
+    #: * ``"min:significant"`` / ``"min:size_class"`` — the minimum of the
+    #:   encoded width and the hardware tag width.
+    #:
+    #: The default is ``None`` rather than ``"full"`` precisely so that a
+    #: subclass overriding :meth:`value_bytes` without declaring its width
+    #: source stays *correct* (it merely skips the fused fast path); only
+    #: declare a recognized source when :meth:`value_bytes` matches it.
+    width_source: str | None = None
 
     def value_bytes(self, entry: StaticEntry, value: int) -> int:
         """Active bytes for one dynamic value produced/consumed by ``entry``."""
@@ -59,20 +78,22 @@ class NoGating(GatingPolicy):
     """Baseline machine: software widths as emitted by the compiler."""
 
     name = "baseline"
+    width_source = "encoded"
 
     def value_bytes(self, entry: StaticEntry, value: int) -> int:
         del value
-        return _encoded_bytes(entry)
+        return encoded_bytes(entry)
 
 
 class SoftwareGating(GatingPolicy):
     """Pure software operand gating: the (re-encoded) opcode width gates."""
 
     name = "software"
+    width_source = "encoded"
 
     def value_bytes(self, entry: StaticEntry, value: int) -> int:
         del value
-        return _encoded_bytes(entry)
+        return encoded_bytes(entry)
 
 
 class SignificanceCompression(GatingPolicy):
@@ -80,6 +101,7 @@ class SignificanceCompression(GatingPolicy):
 
     name = "hw-significance"
     tag_bits = 7
+    width_source = "significant"
 
     def value_bytes(self, entry: StaticEntry, value: int) -> int:
         del entry
@@ -91,6 +113,7 @@ class SizeCompression(GatingPolicy):
 
     name = "hw-size"
     tag_bits = 2
+    width_source = "size_class"
 
     def value_bytes(self, entry: StaticEntry, value: int) -> int:
         del entry
@@ -105,11 +128,22 @@ class CooperativeGating(GatingPolicy):
         self.name = f"software+{self.hardware.name}"
         self.tag_bits = 2  # the cooperative scheme always carries 2 size bits
 
+    @property
+    def width_source(self) -> str | None:  # type: ignore[override]
+        hardware_source = self.hardware.width_source
+        if hardware_source in ("significant", "size_class"):
+            return f"min:{hardware_source}"
+        if hardware_source in ("encoded", "full"):
+            # min(encoded, encoded) and min(encoded, 8) are both the encoded
+            # width, since no encoded width exceeds 8 bytes.
+            return "encoded"
+        return None
+
     def value_bytes(self, entry: StaticEntry, value: int) -> int:
-        return min(_encoded_bytes(entry), self.hardware.value_bytes(entry, value))
+        return min(encoded_bytes(entry), self.hardware.value_bytes(entry, value))
 
 
-def _encoded_bytes(entry: StaticEntry) -> int:
+def encoded_bytes(entry: StaticEntry) -> int:
     """Bytes activated according to the instruction's encoded width."""
     if entry.memory_width is not None:
         return entry.memory_width.bytes

@@ -1,5 +1,17 @@
 """Wattch-like activity-based energy model with operand gating."""
 
-from .model import STRUCTURES, EnergyAccountant, EnergyBreakdown, StructureParams
+from .model import (
+    STRUCTURES,
+    EnergyAccountant,
+    EnergyBreakdown,
+    MultiPolicyEnergyAccountant,
+    StructureParams,
+)
 
-__all__ = ["STRUCTURES", "EnergyAccountant", "EnergyBreakdown", "StructureParams"]
+__all__ = [
+    "STRUCTURES",
+    "EnergyAccountant",
+    "EnergyBreakdown",
+    "MultiPolicyEnergyAccountant",
+    "StructureParams",
+]

@@ -9,6 +9,10 @@ import textwrap
 import pytest
 
 from repro.experiments import (
+    POLICY_NAMES,
+    EvaluationSummary,
+    WorkloadEvaluation,
+    compute_evaluation,
     evaluate_workload,
     format_percent,
     format_table,
@@ -68,14 +72,67 @@ class TestRunner:
         # on Trace; both public entry points must agree exactly.  Computed
         # directly (not through the engine) so a prior in-process
         # evaluate_suite cannot hand back a restored, trace-less object.
-        from repro.experiments import compute_evaluation
-
         evaluation = compute_evaluation(workload_by_name("ijpeg"), mechanism="none")
         outcome = evaluation.outcome("baseline")
         assert (
             outcome.dynamic_width_distribution(evaluation.trace)
             == evaluation.dynamic_width_distribution()
         )
+
+
+class TestRestoredOutcomes:
+    """A ``from_summary()`` evaluation answers every energy query the live
+    evaluation can, without a trace — the point of materializing all
+    gating policies in one fused walk."""
+
+    @pytest.fixture(scope="class")
+    def live(self):
+        return compute_evaluation(workload_by_name("ijpeg"), mechanism="none")
+
+    @pytest.fixture(scope="class")
+    def restored(self, live):
+        # Round-trip through actual JSON so the comparison covers the wire
+        # format, not just in-memory object sharing.
+        payload = json.loads(json.dumps(live.summarize().to_json_dict()))
+        summary = EvaluationSummary.from_json_dict(payload)
+        return WorkloadEvaluation.from_summary(live.workload, summary)
+
+    def test_restored_answers_all_policies_without_a_trace(self, live, restored):
+        assert restored.is_restored
+        assert restored.trace is None
+        for name in POLICY_NAMES:
+            outcome = restored.outcome(name)
+            assert outcome.energy.by_structure == live.outcome(name).energy.by_structure
+            assert outcome.energy.policy == live.outcome(name).energy.policy
+            assert outcome.timing.cycles == live.timing.cycles
+
+    def test_restored_unknown_policy_raises_improved_keyerror(self, restored):
+        with pytest.raises(KeyError) as excinfo:
+            restored.outcome("hw-compression")
+        message = str(excinfo.value)
+        assert "hw-compression" in message
+        assert "not part of the stored summary" in message
+        assert "baseline" in message  # the available policies are listed
+
+    def test_live_unknown_policy_raises_improved_keyerror(self, live):
+        with pytest.raises(KeyError) as excinfo:
+            live.outcome("hw-compression")
+        message = str(excinfo.value)
+        assert "hw-compression" in message
+        assert "valid policies" in message
+
+    def test_savings_agree_between_live_and_restored(self, live, restored):
+        live_base = live.outcome("baseline").energy
+        restored_base = restored.outcome("baseline").energy
+        for name in POLICY_NAMES:
+            live_energy = live.outcome(name).energy
+            restored_energy = restored.outcome(name).energy
+            assert live_energy.savings_vs(live_base) == restored_energy.savings_vs(
+                restored_base
+            ), name
+            assert live_energy.ed2_savings_vs(live_base) == restored_energy.ed2_savings_vs(
+                restored_base
+            ), name
 
 
 class TestTable1:

@@ -1,15 +1,20 @@
 """Tests for the timing model, caches, branch predictor, power model, gating."""
 
+import pytest
+
 from repro.hardware import (
     CooperativeGating,
+    GatingPolicy,
     NoGating,
     SignificanceCompression,
     SizeCompression,
     SoftwareGating,
 )
+from repro.isa import INT64_MAX, INT64_MIN, OpKind, Opcode, Width
 from repro.minic import compile_source
-from repro.power import EnergyAccountant, STRUCTURES
+from repro.power import EnergyAccountant, EnergyBreakdown, STRUCTURES
 from repro.sim import Machine
+from repro.sim.trace import StaticEntry
 from repro.uarch import Cache, CacheConfig, CombinedPredictor, MachineConfig, OutOfOrderModel
 
 _SOURCE = """
@@ -96,6 +101,131 @@ class TestGatingPolicies:
         assert SignificanceCompression().tag_bits == 7
         assert SizeCompression().tag_bits == 2
         assert SoftwareGating().tag_bits == 0
+
+
+def _entry(width=Width.QUAD, memory_width=None) -> StaticEntry:
+    """A synthetic static entry with the given encoded widths."""
+    return StaticEntry(
+        uid=0,
+        opcode=Opcode.ADD,
+        kind=OpKind.ALU,
+        width=width,
+        functional_unit="ialu",
+        latency=1,
+        energy_class="alu",
+        is_load=memory_width is not None,
+        is_store=False,
+        is_branch=False,
+        is_conditional=False,
+        is_call=False,
+        is_return=False,
+        is_guard=False,
+        memory_width=memory_width,
+        num_src_regs=2,
+        has_dest=True,
+        src_regs=(1, 2),
+        dest_reg=3,
+        function="f",
+        block="b",
+    )
+
+
+class TestGatingPolicyTables:
+    """Boundary-value pins for the value-dependent gating policies, so a
+    kernel regression in the fused accountant cannot hide behind an
+    identical regression in the policies themselves."""
+
+    #: value → (significant bytes, 1/2/5/8 size class)
+    BOUNDARY_BYTES = [
+        (0, 1, 1),
+        (1, 1, 1),
+        (-1, 1, 1),
+        (127, 1, 1),
+        (128, 2, 2),
+        (-128, 1, 1),
+        (-129, 2, 2),
+        (0xFF, 2, 2),
+        (0x100, 2, 2),
+        (0x7FFF, 2, 2),
+        (0x8000, 3, 5),
+        (-0x8000, 2, 2),
+        (2**31 - 1, 4, 5),
+        (2**31, 5, 5),
+        (-(2**31), 4, 5),
+        (2**39 - 1, 5, 5),
+        (2**39, 6, 8),
+        (INT64_MAX, 8, 8),
+        (INT64_MIN, 8, 8),
+    ]
+
+    @pytest.mark.parametrize("value,significant,size_class", BOUNDARY_BYTES)
+    def test_significance_compression_value_bytes(self, value, significant, size_class):
+        assert SignificanceCompression().value_bytes(_entry(), value) == significant
+
+    @pytest.mark.parametrize("value,significant,size_class", BOUNDARY_BYTES)
+    def test_size_compression_value_bytes(self, value, significant, size_class):
+        assert SizeCompression().value_bytes(_entry(), value) == size_class
+
+    @pytest.mark.parametrize("value,significant,size_class", BOUNDARY_BYTES)
+    def test_cooperative_gating_takes_the_minimum(self, value, significant, size_class):
+        wide = _entry(width=Width.QUAD)
+        narrow = _entry(width=Width.HALF)
+        via_memory = _entry(width=Width.QUAD, memory_width=Width.BYTE)
+        assert CooperativeGating(SignificanceCompression()).value_bytes(wide, value) == min(
+            8, significant
+        )
+        assert CooperativeGating(SignificanceCompression()).value_bytes(narrow, value) == min(
+            2, significant
+        )
+        assert CooperativeGating(SizeCompression()).value_bytes(narrow, value) == min(
+            2, size_class
+        )
+        # The memory width overrides the opcode width for memory operations.
+        assert CooperativeGating(SignificanceCompression()).value_bytes(
+            via_memory, value
+        ) == min(1, significant)
+
+    @pytest.mark.parametrize(
+        "policy,expected_bits,expected_fraction",
+        [
+            (NoGating(), 0, 0.0),
+            (SoftwareGating(), 0, 0.0),
+            (GatingPolicy(), 0, 0.0),
+            (SignificanceCompression(), 7, 7 / 64.0),
+            (SizeCompression(), 2, 2 / 64.0),
+            (CooperativeGating(SignificanceCompression()), 2, 2 / 64.0),
+            (CooperativeGating(SizeCompression()), 2, 2 / 64.0),
+        ],
+    )
+    def test_tag_overhead_fraction(self, policy, expected_bits, expected_fraction):
+        assert policy.tag_bits == expected_bits
+        assert policy.tag_overhead_fraction == expected_fraction
+
+    def test_encoded_policies_ignore_the_value(self):
+        narrow = _entry(width=Width.WORD)
+        for policy in (NoGating(), SoftwareGating()):
+            assert policy.value_bytes(narrow, 0) == 4
+            assert policy.value_bytes(narrow, INT64_MAX) == 4
+        assert NoGating().value_bytes(_entry(memory_width=Width.HALF), INT64_MAX) == 2
+
+
+class TestSavingsVs:
+    def test_structures_only_in_self_are_reported(self):
+        mine = EnergyBreakdown(by_structure={"alu": 2.0, "new_unit": 3.0}, cycles=10)
+        base = EnergyBreakdown(by_structure={"alu": 4.0}, cycles=10)
+        savings = mine.savings_vs(base)
+        # Previously "new_unit" was silently dropped from the result.
+        assert set(savings) == {"alu", "new_unit", "processor"}
+        assert savings["alu"] == 0.5
+        # A structure without baseline energy follows the existing
+        # zero-baseline convention: a saving of 0.0, not a KeyError.
+        assert savings["new_unit"] == 0.0
+        assert savings["processor"] == 1.0 - 5.0 / 4.0
+
+    def test_zero_baseline_structure_keeps_convention(self):
+        mine = EnergyBreakdown(by_structure={"alu": 1.0})
+        base = EnergyBreakdown(by_structure={"alu": 0.0})
+        assert mine.savings_vs(base)["alu"] == 0.0
 
 
 class TestEnergyModel:
