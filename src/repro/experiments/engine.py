@@ -1,13 +1,18 @@
 """Parallel experiment engine over the persistent result store.
 
-The engine resolves every requested configuration through three layers:
+The engine resolves every requested configuration through four layers:
 
 1. an in-process memo (same object returned for repeated requests, so a
    pytest/benchmark session never simulates a configuration twice),
 2. the content-addressed on-disk :class:`ResultStore` (a fresh process
    serves previously simulated configurations without touching the
    simulator at all),
-3. a ``multiprocessing`` fan-out that computes the remaining
+3. the binary trace-snapshot layer of the same store: when only analysis
+   code or the machine configuration changed, the summary key misses but
+   the simulator-side snapshot key still hits, and the evaluation is
+   *replayed* — timing model + fused accounting over the stored columnar
+   trace, zero simulator steps,
+4. a ``multiprocessing`` fan-out that computes the remaining
    configurations in worker processes — with a graceful single-process
    fallback when only one CPU is available, ``REPRO_JOBS=1`` is set, or
    pool creation fails (restricted sandboxes).
@@ -26,8 +31,13 @@ from typing import Optional, Sequence
 
 from ..uarch import MachineConfig
 from ..workloads import Workload, workload_by_name
-from .runner import WorkloadEvaluation, compute_evaluation
-from .store import ResultStore, config_key
+from .runner import (
+    WorkloadEvaluation,
+    artifact_from_evaluation,
+    compute_evaluation,
+    replay_summary,
+)
+from .store import ResultStore, config_key, trace_key
 from .summary import EvaluationSummary
 
 __all__ = [
@@ -62,16 +72,24 @@ def _resolve_jobs(jobs: Optional[int]) -> int:
     return max(1, os.cpu_count() or 1)
 
 
-def _compute_summary_for(config: ExperimentConfig) -> tuple[str, dict]:
-    """Worker entry point: simulate one configuration, return its summary.
+def _compute_summary_for(
+    config: ExperimentConfig, store_root: Optional[str] = None
+) -> tuple[str, dict, bool]:
+    """Worker entry point: resolve one configuration, return its summary.
 
-    Returns ``(store key, JSON-ready summary dict)`` — both plain data, so
-    the result crosses the process boundary cheaply and the parent can
-    persist it without re-deriving anything.  ``summarize()`` materializes
+    Returns ``(store key, JSON-ready summary dict, replayed)`` — plain
+    data, so the result crosses the process boundary cheaply and the
+    parent can persist it without re-deriving anything (``replayed`` keeps
+    the provenance flags truthful: a snapshot replay did not simulate).  ``summarize()`` materializes
     the energy breakdowns of *all* gating policies from one fused trace
     walk (:class:`~repro.power.MultiPolicyEnergyAccountant`), so the
     restored-outcome completeness costs one accounting pass per worker,
     not one per policy.
+
+    When the parent's store is enabled its root is passed through, and the
+    worker consults the binary trace-snapshot layer itself: a snapshot hit
+    replays analysis without simulating, a miss simulates and persists the
+    snapshot alongside the summary the parent will write.
     """
     workload = workload_by_name(config.workload)
     key = config_key(
@@ -81,6 +99,10 @@ def _compute_summary_for(config: ExperimentConfig) -> tuple[str, dict]:
         config.conventional_vrp,
         config.machine_config,
     )
+    store = ResultStore(store_root) if store_root is not None else None
+    summary = _replay_from_snapshot(store, config, workload)
+    if summary is not None:
+        return key, summary.to_json_dict(), True
     evaluation = compute_evaluation(
         workload,
         mechanism=config.mechanism,
@@ -88,7 +110,54 @@ def _compute_summary_for(config: ExperimentConfig) -> tuple[str, dict]:
         conventional_vrp=config.conventional_vrp,
         machine_config=config.machine_config,
     )
-    return key, evaluation.summarize().to_json_dict()
+    _save_snapshot(store, config, workload, evaluation)
+    return key, evaluation.summarize().to_json_dict(), False
+
+
+# ----------------------------------------------------------------------
+# Trace-snapshot resolution, shared by the engine and the pool workers
+# ----------------------------------------------------------------------
+def _snapshot_key(config: ExperimentConfig, workload: Workload) -> str:
+    return trace_key(
+        workload, config.mechanism, config.threshold_nj, config.conventional_vrp
+    )
+
+
+def _replay_from_snapshot(
+    store: Optional[ResultStore], config: ExperimentConfig, workload: Workload
+) -> Optional[EvaluationSummary]:
+    """Rebuild a summary from a stored trace snapshot, or None on miss.
+
+    When only the *analysis* side changed (a gating policy, an energy
+    coefficient, the machine configuration), the summary key misses but
+    the simulator-side snapshot key still hits, and the evaluation is
+    rebuilt without a single simulator step.
+    """
+    if store is None or not store.trace_enabled:
+        return None
+    artifact = store.load_trace(_snapshot_key(config, workload))
+    if artifact is None:
+        return None
+    return replay_summary(
+        workload,
+        artifact,
+        mechanism=config.mechanism,
+        threshold_nj=config.threshold_nj,
+        conventional_vrp=config.conventional_vrp,
+        machine_config=config.machine_config,
+    )
+
+
+def _save_snapshot(
+    store: Optional[ResultStore],
+    config: ExperimentConfig,
+    workload: Workload,
+    evaluation: WorkloadEvaluation,
+) -> None:
+    if store is not None and store.trace_enabled and evaluation.trace is not None:
+        store.save_trace(
+            _snapshot_key(config, workload), artifact_from_evaluation(evaluation)
+        )
 
 
 class ExperimentEngine:
@@ -117,20 +186,35 @@ class ExperimentEngine:
         )
 
     # ------------------------------------------------------------------
+    # Trace-snapshot replay (delegates to the shared module helpers so
+    # the pool workers resolve snapshots identically)
+    # ------------------------------------------------------------------
+    def _replay_summary(
+        self, config: ExperimentConfig, workload: Workload
+    ) -> Optional[EvaluationSummary]:
+        return _replay_from_snapshot(self.store, config, workload)
+
+    def _save_snapshot(
+        self, config: ExperimentConfig, workload: Workload, evaluation: WorkloadEvaluation
+    ) -> None:
+        _save_snapshot(self.store, config, workload, evaluation)
+
+    # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
     def evaluate(
         self, config: ExperimentConfig, workload: Optional[Workload] = None
     ) -> WorkloadEvaluation:
-        """Resolve one configuration: memo → store → compute (this process).
+        """Resolve one configuration: memo → store → replay → compute.
 
         ``workload`` lets callers evaluate a hand-modified workload object;
         its content hash (not just its name) keys the result, so a modified
         workload never aliases the registry entry.
 
         The returned evaluation is *live* (trace/program attached) only when
-        this call actually simulated; memo and store hits may be restored,
-        summary-only objects.  Callers that require a live trace should use
+        this call actually simulated; memo, store and snapshot-replay hits
+        are restored, summary-only objects.  Callers that require a live
+        trace should use
         :func:`~repro.experiments.runner.compute_evaluation` directly.
         """
         if workload is None:
@@ -143,16 +227,23 @@ class ExperimentEngine:
         if summary is not None:
             evaluation = WorkloadEvaluation.from_summary(workload, summary)
         else:
-            evaluation = compute_evaluation(
-                workload,
-                mechanism=config.mechanism,
-                threshold_nj=config.threshold_nj,
-                conventional_vrp=config.conventional_vrp,
-                machine_config=config.machine_config,
-            )
-            if self.store.enabled:
-                self.store.save(key, evaluation.summarize())
-            evaluation.freshly_computed = True
+            replayed = self._replay_summary(config, workload)
+            if replayed is not None:
+                self.store.save(key, replayed)
+                evaluation = WorkloadEvaluation.from_summary(workload, replayed)
+                evaluation.replayed_from_store = True
+            else:
+                evaluation = compute_evaluation(
+                    workload,
+                    mechanism=config.mechanism,
+                    threshold_nj=config.threshold_nj,
+                    conventional_vrp=config.conventional_vrp,
+                    machine_config=config.machine_config,
+                )
+                if self.store.enabled:
+                    self.store.save(key, evaluation.summarize())
+                    self._save_snapshot(config, workload, evaluation)
+                evaluation.freshly_computed = True
         self._memo[key] = evaluation
         return evaluation
 
@@ -194,6 +285,11 @@ class ExperimentEngine:
                 self._memo[key] = evaluation
                 results[index] = evaluation
                 continue
+            # Trace-snapshot replays are deliberately *not* resolved inline
+            # here: they run the timing model and the fused accountant over
+            # a full trace, so an analysis-only sweep benefits from the
+            # worker pool exactly like a cold compute.  Both the workers
+            # and the serial fallback consult the snapshot layer.
             missing[key] = (config, workload)
             missing_indices[key] = [index]
 
@@ -212,7 +308,12 @@ class ExperimentEngine:
                     # before dying; serve those instead of recomputing.
                     summary = self.store.load(key)
                     if summary is not None:
-                        produced.append((key, summary, False))
+                        produced.append((key, summary, False, False))
+                        continue
+                    replayed = self._replay_summary(config, workload)
+                    if replayed is not None:
+                        self.store.save(key, replayed)
+                        produced.append((key, replayed, False, True))
                         continue
                     live = compute_evaluation(
                         workload,
@@ -223,10 +324,14 @@ class ExperimentEngine:
                     )
                     summary = live.summarize()
                     self.store.save(key, summary)
-                    produced.append((key, summary, True))
-            for (key, (_, workload)), (worker_key, summary, fresh) in zip(order, produced):
+                    self._save_snapshot(config, workload, live)
+                    produced.append((key, summary, True, False))
+            for (key, (_, workload)), (worker_key, summary, fresh, replayed) in zip(
+                order, produced
+            ):
                 evaluation = WorkloadEvaluation.from_summary(workload, summary)
                 evaluation.freshly_computed = fresh
+                evaluation.replayed_from_store = replayed
                 self._memo[worker_key] = evaluation
                 for index in missing_indices[key]:
                     results[index] = evaluation
@@ -236,7 +341,7 @@ class ExperimentEngine:
         self,
         configs: Sequence[ExperimentConfig],
         worker_count: int,
-    ) -> Optional[list[tuple[str, "EvaluationSummary", bool]]]:
+    ) -> Optional[list[tuple[str, "EvaluationSummary", bool, bool]]]:
         """Fan the missing configurations out across a process pool.
 
         Results are persisted to the store *as they arrive*, so an
@@ -262,23 +367,24 @@ class ExperimentEngine:
             executor = ProcessPoolExecutor(max_workers=worker_count, mp_context=context)
         except (OSError, ValueError, RuntimeError, ImportError):
             return None
+        store_root = str(self.store.root) if self.store.enabled else None
         try:
             with executor:
                 futures = {
-                    executor.submit(_compute_summary_for, config): position
+                    executor.submit(_compute_summary_for, config, store_root): position
                     for position, config in enumerate(configs)
                 }
-                produced: list[Optional[tuple[str, EvaluationSummary, bool]]] = [None] * len(
-                    configs
-                )
+                produced: list[Optional[tuple[str, EvaluationSummary, bool, bool]]] = [
+                    None
+                ] * len(configs)
                 # Persist in *arrival* order: if the sweep dies while the
                 # slowest worker is still running, everything already
                 # finished has hit the disk.
                 for future in as_completed(futures):
-                    worker_key, summary_dict = future.result()
+                    worker_key, summary_dict, replayed = future.result()
                     summary = EvaluationSummary.from_json_dict(summary_dict)
                     self.store.save(worker_key, summary)
-                    produced[futures[future]] = (worker_key, summary, True)
+                    produced[futures[future]] = (worker_key, summary, not replayed, replayed)
                 return produced  # type: ignore[return-value]
         except (BrokenProcessPool, OSError, EOFError, BrokenPipeError):
             return None

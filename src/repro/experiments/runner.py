@@ -19,7 +19,7 @@ Every accessor the figure functions use works identically on both.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..core import VRPConfig, VRSConfig, VRSResult, apply_widths, run_vrp, run_vrs
 from ..core.vrp import VRPResult
@@ -40,6 +40,7 @@ from ..workloads import Workload, load_suite
 from .summary import (
     EvaluationSummary,
     aggregate_trace,
+    restore_vrp_stat_keys,
     runtime_specialization_fractions,
     vrp_stats,
     vrs_stats,
@@ -49,12 +50,17 @@ __all__ = [
     "POLICY_NAMES",
     "SimulationOutcome",
     "WorkloadEvaluation",
+    "artifact_from_evaluation",
     "evaluate_program",
     "evaluate_workload",
     "evaluate_suite",
     "policy_for",
+    "replay_summary",
     "clear_cache",
 ]
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..sim.snapshot import SimulationArtifact
 
 
 @dataclass
@@ -104,6 +110,9 @@ class WorkloadEvaluation:
     summary: Optional[EvaluationSummary] = None
     #: True when this process ran the simulation (False: served from disk).
     freshly_computed: bool = False
+    #: True when this evaluation was rebuilt by replaying a stored binary
+    #: trace snapshot (timing + accounting ran, the simulator did not).
+    replayed_from_store: bool = False
     _aggregates: Optional[tuple] = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
@@ -367,6 +376,68 @@ def compute_evaluation(
         mechanism=mechanism,
         threshold_nj=threshold_nj,
         conventional_vrp=conventional_vrp,
+    )
+
+
+# ----------------------------------------------------------------------
+# Trace-snapshot replay (analysis without simulation)
+# ----------------------------------------------------------------------
+def artifact_from_evaluation(evaluation: WorkloadEvaluation) -> "SimulationArtifact":
+    """Package a live evaluation's simulation outputs for the trace store."""
+    from ..sim.snapshot import SimulationArtifact
+
+    summary = evaluation.summarize()
+    return SimulationArtifact(
+        trace=evaluation.trace,
+        instructions=summary.instructions,
+        output=list(summary.output),
+        vrp=summary.vrp,
+        vrs=summary.vrs,
+        runtime_specialization=summary.runtime_specialization,
+    )
+
+
+def replay_summary(
+    workload: Workload,
+    artifact: "SimulationArtifact",
+    mechanism: str = "none",
+    threshold_nj: float = 50.0,
+    conventional_vrp: bool = False,
+    machine_config: Optional[MachineConfig] = None,
+) -> EvaluationSummary:
+    """Rebuild a full evaluation summary from a trace snapshot.
+
+    Runs the timing model, the fused multi-policy energy accountant and
+    the columnar distribution aggregation over the restored trace — the
+    exact pipeline a live :meth:`WorkloadEvaluation.summarize` runs — but
+    performs **zero** simulator steps: the functional outputs (dynamic
+    instruction count, program output, VRP/VRS statistics) come from the
+    artifact.  Because trace, kernels and accumulation order are
+    identical, the replayed summary is bit-identical to a fresh one.
+    """
+    trace = artifact.trace
+    timing = OutOfOrderModel(machine_config).run(trace)
+    accountant = MultiPolicyEnergyAccountant(
+        {name: policy_for(name) for name in POLICY_NAMES}
+    )
+    energies = accountant.account(trace, timing)
+    width_distribution, counted_widths, result_sizes, operation_types = aggregate_trace(trace)
+    return EvaluationSummary(
+        workload=workload.name,
+        mechanism=mechanism,
+        threshold_nj=threshold_nj,
+        conventional_vrp=conventional_vrp,
+        instructions=artifact.instructions,
+        output=list(artifact.output),
+        timing=timing,
+        energies=energies,
+        width_distribution=width_distribution,
+        counted_widths=counted_widths,
+        result_sizes=result_sizes,
+        operation_types=operation_types,
+        vrp=restore_vrp_stat_keys(artifact.vrp),
+        vrs=artifact.vrs,
+        runtime_specialization=artifact.runtime_specialization,
     )
 
 

@@ -14,6 +14,12 @@ Environment variables:
     Relocates the store root, or disables persistence entirely when set to
     ``off``/``0``/``disabled``/``none``.  The default root is
     ``$XDG_CACHE_HOME/repro/results`` (``~/.cache/repro/results``).
+``REPRO_TRACE_STORE``
+    Disables the binary trace-snapshot layer (same disabled vocabulary)
+    without touching the summary store.  Snapshots live under
+    ``<root>/traces/`` and are keyed by a *simulator-side* code
+    fingerprint, so analysis-layer edits (power model, timing model,
+    experiment code) replay stored traces instead of re-simulating.
 """
 
 from __future__ import annotations
@@ -32,11 +38,23 @@ from typing import Optional
 
 from .. import __version__
 from ..core import VRPConfig, VRSConfig
+from ..sim.snapshot import (
+    TRACE_SNAPSHOT_VERSION,
+    SimulationArtifact,
+    decode_artifact,
+    encode_artifact,
+)
 from ..uarch import MachineConfig
 from ..workloads import Workload
 from .summary import SUMMARY_FORMAT_VERSION, EvaluationSummary
 
-__all__ = ["ResultStore", "StoreEntry", "config_key", "default_store_root"]
+__all__ = [
+    "ResultStore",
+    "StoreEntry",
+    "config_key",
+    "default_store_root",
+    "trace_key",
+]
 
 _DISABLED_VALUES = ("off", "0", "disabled", "none", "false")
 
@@ -72,6 +90,39 @@ def _code_fingerprint() -> str:
     package_root = Path(__file__).resolve().parents[1]
     digest = hashlib.sha256()
     for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+#: Subpackages whose code can change what the *simulator* produces (the
+#: compiled program, the VRP/VRS transformations, the dynamic trace).  The
+#: analysis layers — ``uarch``, ``power``, ``hardware`` and most of
+#: ``experiments`` — are deliberately excluded: editing them must not
+#: invalidate trace snapshots, because replaying a stored trace through
+#: the edited analysis is exactly the point of keeping snapshots.
+_SIM_PACKAGES = ("asm", "core", "ir", "isa", "minic", "sim", "workloads")
+
+#: Individual analysis-layer files that nevertheless orchestrate the
+#: simulation itself (``compute_evaluation``: mechanism dispatch, input
+#: selection, transform order).  Included in the fingerprint so an edited
+#: pipeline can never silently replay traces produced by the old one —
+#: at the acceptable cost that unrelated edits to the same file also
+#: retire the snapshot generation.
+_SIM_FILES = ("experiments/runner.py",)
+
+
+@lru_cache(maxsize=1)
+def _sim_fingerprint() -> str:
+    """SHA-256 over the simulator-side source files only (see above)."""
+    package_root = Path(__file__).resolve().parents[1]
+    digest = hashlib.sha256()
+    paths = [package_root / "__init__.py"]
+    paths.extend(package_root / name for name in _SIM_FILES)
+    for package in _SIM_PACKAGES:
+        paths.extend((package_root / package).rglob("*.py"))
+    for path in sorted(paths):
         digest.update(str(path.relative_to(package_root)).encode("utf-8"))
         digest.update(b"\0")
         digest.update(path.read_bytes())
@@ -122,6 +173,43 @@ def config_key(
     return hashlib.sha256(blob).hexdigest()
 
 
+@lru_cache(maxsize=256)
+def _trace_material(mechanism: str, threshold_nj: float, conventional_vrp: bool) -> str:
+    """Workload-independent part of a trace-snapshot key.
+
+    Unlike :func:`_config_material` this covers only what can change the
+    *simulation* — the mechanism and its parameters, the VRP/VRS
+    configuration defaults and the simulator-side code fingerprint.  The
+    machine configuration, the analysis code and the summary format are
+    deliberately absent: changing any of them leaves the trace valid, and
+    serving it from the snapshot store is what makes analysis-only re-runs
+    simulation-free.
+    """
+    vrp_config = VRPConfig().conventional() if conventional_vrp else VRPConfig()
+    material = {
+        "trace_format": TRACE_SNAPSHOT_VERSION,
+        "sim_code": _sim_fingerprint(),
+        "mechanism": mechanism,
+        "threshold_nj": threshold_nj,
+        "conventional_vrp": conventional_vrp,
+        "vrp_config": asdict(vrp_config),
+        "vrs_config": asdict(VRSConfig(threshold_nj=threshold_nj)),
+    }
+    return json.dumps(material, sort_keys=True, default=str)
+
+
+def trace_key(
+    workload: Workload,
+    mechanism: str,
+    threshold_nj: float,
+    conventional_vrp: bool,
+) -> str:
+    """Content hash identifying one simulated trace (snapshot key)."""
+    material = _trace_material(mechanism, threshold_nj, conventional_vrp)
+    blob = f"{workload.content_hash()}|{material}".encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
 @dataclass(frozen=True)
 class StoreEntry:
     """Metadata of one persisted result."""
@@ -151,10 +239,19 @@ class ResultStore:
             resolved = Path(root).expanduser()
         self.root = resolved
         self._pruned_stale_generations = False
+        self._pruned_stale_trace_generations = False
 
     @property
     def enabled(self) -> bool:
         return self.root is not None
+
+    @property
+    def trace_enabled(self) -> bool:
+        """True when binary trace snapshots are persisted too."""
+        if self.root is None:
+            return False
+        configured = os.environ.get("REPRO_TRACE_STORE", "")
+        return not (configured and configured.lower() in _DISABLED_VALUES)
 
     # ------------------------------------------------------------------
     # Paths
@@ -259,6 +356,100 @@ class ResultStore:
         self._prune_stale_generations()
         return path
 
+    # ------------------------------------------------------------------
+    # Binary trace snapshots
+    # ------------------------------------------------------------------
+    @property
+    def trace_generation_root(self) -> Path:
+        """Snapshots live under a per-*simulator*-fingerprint directory.
+
+        The fingerprint covers only the code that can change what the
+        simulator produces, so analysis-layer edits keep the generation
+        (and its snapshots) alive while simulator edits retire it.
+        """
+        if self.root is None:
+            raise RuntimeError("result store is disabled (REPRO_RESULT_STORE=off)")
+        return self.root / "traces" / _sim_fingerprint()[:12]
+
+    def trace_path_for(self, key: str) -> Path:
+        return self.trace_generation_root / key[:2] / f"{key}.trace"
+
+    def load_trace(self, key: str) -> Optional[SimulationArtifact]:
+        """Return the stored simulation artifact for ``key``, or None.
+
+        Corrupted snapshots are evicted and treated as misses, exactly
+        like summary entries.
+        """
+        if not self.trace_enabled:
+            return None
+        path = self.trace_path_for(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            return decode_artifact(blob)
+        except (ValueError, KeyError, TypeError, IndexError):
+            self._evict(path)
+            return None
+
+    def save_trace(self, key: str, artifact: SimulationArtifact) -> Optional[Path]:
+        """Persist a simulation artifact under ``key`` (best-effort)."""
+        if not self.trace_enabled:
+            return None
+        try:
+            return self._save_trace(key, artifact)
+        except OSError:
+            return None
+
+    def _save_trace(self, key: str, artifact: SimulationArtifact) -> Path:
+        path = self.trace_path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = encode_artifact(artifact)
+        handle = tempfile.NamedTemporaryFile(
+            mode="wb",
+            dir=path.parent,
+            prefix=f".{key[:8]}-",
+            suffix=".tmp",
+            delete=False,
+        )
+        try:
+            with handle:
+                handle.write(blob)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        self._prune_stale_trace_generations()
+        return path
+
+    def _prune_stale_trace_generations(self) -> None:
+        """Drop snapshot directories written by other simulator generations.
+
+        Mirrors :meth:`_prune_stale_generations` but under ``traces/`` and
+        keyed by the simulator fingerprint.  Runs once per store instance,
+        on first successful snapshot save.
+        """
+        if self._pruned_stale_trace_generations or self.root is None:
+            return
+        self._pruned_stale_trace_generations = True
+        traces_root = self.root / "traces"
+        current = self.trace_generation_root.name
+        try:
+            children = list(traces_root.iterdir())
+        except OSError:
+            return
+        for child in children:
+            if (
+                child.is_dir()
+                and child.name != current
+                and _GENERATION_DIR_RE.fullmatch(child.name)
+            ):
+                shutil.rmtree(child, ignore_errors=True)
+
     def _prune_stale_generations(self) -> None:
         """Drop entry directories written by other code generations.
 
@@ -319,7 +510,8 @@ class ResultStore:
         return found
 
     def clear(self) -> int:
-        """Delete every entry; returns the number of entry files removed.
+        """Delete every entry; returns the number of summary entries and
+        trace snapshots removed.
 
         Orphaned temp files (left by a process killed mid-``save``) are
         swept as well, though they do not count as entries.
@@ -336,5 +528,15 @@ class ResultStore:
             return 0
         for child in children:
             if child.is_dir() and _GENERATION_DIR_RE.fullmatch(child.name):
+                shutil.rmtree(child, ignore_errors=True)
+        # Trace snapshots live under their own subtree; same rule: only
+        # generation-shaped directories are touched.
+        try:
+            trace_children = list((self.root / "traces").iterdir())
+        except OSError:
+            return removed
+        for child in trace_children:
+            if child.is_dir() and _GENERATION_DIR_RE.fullmatch(child.name):
+                removed += sum(1 for _ in child.glob("*/*.trace"))
                 shutil.rmtree(child, ignore_errors=True)
         return removed

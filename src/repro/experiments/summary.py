@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field
 from typing import TYPE_CHECKING, Optional
 
-from ..isa import OpKind, Width, significant_bytes
+from ..isa import OpKind, Width
 from ..isa.opcodes import OPERATION_TYPE
 from ..power import EnergyBreakdown
 from ..uarch import TimingResult
@@ -32,6 +32,7 @@ __all__ = [
     "aggregate_trace",
     "counted_width_counts",
     "operation_type_width_counts",
+    "restore_vrp_stat_keys",
     "result_size_histogram",
     "runtime_specialization_fractions",
     "vrp_stats",
@@ -67,31 +68,42 @@ COUNTED_KINDS = frozenset(
 def aggregate_trace(
     trace: "Trace",
 ) -> tuple[dict[Width, int], dict[Width, int], dict[int, int], dict[str, dict[Width, int]]]:
-    """All four dynamic distributions in a single pass over the trace.
+    """All four dynamic distributions, computed columnarly.
 
     Returns ``(width_distribution, counted_width_counts,
     result_size_histogram, operation_type_width_counts)`` — semantically
-    identical to the individual helpers below, fused because summarization
-    runs over every record of every cold evaluation.
+    identical to the old fused record walk, but derived entirely from the
+    trace's two cached aggregations: the three width distributions are
+    static facts scaled by the per-uid dynamic counts
+    (:meth:`~repro.sim.trace.Trace.uid_counts`), and the result-size
+    histogram is the result-sig marginal of the accounting shapes
+    (:meth:`~repro.sim.trace.Trace.shape_counts` — already cached whenever
+    the energy accountant has run).  No per-record walk happens here.
     """
     width_distribution: dict[Width, int] = {w: 0 for w in Width.all_widths()}
     counted: dict[Width, int] = {w: 0 for w in Width.all_widths()}
     sizes = {size: 0 for size in range(1, 9)}
     per_type: dict[str, dict[Width, int]] = {}
     static = trace.static
-    for record in trace.records:
-        entry = static[record.uid]
+
+    # Result sizes first: a shape's result sig *is* significant_bytes of
+    # the record's result, so the histogram is an exact integer marginal.
+    # (Computing shapes first also lets uid_counts derive from them.)
+    for (_, _, rsig), count in trace.shape_counts().items():
+        if rsig >= 0:
+            sizes[rsig] += count
+
+    for uid, count in trace.uid_counts().items():
+        entry = static[uid]
         kind = entry.kind
         width = entry.memory_width if entry.memory_width is not None else entry.width
-        width_distribution[width] += 1
+        width_distribution[width] += count
         if kind in COUNTED_KINDS:
-            counted[width] += 1
+            counted[width] += count
             if kind not in (OpKind.LOAD, OpKind.STORE, OpKind.MOVE):
                 op_type = OPERATION_TYPE[entry.opcode]
                 widths = per_type.setdefault(op_type, {w: 0 for w in Width.all_widths()})
-                widths[entry.width] += 1
-        if record.result is not None:
-            sizes[significant_bytes(record.result)] += 1
+                widths[entry.width] += count
     return width_distribution, counted, sizes, per_type
 
 
@@ -140,6 +152,24 @@ def runtime_specialization_fractions(
         "specialized_instructions": specialized / total,
         "specialization_comparisons": guards / total,
     }
+
+
+def restore_vrp_stat_keys(vrp: Optional[dict]) -> Optional[dict]:
+    """Rebuild the int bit-count keys of persisted VRP statistics.
+
+    JSON stringifies the ``static_width_distribution`` keys; every path
+    that rehydrates stored VRP stats (summary round trips, trace-snapshot
+    replays) must restore them identically so live, restored and replayed
+    ``vrp_statistics()`` are observationally the same.
+    """
+    if vrp is None or "static_width_distribution" not in vrp:
+        return vrp
+    return dict(
+        vrp,
+        static_width_distribution={
+            int(bits): count for bits, count in vrp["static_width_distribution"].items()
+        },
+    )
 
 
 def vrp_stats(vrp_result: "VRPResult") -> dict[str, object]:
@@ -228,17 +258,7 @@ class EvaluationSummary:
             raise ValueError(
                 f"summary format {data['format_version']!r} != {SUMMARY_FORMAT_VERSION}"
             )
-        vrp = data.get("vrp")
-        if vrp is not None and "static_width_distribution" in vrp:
-            # JSON stringifies the int bit-count keys; restore them so live
-            # and restored vrp_statistics() are observationally identical.
-            vrp = dict(
-                vrp,
-                static_width_distribution={
-                    int(bits): count
-                    for bits, count in vrp["static_width_distribution"].items()
-                },
-            )
+        vrp = restore_vrp_stat_keys(data.get("vrp"))
         return cls(
             workload=data["workload"],
             mechanism=data["mechanism"],

@@ -37,7 +37,6 @@ from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from ..hardware.gating import GatingPolicy, NoGating, encoded_bytes
-from ..isa import significant_bytes
 from ..sim import Trace
 from ..uarch import TimingResult
 
@@ -207,8 +206,11 @@ class MultiPolicyEnergyAccountant:
     When every policy declares a recognized
     :attr:`~GatingPolicy.width_source`, records are aggregated by their
     accounting shape — ``(static uid, per-source significant bytes, result
-    significant bytes)`` — and each distinct shape is accounted once and
-    scaled by its dynamic count.  Policies with an opaque width source
+    significant bytes)`` — and each distinct shape is accounted once, in
+    canonical (sorted-key) order, scaled by its dynamic count.  The shape
+    counts come from the trace's cached columnar combo aggregation, and
+    the canonical order makes the float accumulation independent of record
+    order and trace storage.  Policies with an opaque width source
     (``width_source is None``) force the direct per-record path for the
     whole walk, which calls ``value_bytes`` per dynamic value and may
     therefore differ from the aggregated path in last-ulp rounding.
@@ -241,7 +243,7 @@ class MultiPolicyEnergyAccountant:
         results: dict[str, EnergyBreakdown] = {}
         for key, lane in zip(self._named, lanes):
             breakdown = EnergyBreakdown(
-                policy=lane.policy.name, cycles=timing.cycles, instructions=len(trace.records)
+                policy=lane.policy.name, cycles=timing.cycles, instructions=len(trace)
             )
             breakdown.by_structure = dict(zip(structure_names, lane.totals))
             results[key] = breakdown
@@ -250,42 +252,25 @@ class MultiPolicyEnergyAccountant:
     # ------------------------------------------------------------------
     # Fast path: canonical record-shape aggregation + per-shape kernel
     # ------------------------------------------------------------------
-    def _account_aggregated(self, trace: Trace, lanes: list[_PolicyLane]) -> None:
-        """One walk builds shape counts; one pass over shapes accounts them.
+    @staticmethod
+    def _shape_counts(trace: Trace) -> list[tuple[tuple[int, bytes, int], int]]:
+        """Dynamic count per record *shape*, in canonical (sorted) order.
 
         The shape key is always ``(uid, source significant bytes, result
         significant bytes)`` — even for lanes that only need the encoded
-        width — so the accumulation order and groupings are identical for
-        every possible policy subset.
+        width — so the groupings are identical for every possible policy
+        subset.  Shapes are accounted in sorted-key order, which makes the
+        accumulation independent of record order and of the storage the
+        trace happens to use (the cached columnar aggregation of
+        :meth:`~repro.sim.trace.Trace.shape_counts` or its exact
+        per-record fallback for overflow traces).
         """
+        return sorted(trace.shape_counts().items())
+
+    def _account_aggregated(self, trace: Trace, lanes: list[_PolicyLane]) -> None:
+        """One aggregation builds shape counts; one pass accounts them."""
         static = trace.static
-        sig_cache: dict[int, int] = {}
-        sig_get = sig_cache.get
-        counts: dict[tuple[int, tuple[int, ...], int], int] = {}
-        counts_get = counts.get
-        for record in trace.records:
-            srcs = record.srcs
-            if srcs:
-                sig_list = []
-                for value in srcs:
-                    sig = sig_get(value)
-                    if sig is None:
-                        sig = significant_bytes(value)
-                        sig_cache[value] = sig
-                    sig_list.append(sig)
-                sigs = tuple(sig_list)
-            else:
-                sigs = ()
-            result = record.result
-            if result is None:
-                rsig = -1
-            else:
-                rsig = sig_get(result)
-                if rsig is None:
-                    rsig = significant_bytes(result)
-                    sig_cache[result] = rsig
-            key = (record.uid, sigs, rsig)
-            counts[key] = counts_get(key, 0) + 1
+        counts = self._shape_counts(trace)
 
         # Per-structure constants of the arithmetic kernel, in the exact
         # shapes the per-access formula uses: EA = E × accesses,
@@ -336,17 +321,24 @@ class MultiPolicyEnergyAccountant:
         bp_e = none_energy("branch_predictor", 1)
 
         size_from_sig = _SIZE_FROM_SIG
-        enc_cache: dict[int, int] = {}
-        for (uid, sigs, rsig), count in counts.items():
+        # The cached per-uid dynamic counts double as the set of uids that
+        # actually occur: prefetch the static facts and encoded widths the
+        # kernel needs once per *uid* instead of caching per shape.
+        per_uid: dict[int, tuple] = {}
+        for uid in trace.uid_counts():
             entry = static[uid]
-            enc = enc_cache.get(uid)
-            if enc is None:
-                enc = encoded_bytes(entry)
-                enc_cache[uid] = enc
+            per_uid[uid] = (
+                encoded_bytes(entry),
+                entry.is_load,
+                entry.is_load or entry.is_store,
+                entry.is_branch,
+                entry.functional_unit == "imul",
+            )
+        for (uid, sigs, rsig), count in counts:
+            enc, uid_is_load, is_memory, uid_is_branch, is_imul = per_uid[uid]
             n_src = len(sigs)
             has_result = rsig >= 0
-            is_memory = entry.is_load or entry.is_store
-            alu_ea = alu_ea_mul if entry.functional_unit == "imul" else alu_ea_one
+            alu_ea = alu_ea_mul if is_imul else alu_ea_one
             for lane in lanes:
                 mode = lane.mode
                 if mode == _MODE_ENCODED:
@@ -416,7 +408,7 @@ class MultiPolicyEnergyAccountant:
 
                 # Memory system.
                 if is_memory:
-                    if entry.is_load:
+                    if uid_is_load:
                         data_bytes = result_bytes
                     else:
                         data_bytes = src_bytes[0] if n_src else 8
@@ -425,17 +417,23 @@ class MultiPolicyEnergyAccountant:
                         lsq_ea * (lsq_omdf + lsq_df * activity) + lane.lsq_tag
                     )
                     totals[i_l1] += count * (l1_ea * (l1_omdf + l1_df * activity) + lane.l1_tag)
-                if entry.is_branch:
+                if uid_is_branch:
                     totals[i_bp] += count * bp_e
 
     # ------------------------------------------------------------------
     # Generic path: per-record walk calling value_bytes per dynamic value
     # ------------------------------------------------------------------
     def _account_direct(self, trace: Trace, lanes: list[_PolicyLane]) -> None:
-        """Reference walk for policies with an opaque ``width_source``."""
+        """Reference walk for policies with an opaque ``width_source``.
+
+        Iterates the lazy record view: opaque policies take a per-record,
+        per-value ``value_bytes`` callback, so there is nothing to
+        aggregate — exactness (including the per-record accumulation
+        order) matters more than speed on this path.
+        """
         static = trace.static
         index = {name: i for i, name in enumerate(STRUCTURES)}
-        for record in trace.records:
+        for record in trace:
             entry = static[record.uid]
             for lane in lanes:
                 policy = lane.policy

@@ -24,6 +24,12 @@ counter already resolved, so the hot loop is a single indexed call per
 dynamic instruction.  Both produce bit-identical :class:`RunResult`/
 :class:`Trace` contents; select the reference loop with
 ``Machine.run(fast_dispatch=False)`` or ``REPRO_SIM_DISPATCH=reference``.
+
+Trace emission is columnar: both loops write through the *same* pair of
+append closures from :meth:`Trace.emitters` — the reference loop encodes
+the per-record flag byte dynamically, the fast loop bakes it into each
+compiled handler as a constant — so the two emission sites share one
+encoding and cannot drift (see ``repro/sim/trace.py``).
 """
 
 from __future__ import annotations
@@ -42,7 +48,15 @@ from ..isa.semantics import (
 from ..isa.widths import wrap_to_width
 from ..ir import Program, STACK_BASE_ADDRESS
 from .memory import Memory, load_program_data
-from .trace import StaticInfo, Trace, TraceRecord
+from .trace import (
+    FLAG_MEM,
+    FLAG_RESULT,
+    FLAG_TAKEN,
+    FLAG_TAKEN_TRUE,
+    StaticInfo,
+    Trace,
+    pack_record,
+)
 
 __all__ = ["Machine", "RunResult", "SimulationError", "SimulationLimitExceeded", "ValueObserver"]
 
@@ -53,6 +67,9 @@ CODE_BASE_ADDRESS = 0x1000
 _HALT_PC = -1
 
 _UINT64 = (1 << 64) - 1
+
+_TAKEN = FLAG_TAKEN | FLAG_TAKEN_TRUE
+_NOT_TAKEN = FLAG_TAKEN
 
 
 def _operand_slot(operand) -> tuple[int, int]:
@@ -163,6 +180,12 @@ class Machine:
                 for inst in block.instructions:
                     self._flat.append((function.name, block.label, inst))
         self.static_info = StaticInfo.from_program(program)
+        #: Instruction address per static uid; traces derive their address
+        #: and next-address columns from this map instead of storing them.
+        self.address_by_uid: dict[int, int] = {
+            inst.uid: CODE_BASE_ADDRESS + 4 * index
+            for index, (_, _, inst) in enumerate(self._flat)
+        }
 
     # ------------------------------------------------------------------
     # Address helpers
@@ -175,6 +198,9 @@ class Machine:
         if not 0 <= index <= len(self._flat):
             raise SimulationError(f"jump to invalid code address {address:#x}")
         return index
+
+    def _new_trace(self) -> Trace:
+        return Trace(static=self.static_info, addresses=self.address_by_uid)
 
     # ------------------------------------------------------------------
     # Execution
@@ -228,7 +254,10 @@ class Machine:
 
         block_counts: dict[tuple[str, str], int] = {}
         call_counts: dict[str, int] = {}
-        records: list[TraceRecord] = []
+        trace = self._new_trace() if collect_trace else None
+        emit = emit_mem = None
+        if trace is not None:
+            emit, emit_mem = trace.emitters()
         output: list[int] = []
         watched = value_observer.watched_uids if value_observer is not None else frozenset()
 
@@ -350,24 +379,19 @@ class Machine:
             if inst.uid in watched and result is not None:
                 value_observer.observe(inst.uid, result)
 
-            if collect_trace:
-                records.append(
-                    TraceRecord(
-                        uid=inst.uid,
-                        address=self.address_of_index(pc),
-                        srcs=srcs,
-                        result=result,
-                        mem_address=mem_address,
-                        taken=taken,
-                        next_address=self.address_of_index(next_pc),
-                    )
+            if emit is not None:
+                meta, values = pack_record(
+                    inst.uid, srcs, result, taken, mem_address is not None
                 )
+                if mem_address is None:
+                    emit(meta, values)
+                else:
+                    emit_mem(meta, values, mem_address)
 
             if halted:
                 break
             pc = next_pc
 
-        trace = Trace(records=records, static=self.static_info) if collect_trace else None
         return RunResult(
             instructions=executed,
             output=output,
@@ -409,13 +433,13 @@ class Machine:
 
         block_counts: dict[tuple[str, str], int] = {}
         call_counts: dict[str, int] = {}
-        records: list[TraceRecord] = []
+        trace = self._new_trace() if collect_trace else None
         output: list[int] = []
 
         handlers = self._compile_handlers(
             regs,
             memory,
-            records.append if collect_trace else None,
+            trace,
             output,
             block_counts,
             call_counts,
@@ -440,7 +464,6 @@ class Machine:
                 raise
             raise SimulationError("program counter ran past the end of the program") from None
 
-        trace = Trace(records=records, static=self.static_info) if collect_trace else None
         return RunResult(
             instructions=executed,
             output=output,
@@ -454,7 +477,7 @@ class Machine:
         self,
         regs: list[int],
         memory: Memory,
-        append: Optional[Callable[[TraceRecord], None]],
+        trace: Optional[Trace],
         output: list[int],
         block_counts: dict[tuple[str, str], int],
         call_counts: dict[str, int],
@@ -464,11 +487,14 @@ class Machine:
         """Compile one handler closure per flattened instruction.
 
         Compilation cost is proportional to the *static* program size and is
-        paid once per run; the run state (register file, memory, trace list)
-        is captured directly in the closures so the per-step dispatch does no
-        attribute or dictionary lookups.
+        paid once per run; the run state (register file, memory, trace
+        columns) is captured directly in the closures so the per-step
+        dispatch does no attribute or dictionary lookups.
         """
         watched = value_observer.watched_uids if value_observer is not None else frozenset()
+        emit = emit_mem = None
+        if trace is not None:
+            emit, emit_mem = trace.emitters()
         handlers: list[Callable[[], int]] = []
         for pc, (function_name, block_label, inst) in enumerate(self._flat):
             observe = (
@@ -482,7 +508,8 @@ class Machine:
                 inst,
                 regs,
                 memory,
-                append,
+                emit,
+                emit_mem,
                 output,
                 call_counts,
                 observe,
@@ -501,7 +528,8 @@ class Machine:
         inst: Instruction,
         regs: list[int],
         memory: Memory,
-        append: Optional[Callable[[TraceRecord], None]],
+        emit,
+        emit_mem,
         output: list[int],
         call_counts: dict[str, int],
         observe: Optional[Callable[[int, int], None]],
@@ -511,21 +539,23 @@ class Machine:
         kind = inst.kind
         width = inst.width
         uid = inst.uid
-        addr = self.address_of_index(pc)
         next_pc = pc + 1
-        nxt = self.address_of_index(next_pc)
         di = -1 if inst.dest is None or inst.dest.index == 31 else inst.dest.index
         # Bind globals used on the hot path into closure cells: a cell load is
         # cheaper than a global dictionary lookup on every dynamic instruction.
-        record = TraceRecord
         wrap = wrap_to_width
         signed64 = to_signed
+        # The per-record flag byte is a compile-time constant per handler
+        # (the only dynamic bit, a conditional branch's direction, selects
+        # between two precomputed metas), so emission is a single call into
+        # the shared columnar append path.
+        base_meta = uid << 8
 
         if kind is OpKind.ALU or kind is OpKind.MUL or kind is OpKind.LOGICAL or kind is OpKind.SHIFT:
             fn = _ARITH[op]
             ai, av = _operand_slot(inst.srcs[0])
             bi, bv = _operand_slot(inst.srcs[1])
-            if append is None and observe is None:
+            if emit is None and observe is None:
 
                 def handler() -> int:
                     a = regs[ai] if ai >= 0 else av
@@ -535,6 +565,7 @@ class Machine:
                     return next_pc
 
             else:
+                meta = base_meta | FLAG_RESULT | 2 << 4
 
                 def handler() -> int:
                     a = regs[ai] if ai >= 0 else av
@@ -544,8 +575,8 @@ class Machine:
                         regs[di] = result
                     if observe is not None:
                         observe(uid, result)
-                    if append is not None:
-                        append(record(uid, addr, (a, b), result, None, None, nxt))
+                    if emit is not None:
+                        emit(meta, (a, b, result))
                     return next_pc
 
             return handler
@@ -554,7 +585,7 @@ class Machine:
             cmp = _COMPARE[op]
             ai, av = _operand_slot(inst.srcs[0])
             bi, bv = _operand_slot(inst.srcs[1])
-            if append is None and observe is None:
+            if emit is None and observe is None:
 
                 def handler() -> int:
                     a = regs[ai] if ai >= 0 else av
@@ -564,6 +595,7 @@ class Machine:
                     return next_pc
 
             else:
+                meta = base_meta | FLAG_RESULT | 2 << 4
 
                 def handler() -> int:
                     a = regs[ai] if ai >= 0 else av
@@ -573,8 +605,8 @@ class Machine:
                         regs[di] = result
                     if observe is not None:
                         observe(uid, result)
-                    if append is not None:
-                        append(record(uid, addr, (a, b), result, None, None, nxt))
+                    if emit is not None:
+                        emit(meta, (a, b, result))
                     return next_pc
 
             return handler
@@ -583,7 +615,7 @@ class Machine:
             take_on_zero = op is Opcode.CMOVEQ
             ci, cv = _operand_slot(inst.srcs[0])
             vi, vv = _operand_slot(inst.srcs[1])
-            if append is None and observe is None:
+            if emit is None and observe is None:
 
                 def handler() -> int:
                     cond = regs[ci] if ci >= 0 else cv
@@ -595,6 +627,7 @@ class Machine:
                     return next_pc
 
             else:
+                meta = base_meta | FLAG_RESULT | 3 << 4
 
                 def handler() -> int:
                     cond = regs[ci] if ci >= 0 else cv
@@ -606,8 +639,8 @@ class Machine:
                         regs[di] = result
                     if observe is not None:
                         observe(uid, result)
-                    if append is not None:
-                        append(record(uid, addr, (cond, value, old), result, None, None, nxt))
+                    if emit is not None:
+                        emit(meta, (cond, value, old, result))
                     return next_pc
 
             return handler
@@ -615,7 +648,7 @@ class Machine:
         if kind is OpKind.MASK or kind is OpKind.EXTEND:
             mask = _MASK[op]
             ai, av = _operand_slot(inst.srcs[0])
-            if append is None and observe is None:
+            if emit is None and observe is None:
 
                 def handler() -> int:
                     a = regs[ai] if ai >= 0 else av
@@ -624,6 +657,7 @@ class Machine:
                     return next_pc
 
             else:
+                meta = base_meta | FLAG_RESULT | 1 << 4
 
                 def handler() -> int:
                     a = regs[ai] if ai >= 0 else av
@@ -632,8 +666,8 @@ class Machine:
                         regs[di] = result
                     if observe is not None:
                         observe(uid, result)
-                    if append is not None:
-                        append(record(uid, addr, (a,), result, None, None, nxt))
+                    if emit is not None:
+                        emit(meta, (a, result))
                     return next_pc
 
             return handler
@@ -641,6 +675,7 @@ class Machine:
         if kind is OpKind.MOVE:
             if op is Opcode.LI:
                 ai, av = _operand_slot(inst.srcs[0])
+                meta = base_meta | FLAG_RESULT
 
                 def handler() -> int:
                     result = signed64(regs[ai]) if ai >= 0 else signed64(av)
@@ -648,13 +683,14 @@ class Machine:
                         regs[di] = result
                     if observe is not None:
                         observe(uid, result)
-                    if append is not None:
-                        append(record(uid, addr, (), result, None, None, nxt))
+                    if emit is not None:
+                        emit(meta, (result,))
                     return next_pc
 
                 return handler
             if op is Opcode.MOV:
                 ai, av = _operand_slot(inst.srcs[0])
+                meta = base_meta | FLAG_RESULT | 1 << 4
                 if ai >= 0:
                     # Register values are already signed; store as-is.
                     def handler() -> int:
@@ -663,8 +699,8 @@ class Machine:
                             regs[di] = a
                         if observe is not None:
                             observe(uid, a)
-                        if append is not None:
-                            append(record(uid, addr, (a,), a, None, None, nxt))
+                        if emit is not None:
+                            emit(meta, (a, a))
                         return next_pc
 
                     return handler
@@ -677,14 +713,15 @@ class Machine:
                         regs[di] = stored
                     if observe is not None:
                         observe(uid, av)
-                    if append is not None:
-                        append(record(uid, addr, (av,), av, None, None, nxt))
+                    if emit is not None:
+                        emit(meta, (av, av))
                     return next_pc
 
                 return handler
             # LDA
             ai, av = _operand_slot(inst.srcs[0])
             bi, bv = _operand_slot(inst.srcs[1])
+            meta = base_meta | FLAG_RESULT | 1 << 4
 
             def handler() -> int:
                 a = regs[ai] if ai >= 0 else av
@@ -694,8 +731,8 @@ class Machine:
                     regs[di] = result
                 if observe is not None:
                     observe(uid, result)
-                if append is not None:
-                    append(record(uid, addr, (a,), result, None, None, nxt))
+                if emit is not None:
+                    emit(meta, (a, result))
                 return next_pc
 
             return handler
@@ -706,7 +743,7 @@ class Machine:
             memory_width = inst.memory_width
             signed = op in (Opcode.LDW, Opcode.LDQ)
             load = memory.load
-            if append is None and observe is None:
+            if emit is None and observe is None:
 
                 def handler() -> int:
                     base = regs[ai] if ai >= 0 else av
@@ -716,6 +753,7 @@ class Machine:
                     return next_pc
 
             else:
+                meta = base_meta | FLAG_RESULT | FLAG_MEM | 1 << 4
 
                 def handler() -> int:
                     base = regs[ai] if ai >= 0 else av
@@ -726,8 +764,8 @@ class Machine:
                         regs[di] = result
                     if observe is not None:
                         observe(uid, result)
-                    if append is not None:
-                        append(record(uid, addr, (base,), result, mem_address, None, nxt))
+                    if emit_mem is not None:
+                        emit_mem(meta, (base, result), mem_address)
                     return next_pc
 
             return handler
@@ -738,7 +776,7 @@ class Machine:
             bi, bv = _operand_slot(inst.srcs[2])
             memory_width = inst.memory_width
             store = memory.store
-            if append is None:
+            if emit_mem is None:
 
                 def handler() -> int:
                     value = regs[vi] if vi >= 0 else vv
@@ -748,6 +786,7 @@ class Machine:
                     return next_pc
 
             else:
+                meta = base_meta | FLAG_MEM | 2 << 4
 
                 def handler() -> int:
                     value = regs[vi] if vi >= 0 else vv
@@ -755,7 +794,7 @@ class Machine:
                     offset = regs[bi] if bi >= 0 else bv
                     mem_address = (base + offset) & _UINT64
                     store(mem_address, value, memory_width)
-                    append(record(uid, addr, (value, base), None, mem_address, None, nxt))
+                    emit_mem(meta, (value, base), mem_address)
                     return next_pc
 
             return handler
@@ -776,47 +815,49 @@ class Machine:
                     return handler
                 pred = _BRANCH[op]
                 ci, cv = _operand_slot(inst.srcs[0])
+                meta_not_taken = base_meta | _NOT_TAKEN | 1 << 4
 
                 def handler() -> int:
                     cond = regs[ci] if ci >= 0 else cv
                     if pred(cond):
                         return block_start[(function_name, target)]
-                    if append is not None:
-                        append(record(uid, addr, (cond,), None, None, False, nxt))
+                    if emit is not None:
+                        emit(meta_not_taken, (cond,))
                     return next_pc
 
                 return handler
             if op is Opcode.BR:
-                if append is None:
+                if emit is None:
 
                     def handler() -> int:
                         return taken_pc
 
                 else:
-                    taken_addr = self.address_of_index(taken_pc)
+                    meta = base_meta | _TAKEN
 
                     def handler() -> int:
-                        append(record(uid, addr, (), None, None, True, taken_addr))
+                        emit(meta, ())
                         return taken_pc
 
                 return handler
             pred = _BRANCH[op]
             ci, cv = _operand_slot(inst.srcs[0])
-            if append is None:
+            if emit is None:
 
                 def handler() -> int:
                     cond = regs[ci] if ci >= 0 else cv
                     return taken_pc if pred(cond) else next_pc
 
             else:
-                taken_addr = self.address_of_index(taken_pc)
+                meta_taken = base_meta | _TAKEN | 1 << 4
+                meta_not_taken = base_meta | _NOT_TAKEN | 1 << 4
 
                 def handler() -> int:
                     cond = regs[ci] if ci >= 0 else cv
                     if pred(cond):
-                        append(record(uid, addr, (cond,), None, None, True, taken_addr))
+                        emit(meta_taken, (cond,))
                         return taken_pc
-                    append(record(uid, addr, (cond,), None, None, False, nxt))
+                    emit(meta_not_taken, (cond,))
                     return next_pc
 
             return handler
@@ -838,7 +879,7 @@ class Machine:
                     return function_entry[target]
 
                 return handler
-            target_addr = self.address_of_index(target_pc)
+            meta = base_meta | FLAG_RESULT | _TAKEN
 
             def handler() -> int:
                 if di >= 0:
@@ -846,8 +887,8 @@ class Machine:
                 call_counts[target] = call_counts.get(target, 0) + 1
                 if observe is not None:
                     observe(uid, return_address)
-                if append is not None:
-                    append(record(uid, addr, (), return_address, None, True, target_addr))
+                if emit is not None:
+                    emit(meta, (return_address,))
                 return target_pc
 
             return handler
@@ -855,62 +896,56 @@ class Machine:
         if kind is OpKind.RETURN:
             ai, av = _operand_slot(inst.srcs[0])
             index_of_address = self.index_of_address
+            meta = base_meta | _TAKEN | 1 << 4
 
             def handler() -> int:
                 address = regs[ai] if ai >= 0 else av
                 if address == stop_address:
-                    if append is not None:
-                        append(record(uid, addr, (address,), None, None, True, nxt))
+                    if emit is not None:
+                        emit(meta, (address,))
                     return _HALT_PC
                 return_pc = index_of_address(address)
-                if append is not None:
-                    append(
-                        TraceRecord(
-                            uid,
-                            addr,
-                            (address,),
-                            None,
-                            None,
-                            True,
-                            CODE_BASE_ADDRESS + 4 * return_pc,
-                        )
-                    )
+                if emit is not None:
+                    emit(meta, (address,))
                 return return_pc
 
             return handler
 
         if kind is OpKind.HALT:
+            meta = base_meta
 
             def handler() -> int:
-                if append is not None:
-                    append(record(uid, addr, (), None, None, None, nxt))
+                if emit is not None:
+                    emit(meta, ())
                 return _HALT_PC
 
             return handler
 
         if kind is OpKind.OUTPUT:
             vi, vv = _operand_slot(inst.srcs[0])
-            emit = output.append
+            emit_value = output.append
+            meta = base_meta | 1 << 4
 
             def handler() -> int:
                 value = regs[vi] if vi >= 0 else vv
-                emit(value)
-                if append is not None:
-                    append(record(uid, addr, (value,), None, None, None, nxt))
+                emit_value(value)
+                if emit is not None:
+                    emit(meta, (value,))
                 return next_pc
 
             return handler
 
         if kind is OpKind.NOP:
-            if append is None:
+            if emit is None:
 
                 def handler() -> int:
                     return next_pc
 
             else:
+                meta = base_meta
 
                 def handler() -> int:
-                    append(record(uid, addr, (), None, None, None, nxt))
+                    emit(meta, ())
                     return next_pc
 
             return handler
@@ -933,5 +968,3 @@ class Machine:
         if dest is None or dest.index == 31:
             return
         regs[dest.index] = to_signed(value)
-
-

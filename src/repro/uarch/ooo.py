@@ -16,6 +16,14 @@ It is an analytical scoreboard rather than a cycle-stepped simulator —
 orders of magnitude faster in Python while preserving the first-order
 behaviour (dependence chains, window fill, structural hazards, memory
 latency, branch redirects) that the paper's execution-time results rest on.
+
+The walk is columnar: one pass over the trace's packed meta column zipped
+with its address column.  The per-record flag byte replaces the ``None``
+checks of the old record walk, static facts come from the dense
+uid-indexed entry list, and effective addresses are consumed from the
+sparse memory column with a running cursor.  The arithmetic is identical
+to the record walk, so cycle counts are bit-exact (the differential
+harness in ``tests/test_trace_columnar.py`` asserts exactly that).
 """
 
 from __future__ import annotations
@@ -23,11 +31,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..sim import Trace
+from ..sim.trace import FLAG_MEM, FLAG_TAKEN, FLAG_TAKEN_TRUE
 from .branch_predictor import CombinedPredictor
 from .caches import Cache, CacheHierarchy
 from .config import MachineConfig
 
 __all__ = ["TimingResult", "OutOfOrderModel"]
+
+_UINT64 = (1 << 64) - 1
 
 
 class _Slots:
@@ -80,6 +91,17 @@ class OutOfOrderModel:
     def run(self, trace: Trace) -> TimingResult:
         config = self.config
         static = trace.static
+        entries = static.entries
+        uid_base = static.uid_base
+        # The hot loop indexes the dense entry list directly; validate the
+        # trace's uid set once up front so a record without a static entry
+        # raises KeyError (as the old dict lookup did) instead of silently
+        # wrap-indexing to an unrelated entry or hitting a None hole.
+        for uid in trace.uid_counts():
+            if static.get(uid) is None:
+                raise KeyError(uid)
+        mem_column = trace.mem_addresses
+        mem_cursor = 0
 
         l2 = Cache(config.l2cache, name="l2")
         memory_latency = config.memory_first_chunk_cycles + 3 * config.memory_interchunk_cycles
@@ -107,18 +129,24 @@ class OutOfOrderModel:
         line_bytes = config.icache.line_bytes
         frontend = config.frontend_depth
 
-        for record in trace.records:
-            entry = static[record.uid]
+        for meta, address in zip(trace.metas, trace.addresses()):
+            flags = meta & 0xFF
+            entry = entries[(meta >> 8) - uid_base]
+            if flags & FLAG_MEM:
+                mem_address = mem_column[mem_cursor] & _UINT64
+                mem_cursor += 1
+            else:
+                mem_address = None
 
             # ----------------------------------------------------- fetch
             earliest_fetch = max(fetch_cycle, redirect_cycle)
             if earliest_fetch > fetch_cycle:
                 fetch_cycle = earliest_fetch
                 fetched_in_cycle = 0
-            line = record.address // line_bytes
+            line = address // line_bytes
             if line != current_fetch_line:
                 current_fetch_line = line
-                latency = icache.access(record.address)
+                latency = icache.access(address)
                 if latency > config.icache.hit_cycles:
                     fetch_cycle += latency - config.icache.hit_cycles
                     fetched_in_cycle = 0
@@ -155,8 +183,8 @@ class OutOfOrderModel:
                     loads += 1
                 else:
                     stores += 1
-                if record.mem_address is not None:
-                    latency = dcache.access(record.mem_address)
+                if mem_address is not None:
+                    latency = dcache.access(mem_address)
                     if entry.is_store:
                         latency = 1  # stores retire from the store queue
             complete = issue + latency
@@ -172,13 +200,13 @@ class OutOfOrderModel:
                 reg_ready[entry.dest_reg] = complete
 
             # -------------------------------------------------- branches
-            if entry.is_branch and record.taken is not None:
+            if entry.is_branch and flags & FLAG_TAKEN:
                 if entry.is_conditional:
-                    correct = predictor.update(record.address, record.taken)
+                    correct = predictor.update(address, bool(flags & FLAG_TAKEN_TRUE))
                     if not correct:
                         redirect_cycle = complete + config.mispredict_redirect_penalty
                         current_fetch_line = -1
-            elif (entry.is_call or entry.is_return) and record.taken:
+            elif (entry.is_call or entry.is_return) and flags & FLAG_TAKEN_TRUE:
                 # Calls/returns redirect the front end for one cycle.
                 redirect_cycle = max(redirect_cycle, fetch + 1)
                 current_fetch_line = -1
@@ -186,7 +214,7 @@ class OutOfOrderModel:
         cycles = max(last_commit, fetch_cycle) + 1
         return TimingResult(
             cycles=cycles,
-            instructions=len(trace.records),
+            instructions=len(trace),
             branch_lookups=predictor.lookups,
             branch_mispredictions=predictor.mispredictions,
             icache_accesses=icache.l1.accesses,

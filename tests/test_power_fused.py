@@ -184,13 +184,13 @@ def _trace_and_timing(draw) -> tuple[Trace, TimingResult]:
     n_static = draw(st.integers(min_value=1, max_value=6))
     static = StaticInfo()
     for uid in range(n_static):
-        static.entries[uid] = draw(_static_entry(uid))
+        static.add_entry(draw(_static_entry(uid)))
 
     n_records = draw(st.integers(min_value=0, max_value=40))
     records = []
     for position in range(n_records):
         uid = draw(st.integers(min_value=0, max_value=n_static - 1))
-        entry = static.entries[uid]
+        entry = static[uid]
         srcs = tuple(draw(_values) for _ in range(entry.num_src_regs))
         # ``result`` may be absent even for instructions with a destination:
         # the accountant must key off the record, not the static entry.
@@ -380,23 +380,34 @@ def _probed_evaluation(evaluation) -> tuple[WorkloadEvaluation, _CountingRecords
 
 
 class TestWalkCounts:
-    def test_first_outcome_walks_once_and_fills_all_siblings(self, ijpeg_evaluation):
+    def test_first_outcome_fills_all_siblings_without_record_walks(self, ijpeg_evaluation):
+        """The columnar accountant never re-reads the record stream: the
+        single walk is the one that ingested the records into columns."""
         evaluation, records = _probed_evaluation(ijpeg_evaluation)
+        assert records.walks == 1  # columnar ingestion
         evaluation.outcome("hw-size")
         assert records.walks == 1
         for name in POLICY_NAMES:
             evaluation.outcome(name)
         assert records.walks == 1  # siblings were cached by the fused walk
 
-    def test_cold_summarize_walks_trace_exactly_twice(self, ijpeg_evaluation):
-        """One walk for all six energy breakdowns (the fused accountant),
-        one for the four dynamic distributions (``aggregate_trace``)."""
+    def test_cold_summarize_performs_zero_record_walks(self, ijpeg_evaluation):
+        """Energy accounting *and* the four dynamic distributions run off
+        the columns (cached combo/uid aggregations), so a cold summarize
+        adds no walk beyond the ingestion one."""
         evaluation, records = _probed_evaluation(ijpeg_evaluation)
         summary = evaluation.summarize()
-        assert records.walks == 2
+        assert records.walks == 1
         assert set(summary.energies) == set(POLICY_NAMES)
         # Re-summarizing and re-querying outcomes is free.
         evaluation.summarize()
         for name in POLICY_NAMES:
             evaluation.outcome(name)
-        assert records.walks == 2
+        assert records.walks == 1
+
+    def test_trace_level_aggregations_are_cached(self, ijpeg_evaluation):
+        trace = ijpeg_evaluation.trace
+        assert trace.uid_counts() is trace.uid_counts()
+        assert trace.shape_counts() is trace.shape_counts()
+        assert sum(trace.uid_counts().values()) == len(trace)
+        assert sum(trace.shape_counts().values()) == len(trace)

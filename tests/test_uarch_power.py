@@ -90,7 +90,7 @@ class TestTimingModel:
 class TestGatingPolicies:
     def test_policy_byte_counts(self):
         trace = _trace()
-        entry = next(iter(trace.static.entries.values()))
+        entry = next(iter(trace.static))
         assert NoGating().value_bytes(entry, 3) == entry.width.bytes if entry.memory_width is None else True
         assert SignificanceCompression().value_bytes(entry, 3) == 1
         assert SizeCompression().value_bytes(entry, 0x1_0000_0000) == 5
