@@ -5,6 +5,8 @@ Usage::
     python -m repro.experiments run [--workload NAME ...] [--mechanism M]
                                     [--threshold NJ] [--conventional-vrp]
                                     [--policy P] [--jobs N]
+    python -m repro.experiments profile [--workload NAME] [--mechanism M]
+                                        [--dispatch TIER] [--top N]
     python -m repro.experiments ls
     python -m repro.experiments clear [--yes]
 
@@ -13,8 +15,12 @@ by default) through the engine — memo, then persistent store, then a
 parallel compute fan-out — and prints one row per workload.  ``--policy
 all`` prints one energy column per stored gating policy; every summary
 carries all of them because cold evaluations account the whole policy set
-in a single fused trace walk.  ``ls`` and ``clear`` inspect and empty the
-content-addressed result store.
+in a single fused trace walk.  ``profile`` runs one workload's full
+build → transform → simulate → account pipeline under ``cProfile``
+(bypassing every cache layer) and prints the top-N functions by
+cumulative time — the standard before/after evidence for performance
+work.  ``ls`` and ``clear`` inspect and empty the content-addressed
+result store.
 """
 
 from __future__ import annotations
@@ -89,6 +95,62 @@ def _cmd_run(args: argparse.Namespace) -> int:
             )
     print(format_table(headers, rows, title=title))
     print(f"{len(evaluations)} configuration(s) in {elapsed:.2f}s")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """cProfile one workload's cold evaluation pipeline (no cache layers)."""
+    import cProfile
+    import io
+    import os
+    import pstats
+
+    from ..sim.machine import _default_dispatch
+    from ..workloads import workload_by_name
+    from .runner import compute_evaluation
+
+    if args.workload not in SUITE_NAMES:
+        print(
+            f"unknown workload {args.workload!r}; the suite is: {', '.join(SUITE_NAMES)}",
+            file=sys.stderr,
+        )
+        return 2
+    previous_dispatch = os.environ.get("REPRO_SIM_DISPATCH")
+    if args.dispatch is not None:
+        os.environ["REPRO_SIM_DISPATCH"] = args.dispatch
+    # Resolve through the machine's own vocabulary so the printed label
+    # matches the tier that actually ran (e.g. "off" means reference).
+    dispatch = _default_dispatch()
+
+    workload = workload_by_name(args.workload)
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    try:
+        profiler.enable()
+        evaluation = compute_evaluation(
+            workload,
+            mechanism=args.mechanism,
+            threshold_nj=args.threshold,
+            conventional_vrp=args.conventional_vrp,
+        )
+        evaluation.summarize()
+        profiler.disable()
+    finally:
+        if args.dispatch is not None:
+            if previous_dispatch is None:
+                os.environ.pop("REPRO_SIM_DISPATCH", None)
+            else:
+                os.environ["REPRO_SIM_DISPATCH"] = previous_dispatch
+    elapsed = time.perf_counter() - start
+
+    stream = io.StringIO()
+    pstats.Stats(profiler, stream=stream).sort_stats("cumulative").print_stats(args.top)
+    print(
+        f"profile: workload={args.workload} mechanism={args.mechanism} "
+        f"dispatch={dispatch} ({elapsed:.2f}s, "
+        f"{evaluation.total_dynamic_instructions} dynamic instructions)"
+    )
+    print(stream.getvalue().rstrip())
     return 0
 
 
@@ -192,6 +254,48 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for cold configurations (default: REPRO_JOBS or CPU count)",
     )
     run_parser.set_defaults(func=_cmd_run)
+
+    profile_parser = subparsers.add_parser(
+        "profile", help="cProfile one workload's cold evaluation pipeline"
+    )
+    profile_parser.add_argument(
+        "--workload",
+        default="ijpeg",
+        metavar="NAME",
+        help="workload to profile (default: ijpeg)",
+    )
+    profile_parser.add_argument(
+        "--mechanism",
+        choices=("none", "vrp", "vrs"),
+        default="none",
+        help="width mechanism to apply (default: none)",
+    )
+    profile_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=50.0,
+        metavar="NJ",
+        help="VRS specialization-cost threshold in nanojoules (default: 50)",
+    )
+    profile_parser.add_argument(
+        "--conventional-vrp",
+        action="store_true",
+        help="use conventional (non-useful-range) VRP",
+    )
+    profile_parser.add_argument(
+        "--dispatch",
+        choices=("block", "fast", "reference"),
+        default=None,
+        help="simulator dispatch tier (sets REPRO_SIM_DISPATCH; default: environment)",
+    )
+    profile_parser.add_argument(
+        "--top",
+        type=int,
+        default=25,
+        metavar="N",
+        help="number of functions to print, sorted by cumulative time (default: 25)",
+    )
+    profile_parser.set_defaults(func=_cmd_profile)
 
     ls_parser = subparsers.add_parser("ls", help="list persisted results")
     ls_parser.set_defaults(func=_cmd_ls)

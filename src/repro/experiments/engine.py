@@ -90,6 +90,12 @@ def _compute_summary_for(
     worker consults the binary trace-snapshot layer itself: a snapshot hit
     replays analysis without simulating, a miss simulates and persists the
     snapshot alongside the summary the parent will write.
+
+    Workers inherit the simulator dispatch tier (``REPRO_SIM_DISPATCH``)
+    through the process environment.  The tier is deliberately **not**
+    part of any store key: all tiers produce bit-identical traces and
+    summaries (enforced by the differential tests), so results computed
+    under different tiers are interchangeable.
     """
     workload = workload_by_name(config.workload)
     key = config_key(

@@ -346,7 +346,15 @@ def compute_evaluation(
     conventional_vrp: bool = False,
     machine_config: Optional[MachineConfig] = None,
 ) -> WorkloadEvaluation:
-    """Build, transform and simulate one workload configuration (uncached)."""
+    """Build, transform and simulate one workload configuration (uncached).
+
+    The simulator runs under the dispatch tier selected by
+    ``REPRO_SIM_DISPATCH`` (block-compiled by default); tiers are
+    bit-identical, so the choice never affects results or store keys.
+    Note the per-mechanism ordering: the ``Machine`` is built only
+    *after* the VRP/VRS transformation mutated the program, because
+    machines snapshot the program into their compiled artifacts.
+    """
     program = workload.build()
     vrp_result = None
     vrs_result = None

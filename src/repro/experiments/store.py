@@ -113,16 +113,29 @@ _SIM_PACKAGES = ("asm", "core", "ir", "isa", "minic", "sim", "workloads")
 _SIM_FILES = ("experiments/runner.py",)
 
 
+def _sim_source_paths() -> list[Path]:
+    """Source files covered by the simulator fingerprint, sorted.
+
+    Includes everything that determines what the simulator emits — in
+    particular the block compiler (``sim/blockc.py``), whose generated
+    per-program code is a pure function of these files, so editing its
+    semantics retires every stored trace snapshot instead of replaying
+    stale ones (``tests/test_block_compiler.py`` locks this down).
+    """
+    package_root = Path(__file__).resolve().parents[1]
+    paths = [package_root / "__init__.py"]
+    paths.extend(package_root / name for name in _SIM_FILES)
+    for package in _SIM_PACKAGES:
+        paths.extend((package_root / package).rglob("*.py"))
+    return sorted(paths)
+
+
 @lru_cache(maxsize=1)
 def _sim_fingerprint() -> str:
     """SHA-256 over the simulator-side source files only (see above)."""
     package_root = Path(__file__).resolve().parents[1]
     digest = hashlib.sha256()
-    paths = [package_root / "__init__.py"]
-    paths.extend(package_root / name for name in _SIM_FILES)
-    for package in _SIM_PACKAGES:
-        paths.extend((package_root / package).rglob("*.py"))
-    for path in sorted(paths):
+    for path in _sim_source_paths():
         digest.update(str(path.relative_to(package_root)).encode("utf-8"))
         digest.update(b"\0")
         digest.update(path.read_bytes())

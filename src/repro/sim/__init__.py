@@ -2,6 +2,7 @@
 
 from .machine import (
     CODE_BASE_ADDRESS,
+    DISPATCH_TIERS,
     Machine,
     RunResult,
     SimulationError,
@@ -13,6 +14,7 @@ from .trace import StaticEntry, StaticInfo, Trace, TraceRecord
 
 __all__ = [
     "CODE_BASE_ADDRESS",
+    "DISPATCH_TIERS",
     "Machine",
     "RunResult",
     "SimulationError",

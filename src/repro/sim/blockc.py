@@ -1,0 +1,640 @@
+"""Block compiler: straight-line Python per basic block.
+
+The third (and default) dispatch tier of :class:`~repro.sim.machine.Machine`.
+Where the *fast* tier compiles one Python closure per static instruction and
+pays a dispatch (list index + call), a limit check and a trace-emission call
+per *dynamic* instruction, this tier generates specialized Python **source**
+for every basic block of the program — instruction semantics inlined in
+order, register accesses hoisted into SSA locals, immediates/branch targets/
+call return addresses baked in as literals — compiles it once per
+:class:`~repro.ir.Program` with :func:`compile`/``exec``, and drives a
+block-level hot loop, so dispatch, fetch/decode and the dynamic-instruction
+limit check amortize over whole blocks.
+
+Trace emission is block-batched.  At compile time every block's packed meta
+words (``uid << 8 | flags``, the exact encoding of
+:func:`repro.sim.trace.pack_record`) are precomputed as ``array('q')``
+*templates*; per execution the generated code appends a whole template with
+one ``array.extend`` and fills only the dynamic value arena — the block's
+values gathered into a single tuple and appended with one ``extend`` through
+:meth:`Trace.block_emitters`, whose ``spill_values`` closure provides the
+same exact int64-overflow fallback the per-record emitters use.  A block
+ending in a conditional branch gets two templates (taken / not taken) that
+differ only in the final meta's flag bits.
+
+Compiled programs carry **no per-run state**: the generated module defines a
+single ``bind(...)`` factory taking the run's registers, memory accessors,
+output/counter sinks and trace emitters, whose nested unit functions close
+over those arguments — binding a run is pure function creation, no source
+generation and no ``compile()``.  The :class:`BlockProgram` (source, bind
+factory, constant pool, per-entry instruction counts) is cached on the
+:class:`Machine` and shared across runs.
+
+Memory traffic is specialized too: the paged little-endian layout of
+:class:`~repro.sim.memory.Memory` is inlined for accesses that stay inside
+one materialized page (a dict probe, a slice and ``int.from_bytes`` /
+``int.to_bytes``), with the bound ``Memory.load``/``store`` methods kept as
+the bit-identical slow path for page-crossing or first-touch accesses.
+
+Compilation **units** are the maximal straight-line spans the simulator can
+enter: one per basic-block start plus one per call-return site (the
+instruction after a ``jsr``, which a ``ret`` re-enters mid-block).  A unit
+ends at the first control-flow instruction or at the next entry point
+(fallthrough).  Every unit has a fixed dynamic length, which is what lets
+the driver hoist the instruction-limit check to block granularity.
+
+Semantics, trace contents and failure behaviour are locked bit-for-bit
+against the reference and fast tiers by ``tests/test_sim_machine.py`` and
+``tests/test_trace_columnar.py``.  This module is part of the simulator-side
+code fingerprint (``repro/experiments/store.py``), so editing the compiler
+retires all stored binary trace snapshots instead of replaying stale ones.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from ..isa import Imm, Instruction, Opcode, OpKind, Width, to_signed
+from .memory import _PAGE_MASK, _PAGE_SHIFT, _PAGE_SIZE
+from .trace import FLAG_MEM, FLAG_RESULT, FLAG_TAKEN, FLAG_TAKEN_TRUE
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from .machine import Machine
+
+__all__ = ["BlockProgram", "compile_blocks"]
+
+_TAKEN = FLAG_TAKEN | FLAG_TAKEN_TRUE
+_NOT_TAKEN = FLAG_TAKEN
+
+_UINT64 = (1 << 64) - 1
+_INT64_MAX = (1 << 63) - 1
+
+#: Instruction kinds that end a compilation unit.
+_CONTROL_KINDS = (OpKind.BRANCH, OpKind.CALL, OpKind.RETURN, OpKind.HALT)
+
+#: Names bound to the four :class:`Width` members inside ``bind``.
+_WIDTH_NAMES = {Width.BYTE: "_W8", Width.HALF: "_W16", Width.WORD: "_W32", Width.QUAD: "_W64"}
+
+
+def _wrap_expr(expr: str, width: Width) -> str:
+    """Inline form of :func:`~repro.isa.widths.wrap_to_width`.
+
+    ``((x & mask) ^ half) - half`` sign-extends the masked value — the
+    same mapping as the mask/compare implementation in ``wrap_to_width``,
+    verified bit-for-bit by the differential tests.
+    """
+    mask = (1 << width.value) - 1
+    half = 1 << (width.value - 1)
+    return f"((({expr}) & {mask:#x} ^ {half:#x}) - {half:#x})"
+
+
+def _sext_expr(expr: str, bits: int) -> str:
+    """Inline form of :func:`~repro.isa.widths.to_signed_n`."""
+    mask = (1 << bits) - 1
+    half = 1 << (bits - 1)
+    return f"((({expr}) & {mask:#x} ^ {half:#x}) - {half:#x})"
+
+
+#: op → f(a, b, width) producing the inline expression of the opcode's
+#: two-operand semantics (mirrors ``ARITHMETIC_SEMANTICS``).
+_ARITH_EXPR: dict[Opcode, Callable[[str, str, Width], str]] = {
+    Opcode.ADD: lambda a, b, w: _wrap_expr(f"{a} + {b}", w),
+    Opcode.SUB: lambda a, b, w: _wrap_expr(f"{a} - {b}", w),
+    Opcode.MUL: lambda a, b, w: _wrap_expr(f"{a} * {b}", w),
+    Opcode.AND: lambda a, b, w: _wrap_expr(f"{a} & {b}", w),
+    Opcode.OR: lambda a, b, w: _wrap_expr(f"{a} | {b}", w),
+    Opcode.XOR: lambda a, b, w: _wrap_expr(f"{a} ^ {b}", w),
+    Opcode.BIC: lambda a, b, w: _wrap_expr(f"{a} & ~{b}", w),
+    Opcode.SLL: lambda a, b, w: _wrap_expr(f"{a} << ({b} & 63)", w),
+    Opcode.SRL: lambda a, b, w: _wrap_expr(f"({a} & {_UINT64:#x}) >> ({b} & 63)", w),
+    Opcode.SRA: lambda a, b, w: _wrap_expr(f"{a} >> ({b} & 63)", w),
+}
+
+#: op → f(a, b) for comparisons (mirrors ``COMPARE_SEMANTICS``).
+_COMPARE_EXPR: dict[Opcode, Callable[[str, str], str]] = {
+    Opcode.CMPEQ: lambda a, b: f"(1 if {a} == {b} else 0)",
+    Opcode.CMPNE: lambda a, b: f"(1 if {a} != {b} else 0)",
+    Opcode.CMPLT: lambda a, b: f"(1 if {a} < {b} else 0)",
+    Opcode.CMPLE: lambda a, b: f"(1 if {a} <= {b} else 0)",
+    Opcode.CMPULT: lambda a, b: f"(1 if ({a} & {_UINT64:#x}) < ({b} & {_UINT64:#x}) else 0)",
+    Opcode.CMPULE: lambda a, b: f"(1 if ({a} & {_UINT64:#x}) <= ({b} & {_UINT64:#x}) else 0)",
+}
+
+#: op → f(a) for masks and sign extension (mirrors ``MASK_SEMANTICS``).
+_MASK_EXPR: dict[Opcode, Callable[[str], str]] = {
+    Opcode.MSKB: lambda a: f"({a} & 0xff)",
+    Opcode.MSKW: lambda a: f"({a} & 0xffff)",
+    Opcode.MSKL: lambda a: f"({a} & 0xffffffff)",
+    Opcode.SEXTB: lambda a: _sext_expr(a, 8),
+    Opcode.SEXTW: lambda a: _sext_expr(a, 16),
+    Opcode.SEXTL: lambda a: _sext_expr(a, 32),
+}
+
+#: op → f(cond) for conditional-branch predicates (mirrors ``BRANCH_SEMANTICS``).
+_PRED_EXPR: dict[Opcode, Callable[[str], str]] = {
+    Opcode.BEQ: lambda c: f"{c} == 0",
+    Opcode.BNE: lambda c: f"{c} != 0",
+    Opcode.BLT: lambda c: f"{c} < 0",
+    Opcode.BLE: lambda c: f"{c} <= 0",
+    Opcode.BGT: lambda c: f"{c} > 0",
+    Opcode.BGE: lambda c: f"{c} >= 0",
+}
+
+#: Inline form of ``Trace``'s unsigned→signed address reinterpretation.
+_ENCODE_MEM = f"({{m}} - {1 << 64} if {{m}} > {_INT64_MAX} else {{m}})"
+
+
+@dataclass
+class BlockProgram:
+    """One compiled program: shareable across every run of a ``Machine``.
+
+    ``bind`` is the generated per-run factory; ``consts`` the constant
+    pool it unpacks (lookup helpers, :class:`Width` members, meta
+    templates); ``lengths`` maps each entry pc to its unit's fixed
+    dynamic instruction count (0 for non-entry pcs); ``source`` the
+    generated Python text (deterministic, useful for debugging and
+    covered by the simulator code fingerprint via this module's source).
+    """
+
+    bind: Callable
+    consts: tuple
+    lengths: list[int]
+    entry_points: tuple[int, ...]
+    source: str
+    collect_trace: bool
+
+
+class _UnitWriter:
+    """Codegen state for one compilation unit (SSA locals, values, metas)."""
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self.current: dict[int, str] = {}
+        self.written: dict[int, str] = {}
+        self.values: list[str] = []
+        self.mems: list[str] = []
+        self.metas: list[int] = []
+        self._temp = 0
+
+    # -- registers ------------------------------------------------------
+    def read(self, index: int) -> str:
+        if index == 31:
+            return "0"
+        name = self.current.get(index)
+        if name is None:
+            name = f"r{index}"
+            self.lines.append(f"{name} = regs[{index}]")
+            self.current[index] = name
+        return name
+
+    def operand(self, operand) -> str:
+        if isinstance(operand, Imm):
+            return f"({operand.value})"
+        if operand.index == 31:
+            return "0"
+        return self.read(operand.index)
+
+    def assign(self, expr: str) -> str:
+        name = f"t{self._temp}"
+        self._temp += 1
+        self.lines.append(f"{name} = {expr}")
+        return name
+
+    def write(self, dest, name: str) -> None:
+        if dest is None or dest.index == 31:
+            return
+        self.current[dest.index] = name
+        self.written[dest.index] = name
+
+    def temp_name(self, prefix: str) -> str:
+        name = f"{prefix}{self._temp}"
+        self._temp += 1
+        return name
+
+    # -- epilogue pieces ------------------------------------------------
+    def writeback_lines(self) -> list[str]:
+        return [f"regs[{index}] = {name}" for index, name in sorted(self.written.items())]
+
+    def emission_lines(self) -> list[str]:
+        """Arena + memory-column appends (rows templates are arm-specific)."""
+        lines = []
+        if self.values:
+            lines.append(f"_v = ({', '.join(self.values)},)")
+            lines.append("try:")
+            lines.append("    arena_extend(_v)")
+            lines.append("except OverflowError:")
+            lines.append("    spill(_v)")
+        for name in self.mems:
+            lines.append(f"mem_append({_ENCODE_MEM.format(m=name)})")
+        return lines
+
+
+def _gen_straightline(unit: _UnitWriter, inst: Instruction, trace: bool) -> None:
+    """Emit one non-control instruction into the unit.
+
+    Mirrors the fast tier's per-kind handlers instruction for instruction:
+    the same operand resolution, the same result normalization, the same
+    per-record meta and value tuple.
+    """
+    op = inst.op
+    kind = inst.kind
+    width = inst.width
+    base_meta = inst.uid << 8
+
+    if kind in (OpKind.ALU, OpKind.MUL, OpKind.LOGICAL, OpKind.SHIFT):
+        a = unit.operand(inst.srcs[0])
+        b = unit.operand(inst.srcs[1])
+        result = unit.assign(_ARITH_EXPR[op](a, b, width))
+        unit.write(inst.dest, result)
+        if trace:
+            unit.values += [a, b, result]
+            unit.metas.append(base_meta | FLAG_RESULT | 2 << 4)
+        return
+
+    if kind is OpKind.COMPARE:
+        a = unit.operand(inst.srcs[0])
+        b = unit.operand(inst.srcs[1])
+        result = unit.assign(_COMPARE_EXPR[op](a, b))
+        unit.write(inst.dest, result)
+        if trace:
+            unit.values += [a, b, result]
+            unit.metas.append(base_meta | FLAG_RESULT | 2 << 4)
+        return
+
+    if kind is OpKind.CMOV:
+        cond = unit.operand(inst.srcs[0])
+        value = unit.operand(inst.srcs[1])
+        old = unit.read(inst.dest.index) if inst.dest is not None else "0"
+        test = "==" if op is Opcode.CMOVEQ else "!="
+        result = unit.assign(f"({_wrap_expr(value, width)} if {cond} {test} 0 else {old})")
+        unit.write(inst.dest, result)
+        if trace:
+            unit.values += [cond, value, old, result]
+            unit.metas.append(base_meta | FLAG_RESULT | 3 << 4)
+        return
+
+    if kind in (OpKind.MASK, OpKind.EXTEND):
+        a = unit.operand(inst.srcs[0])
+        result = unit.assign(_MASK_EXPR[op](a))
+        unit.write(inst.dest, result)
+        if trace:
+            unit.values += [a, result]
+            unit.metas.append(base_meta | FLAG_RESULT | 1 << 4)
+        return
+
+    if kind is OpKind.MOVE:
+        if op is Opcode.LI:
+            source = inst.srcs[0]
+            if isinstance(source, Imm) or source.index == 31:
+                raw = source.value if isinstance(source, Imm) else 0
+                result = f"({to_signed(raw)})"
+            else:
+                # Register values already satisfy the signed-64 invariant,
+                # so the reference loop's to_signed is the identity here.
+                result = unit.read(source.index)
+            unit.write(inst.dest, result)
+            if trace:
+                unit.values.append(result)
+                unit.metas.append(base_meta | FLAG_RESULT)
+            return
+        if op is Opcode.MOV:
+            source = inst.srcs[0]
+            if isinstance(source, Imm) or source.index == 31:
+                # The trace records the raw bit pattern; the register
+                # write normalizes to signed — both baked as constants.
+                raw = source.value if isinstance(source, Imm) else 0
+                unit.write(inst.dest, f"({to_signed(raw)})")
+                if trace:
+                    unit.values += [f"({raw})", f"({raw})"]
+                    unit.metas.append(base_meta | FLAG_RESULT | 1 << 4)
+                return
+            a = unit.read(source.index)
+            unit.write(inst.dest, a)
+            if trace:
+                unit.values += [a, a]
+                unit.metas.append(base_meta | FLAG_RESULT | 1 << 4)
+            return
+        # LDA
+        a = unit.operand(inst.srcs[0])
+        offset = unit.operand(inst.srcs[1])
+        result = unit.assign(_wrap_expr(f"{a} + {offset}", Width.QUAD))
+        unit.write(inst.dest, result)
+        if trace:
+            unit.values += [a, result]
+            unit.metas.append(base_meta | FLAG_RESULT | 1 << 4)
+        return
+
+    if kind is OpKind.LOAD:
+        base = unit.operand(inst.srcs[0])
+        offset = unit.operand(inst.srcs[1])
+        address = unit.temp_name("m")
+        unit.lines.append(f"{address} = ({base} + {offset}) & {_UINT64:#x}")
+        signed = op in (Opcode.LDW, Opcode.LDQ)
+        width = inst.memory_width
+        nbytes = width.bytes
+        # Inline the paged-memory fast path (same layout as Memory.load:
+        # lazily materialized zero-filled little-endian pages).  Accesses
+        # that cross a page boundary — or touch a page not yet
+        # materialized — take the bound Memory.load slow path, which is
+        # bit-identical by construction.
+        page = unit.temp_name("p")
+        off_in_page = unit.temp_name("o")
+        result = unit.temp_name("t")
+        unit.lines += [
+            f"{off_in_page} = {address} & {_PAGE_MASK}",
+            f"{page} = pages_get({address} >> {_PAGE_SHIFT})",
+            f"if {page} is None or {off_in_page} > {_PAGE_SIZE - nbytes}:",
+            f"    {result} = load({address}, {_WIDTH_NAMES[width]}, {signed})",
+            "else:",
+        ]
+        raw = f"_ifb({page}[{off_in_page}:{off_in_page} + {nbytes}], 'little')"
+        if signed:
+            unit.lines.append(f"    {result} = {_sext_expr(raw, width.bits)}")
+        else:
+            unit.lines.append(f"    {result} = {raw}")
+        unit.write(inst.dest, result)
+        if trace:
+            unit.values += [base, result]
+            unit.mems.append(address)
+            unit.metas.append(base_meta | FLAG_RESULT | FLAG_MEM | 1 << 4)
+        return
+
+    if kind is OpKind.STORE:
+        value = unit.operand(inst.srcs[0])
+        base = unit.operand(inst.srcs[1])
+        offset = unit.operand(inst.srcs[2])
+        address = unit.temp_name("m")
+        unit.lines.append(f"{address} = ({base} + {offset}) & {_UINT64:#x}")
+        width = inst.memory_width
+        nbytes = width.bytes
+        mask = (1 << width.bits) - 1
+        page = unit.temp_name("p")
+        off_in_page = unit.temp_name("o")
+        unit.lines += [
+            f"{off_in_page} = {address} & {_PAGE_MASK}",
+            f"if {off_in_page} > {_PAGE_SIZE - nbytes}:",
+            f"    store({address}, {value}, {_WIDTH_NAMES[width]})",
+            "else:",
+            f"    {page} = pages_get({address} >> {_PAGE_SHIFT})",
+            f"    if {page} is None:",
+            f"        {page} = page_for({address})",
+            f"    {page}[{off_in_page}:{off_in_page} + {nbytes}]"
+            f" = (({value}) & {mask:#x}).to_bytes({nbytes}, 'little')",
+        ]
+        if trace:
+            unit.values += [value, base]
+            unit.mems.append(address)
+            unit.metas.append(base_meta | FLAG_MEM | 2 << 4)
+        return
+
+    if kind is OpKind.OUTPUT:
+        value = unit.operand(inst.srcs[0])
+        unit.lines.append(f"output_append({value})")
+        if trace:
+            unit.values.append(value)
+            unit.metas.append(base_meta | 1 << 4)
+        return
+
+    if kind is OpKind.NOP:
+        if trace:
+            unit.metas.append(base_meta)
+        return
+
+    raise ValueError(f"cannot block-compile {inst}")  # pragma: no cover
+
+
+def compile_blocks(machine: "Machine", collect_trace: bool) -> BlockProgram:
+    """Compile ``machine.program`` into a :class:`BlockProgram`.
+
+    Pure function of the (flattened) program and ``collect_trace`` — no
+    per-run state is consulted, so the result is cached on the machine
+    and reused by every subsequent :meth:`Machine.run`.
+    """
+    flat = machine._flat
+    total = len(flat)
+    block_start = machine._block_start
+    function_entry = machine._function_entry
+
+    entries = set(block_start.values())
+    for pc, (_, _, inst) in enumerate(flat):
+        if inst.kind is OpKind.CALL and pc + 1 < total:
+            entries.add(pc + 1)
+    entry_points = tuple(sorted(pc for pc in entries if pc < total))
+
+    consts: list = [
+        machine.index_of_address,
+        block_start,
+        function_entry,
+        Width.BYTE,
+        Width.HALF,
+        Width.WORD,
+        Width.QUAD,
+    ]
+    const_names = ["_ioa", "_bs", "_fe", "_W8", "_W16", "_W32", "_W64"]
+
+    def intern_template(name: str, metas: list[int]) -> str:
+        consts.append(array("q", metas))
+        const_names.append(name)
+        return name
+
+    lengths = [0] * total
+    unit_lines: list[str] = []
+
+    for position, entry in enumerate(entry_points):
+        end = entry_points[position + 1] if position + 1 < len(entry_points) else total
+        stop = entry
+        while stop < end and flat[stop][2].kind not in _CONTROL_KINDS:
+            stop += 1
+        has_control = stop < end
+        if has_control:
+            stop += 1  # the control instruction belongs to this unit
+        lengths[entry] = stop - entry
+
+        function_name, block_label, _ = flat[entry]
+        block_key = (function_name, block_label)
+        unit = _UnitWriter()
+        if block_start[block_key] == entry:
+            unit.lines.append(f"block_counts[{block_key!r}] = _bc({block_key!r}, 0) + 1")
+
+        for pc in range(entry, stop - 1 if has_control else stop):
+            _gen_straightline(unit, flat[pc][2], collect_trace)
+
+        tail: list[str] = []
+        if not has_control:
+            # Fallthrough into the next entry point (or off the program
+            # end, which the driver surfaces exactly like the reference
+            # loop's past-the-end error).
+            if collect_trace:
+                template = intern_template(f"_t{entry}", unit.metas)
+                tail += [f"rows_extend({template})"]
+                tail += unit.emission_lines()
+            tail += unit.writeback_lines()
+            tail.append(f"return {stop}")
+        else:
+            last_pc = stop - 1
+            inst = flat[last_pc][2]
+            kind = inst.kind
+            base_meta = inst.uid << 8
+            if kind is OpKind.BRANCH:
+                tail += _gen_branch_tail(
+                    unit, machine, inst, function_name, last_pc, collect_trace, intern_template
+                )
+            elif kind is OpKind.CALL:
+                tail += _gen_call_tail(
+                    unit, machine, inst, last_pc, collect_trace, intern_template
+                )
+            elif kind is OpKind.RETURN:
+                address = unit.operand(inst.srcs[0])
+                if collect_trace:
+                    unit.values.append(address)
+                    unit.metas.append(base_meta | _TAKEN | 1 << 4)
+                    template = intern_template(f"_t{last_pc}", unit.metas)
+                    tail += [f"rows_extend({template})"]
+                    tail += unit.emission_lines()
+                tail += unit.writeback_lines()
+                tail.append(f"if {address} == {machine._stop_address}:")
+                tail.append("    return -1")
+                tail.append(f"return _ioa({address})")
+            else:  # HALT
+                if collect_trace:
+                    unit.metas.append(base_meta)
+                    template = intern_template(f"_t{last_pc}", unit.metas)
+                    tail += [f"rows_extend({template})"]
+                    tail += unit.emission_lines()
+                tail += unit.writeback_lines()
+                tail.append("return -1")
+
+        unit_lines.append(f"    def _u{entry}():")
+        for line in unit.lines + tail:
+            unit_lines.append(f"        {line}")
+        unit_lines.append("")
+
+    header = [
+        "def bind(regs, load, store, pages_get, page_for, output_append,",
+        "         block_counts, call_counts, consts,",
+        "         rows_extend, arena_extend, mem_append, spill):",
+        "    _bc = block_counts.get",
+        "    _cc = call_counts.get",
+        "    _ifb = int.from_bytes",
+        f"    ({', '.join(const_names)},) = consts",
+        "",
+    ]
+    footer = [f"    _funcs = [None] * {total}"]
+    footer += [f"    _funcs[{entry}] = _u{entry}" for entry in entry_points]
+    footer.append("    return _funcs")
+    source = "\n".join(header + unit_lines + footer) + "\n"
+
+    namespace: dict = {}
+    exec(compile(source, "<repro.sim.blockc>", "exec"), namespace)
+    return BlockProgram(
+        bind=namespace["bind"],
+        consts=tuple(consts),
+        lengths=lengths,
+        entry_points=entry_points,
+        source=source,
+        collect_trace=collect_trace,
+    )
+
+
+def _gen_branch_tail(
+    unit: _UnitWriter,
+    machine: "Machine",
+    inst: Instruction,
+    function_name: str,
+    pc: int,
+    collect_trace: bool,
+    intern_template,
+) -> list[str]:
+    """Unit tail for a (possibly malformed) branch terminator."""
+    base_meta = inst.uid << 8
+    next_pc = pc + 1
+    taken_pc = machine._block_start.get((function_name, inst.target))
+    tail: list[str] = []
+    if taken_pc is None:
+        # Branch to a pruned label: defer the lookup to execution so a
+        # never-taken branch behaves exactly like the reference loop and
+        # a taken one raises the identical KeyError (before any emission,
+        # matching the per-record tiers' observable order).
+        ghost = f"_bs[({function_name!r}, {inst.target!r})]"
+        if inst.op is Opcode.BR:
+            tail.append(f"return {ghost}")
+            return tail
+        cond = unit.operand(inst.srcs[0])
+        tail.append(f"if {_PRED_EXPR[inst.op](cond)}:")
+        tail.append(f"    return {ghost}")
+        if collect_trace:
+            unit.values.append(cond)
+            template = intern_template(
+                f"_tN{pc}", unit.metas + [base_meta | _NOT_TAKEN | 1 << 4]
+            )
+            tail.append(f"rows_extend({template})")
+            tail += unit.emission_lines()
+        tail += unit.writeback_lines()
+        tail.append(f"return {next_pc}")
+        return tail
+    if inst.op is Opcode.BR:
+        if collect_trace:
+            unit.metas.append(base_meta | _TAKEN)
+            template = intern_template(f"_t{pc}", unit.metas)
+            tail.append(f"rows_extend({template})")
+            tail += unit.emission_lines()
+        tail += unit.writeback_lines()
+        tail.append(f"return {taken_pc}")
+        return tail
+    cond = unit.operand(inst.srcs[0])
+    predicate = _PRED_EXPR[inst.op](cond)
+    if collect_trace:
+        unit.values.append(cond)
+        taken_template = intern_template(f"_tT{pc}", unit.metas + [base_meta | _TAKEN | 1 << 4])
+        fall_template = intern_template(
+            f"_tN{pc}", unit.metas + [base_meta | _NOT_TAKEN | 1 << 4]
+        )
+        tail += unit.emission_lines()
+        tail += unit.writeback_lines()
+        tail.append(f"if {predicate}:")
+        tail.append(f"    rows_extend({taken_template})")
+        tail.append(f"    return {taken_pc}")
+        tail.append(f"rows_extend({fall_template})")
+        tail.append(f"return {next_pc}")
+    else:
+        tail += unit.writeback_lines()
+        tail.append(f"if {predicate}:")
+        tail.append(f"    return {taken_pc}")
+        tail.append(f"return {next_pc}")
+    return tail
+
+
+def _gen_call_tail(
+    unit: _UnitWriter,
+    machine: "Machine",
+    inst: Instruction,
+    pc: int,
+    collect_trace: bool,
+    intern_template,
+) -> list[str]:
+    """Unit tail for a call terminator (return address is a constant)."""
+    base_meta = inst.uid << 8
+    return_address = machine.address_of_index(pc + 1)
+    target = inst.target
+    target_pc = machine._function_entry.get(target)
+    tail: list[str] = []
+    unit.write(inst.dest, f"({return_address})")
+    if target_pc is None:
+        # Dead call to a removed function: the return-address write lands
+        # first (as in both per-record tiers), then the lookup raises the
+        # identical KeyError — before any emission or call counting.
+        tail += unit.writeback_lines()
+        tail.append(f"return _fe[{target!r}]")
+        return tail
+    if collect_trace:
+        unit.values.append(f"({return_address})")
+        unit.metas.append(base_meta | FLAG_RESULT | _TAKEN)
+        template = intern_template(f"_t{pc}", unit.metas)
+        tail.append(f"rows_extend({template})")
+        tail += unit.emission_lines()
+    tail += unit.writeback_lines()
+    tail.append(f"call_counts[{target!r}] = _cc({target!r}, 0) + 1")
+    tail.append(f"return {target_pc}")
+    return tail

@@ -15,21 +15,40 @@ of the system needs:
 * value observations at watched instructions (the Calder-style value
   profiler used by VRS).
 
-Two interpreter loops are provided.  The *reference* loop decodes every
-instruction on every dynamic step (attribute loads, kind dispatch, operand
-``isinstance`` checks).  The *fast-dispatch* loop — the default — compiles
-each static instruction once per run into a closure with its opcode
-semantics, operand slots, width wrap, trace emission and successor program
-counter already resolved, so the hot loop is a single indexed call per
-dynamic instruction.  Both produce bit-identical :class:`RunResult`/
-:class:`Trace` contents; select the reference loop with
-``Machine.run(fast_dispatch=False)`` or ``REPRO_SIM_DISPATCH=reference``.
+Three interpreter tiers are provided (see ``docs/simulator.md``):
 
-Trace emission is columnar: both loops write through the *same* pair of
-append closures from :meth:`Trace.emitters` — the reference loop encodes
-the per-record flag byte dynamically, the fast loop bakes it into each
-compiled handler as a constant — so the two emission sites share one
-encoding and cannot drift (see ``repro/sim/trace.py``).
+* the **reference** loop decodes every instruction on every dynamic step
+  (attribute loads, kind dispatch, operand ``isinstance`` checks);
+* the **fast-dispatch** loop compiles each static instruction once per
+  ``Machine`` into a closure with its opcode semantics, operand slots,
+  width wrap, trace emission and successor program counter already
+  resolved, so the hot loop is a single indexed call per dynamic
+  instruction;
+* the **block** tier — the default — generates straight-line Python
+  source per basic block (:mod:`repro.sim.blockc`), compiles it once per
+  ``Machine`` and drives a block-level hot loop, so dispatch and the
+  instruction-limit check amortize over whole blocks and trace emission
+  is batched per block.
+
+All three produce bit-identical :class:`RunResult`/:class:`Trace`
+contents; select a tier with ``Machine.run(dispatch=...)`` or
+``REPRO_SIM_DISPATCH`` (``block``/``fast``/``reference``).  Compiled
+artifacts — the fast tier's per-instruction handler makers and the block
+tier's compiled programs — are cached on the ``Machine`` keyed only by
+the static program, with per-run state (registers, memory, trace
+columns, counters) passed in as arguments, so repeated ``run()`` calls
+perform **zero** recompilation.  Consequently a ``Machine`` snapshots
+the program at its first run: mutating the :class:`~repro.ir.Program`
+afterwards requires a fresh ``Machine`` (every transformation pass in
+this repository already builds one).
+
+Trace emission is columnar: the reference and fast loops write through
+the *same* pair of append closures from :meth:`Trace.emitters` — the
+reference loop encodes the per-record flag byte dynamically, the fast
+loop bakes it into each compiled handler as a constant — and the block
+tier batches whole-block meta templates through
+:meth:`Trace.block_emitters`, so every emission site shares one encoding
+and cannot drift (see ``repro/sim/trace.py``).
 """
 
 from __future__ import annotations
@@ -47,6 +66,7 @@ from ..isa.semantics import (
 )
 from ..isa.widths import wrap_to_width
 from ..ir import Program, STACK_BASE_ADDRESS
+from .blockc import BlockProgram, compile_blocks
 from .memory import Memory, load_program_data
 from .trace import (
     FLAG_MEM,
@@ -58,7 +78,17 @@ from .trace import (
     pack_record,
 )
 
-__all__ = ["Machine", "RunResult", "SimulationError", "SimulationLimitExceeded", "ValueObserver"]
+__all__ = [
+    "DISPATCH_TIERS",
+    "Machine",
+    "RunResult",
+    "SimulationError",
+    "SimulationLimitExceeded",
+    "ValueObserver",
+]
+
+#: Recognized interpreter tiers, fastest first.
+DISPATCH_TIERS = ("block", "fast", "reference")
 
 #: Base address of the (virtual) code segment; instructions are 4 bytes.
 CODE_BASE_ADDRESS = 0x1000
@@ -140,21 +170,38 @@ class RunResult:
         return counts
 
 
-def _default_fast_dispatch() -> bool:
-    """Fast dispatch is on unless ``REPRO_SIM_DISPATCH`` opts out.
+def _default_dispatch() -> str:
+    """Dispatch tier selected by ``REPRO_SIM_DISPATCH`` (default: block).
 
-    The opt-out vocabulary is a superset of ``REPRO_RESULT_STORE``'s
-    disabled values, so either spelling works for both variables.
+    The reference-loop opt-out vocabulary is a superset of
+    ``REPRO_RESULT_STORE``'s disabled values, so either spelling works
+    for both variables; ``fast`` selects the per-instruction compiled
+    tier, anything else the block-compiled tier.
     """
-    return os.environ.get("REPRO_SIM_DISPATCH", "fast").lower() not in (
-        "reference",
-        "slow",
-        "0",
-        "off",
-        "false",
-        "disabled",
-        "none",
-    )
+    value = os.environ.get("REPRO_SIM_DISPATCH", "").lower()
+    if value in ("reference", "slow", "0", "off", "false", "disabled", "none"):
+        return "reference"
+    if value == "fast":
+        return "fast"
+    return "block"
+
+
+def _resolve_tier(fast_dispatch: Optional[bool], dispatch: Optional[str], default: str) -> str:
+    """Resolve the tier from the new ``dispatch`` and legacy ``fast_dispatch``.
+
+    ``dispatch`` wins; the boolean maps onto the two tiers it predates
+    (``True`` → fast, ``False`` → reference) so existing differential
+    callers keep selecting exactly the loop they compare against.
+    """
+    if dispatch is not None:
+        if dispatch not in DISPATCH_TIERS:
+            raise ValueError(
+                f"unknown dispatch tier {dispatch!r}; expected one of {', '.join(DISPATCH_TIERS)}"
+            )
+        return dispatch
+    if fast_dispatch is not None:
+        return "fast" if fast_dispatch else "reference"
+    return default
 
 
 class Machine:
@@ -165,10 +212,16 @@ class Machine:
         program: Program,
         max_instructions: int = 20_000_000,
         fast_dispatch: Optional[bool] = None,
+        dispatch: Optional[str] = None,
     ) -> None:
         self.program = program
         self.max_instructions = max_instructions
-        self.fast_dispatch = _default_fast_dispatch() if fast_dispatch is None else fast_dispatch
+        self.dispatch = _resolve_tier(fast_dispatch, dispatch, _default_dispatch())
+        # Compiled artifacts, cached per Machine and shared across runs:
+        # the fast tier's per-instruction handler makers and the block
+        # tier's compiled programs (one per collect_trace flavour).
+        self._fast_makers: Optional[list] = None
+        self._block_programs: dict[bool, BlockProgram] = {}
         # Flatten the program into an address-indexed instruction sequence.
         self._flat: list[tuple[str, str, Instruction]] = []
         self._block_start: dict[tuple[str, str], int] = {}
@@ -186,6 +239,14 @@ class Machine:
             inst.uid: CODE_BASE_ADDRESS + 4 * index
             for index, (_, _, inst) in enumerate(self._flat)
         }
+        #: A return address outside the code segment terminates execution
+        #: (used when the entry function returns instead of halting).
+        self._stop_address = self.address_of_index(len(self._flat) + 16)
+
+    @property
+    def fast_dispatch(self) -> bool:
+        """True when a compiled tier (``fast`` or ``block``) drives runs."""
+        return self.dispatch != "reference"
 
     # ------------------------------------------------------------------
     # Address helpers
@@ -211,6 +272,7 @@ class Machine:
         value_observer: Optional[ValueObserver] = None,
         arguments: Optional[list[int]] = None,
         fast_dispatch: Optional[bool] = None,
+        dispatch: Optional[str] = None,
     ) -> RunResult:
         """Execute the program from its entry function until HALT.
 
@@ -220,13 +282,32 @@ class Machine:
             value_observer: optional value-profiling hook.
             arguments: optional initial values for the argument registers of
                 the entry function (``a0``, ``a1``...).
-            fast_dispatch: override the machine's dispatch mode for this run
-                (``False`` selects the reference decode-every-step loop).
+            fast_dispatch: legacy per-run override (``True`` selects the
+                fast per-instruction tier, ``False`` the reference loop).
+            dispatch: per-run tier override (``"block"``, ``"fast"`` or
+                ``"reference"``); wins over ``fast_dispatch``.
         """
-        fast = self.fast_dispatch if fast_dispatch is None else fast_dispatch
-        if fast:
+        tier = _resolve_tier(fast_dispatch, dispatch, self.dispatch)
+        if tier == "block":
+            return self._run_block(collect_trace, value_observer, arguments)
+        if tier == "fast":
             return self._run_fast(collect_trace, value_observer, arguments)
         return self._run_reference(collect_trace, value_observer, arguments)
+
+    def _init_run_state(self, arguments: Optional[list[int]]) -> tuple[list[int], Memory, int]:
+        """Fresh per-run architectural state: ``(regs, memory, entry pc)``."""
+        regs = [0] * 32
+        regs[30] = STACK_BASE_ADDRESS
+        memory = Memory()
+        load_program_data(memory, self.program)
+        if arguments:
+            for index, value in enumerate(arguments[:6]):
+                regs[16 + index] = to_signed(value)
+        entry = self.program.entry
+        if entry not in self._function_entry:
+            raise SimulationError(f"entry function {entry!r} not found")
+        regs[26] = self._stop_address
+        return regs, memory, self._function_entry[entry]
 
     def _run_reference(
         self,
@@ -235,22 +316,8 @@ class Machine:
         arguments: Optional[list[int]] = None,
     ) -> RunResult:
         """The original decode-every-step interpreter loop."""
-        regs = [0] * 32
-        regs[30] = STACK_BASE_ADDRESS
-        memory = Memory()
-        load_program_data(memory, self.program)
-        if arguments:
-            for index, value in enumerate(arguments[:6]):
-                regs[16 + index] = to_signed(value)
-
-        entry = self.program.entry
-        if entry not in self._function_entry:
-            raise SimulationError(f"entry function {entry!r} not found")
-        pc = self._function_entry[entry]
-        # A return address outside the code segment terminates execution
-        # (used when the entry function returns instead of halting).
-        stop_address = self.address_of_index(len(self._flat) + 16)
-        regs[26] = stop_address
+        regs, memory, pc = self._init_run_state(arguments)
+        stop_address = self._stop_address
 
         block_counts: dict[tuple[str, str], int] = {}
         call_counts: dict[str, int] = {}
@@ -416,38 +483,47 @@ class Machine:
         stop); the hot loop is reduced to an index, a call and the dynamic
         instruction-limit check.
         """
-        regs = [0] * 32
-        regs[30] = STACK_BASE_ADDRESS
-        memory = Memory()
-        load_program_data(memory, self.program)
-        if arguments:
-            for index, value in enumerate(arguments[:6]):
-                regs[16 + index] = to_signed(value)
-
-        entry = self.program.entry
-        if entry not in self._function_entry:
-            raise SimulationError(f"entry function {entry!r} not found")
-        pc = self._function_entry[entry]
-        stop_address = self.address_of_index(len(self._flat) + 16)
-        regs[26] = stop_address
-
+        regs, memory, pc = self._init_run_state(arguments)
         block_counts: dict[tuple[str, str], int] = {}
         call_counts: dict[str, int] = {}
         trace = self._new_trace() if collect_trace else None
         output: list[int] = []
-
-        handlers = self._compile_handlers(
-            regs,
-            memory,
-            trace,
-            output,
-            block_counts,
-            call_counts,
-            value_observer,
-            stop_address,
+        return self._finish_fast(
+            pc, 0, regs, memory, trace, output, block_counts, call_counts, value_observer
         )
 
-        executed = 0
+    def _finish_fast(
+        self,
+        pc: int,
+        executed: int,
+        regs: list[int],
+        memory: Memory,
+        trace: Optional[Trace],
+        output: list[int],
+        block_counts: dict[tuple[str, str], int],
+        call_counts: dict[str, int],
+        value_observer: Optional[ValueObserver],
+    ) -> RunResult:
+        """Bind fast-tier handlers to the given run state and drive to halt.
+
+        Shared by ``_run_fast`` (from the entry point) and the block
+        tier's mid-block landing pad (from an arbitrary resume point).
+        """
+        handlers = self._compile_handlers(
+            regs, memory, trace, output, block_counts, call_counts, value_observer
+        )
+        executed = self._drive_handlers(handlers, pc, executed)
+        return RunResult(
+            instructions=executed,
+            output=output,
+            block_counts=block_counts,
+            halted=True,
+            trace=trace,
+            call_counts=call_counts,
+        )
+
+    def _drive_handlers(self, handlers: list[Callable[[], int]], pc: int, executed: int) -> int:
+        """The fast tier's hot loop, resumable from any (pc, count) point."""
         limit = self.max_instructions
         try:
             while pc >= 0:
@@ -461,6 +537,88 @@ class Machine:
             if 0 <= pc < len(handlers):
                 # The dispatch index was valid, so the IndexError escaped a
                 # handler body (e.g. a buggy value observer) — surface it.
+                raise
+            raise SimulationError("program counter ran past the end of the program") from None
+        return executed
+
+    # ------------------------------------------------------------------
+    # Block dispatch
+    # ------------------------------------------------------------------
+    def _run_block(
+        self,
+        collect_trace: bool = False,
+        value_observer: Optional[ValueObserver] = None,
+        arguments: Optional[list[int]] = None,
+    ) -> RunResult:
+        """Block-compiled interpreter: straight-line code per basic block.
+
+        The program is compiled to specialized Python source once per
+        ``Machine`` (see :mod:`repro.sim.blockc`) and only *bound* to the
+        per-run state here, so repeated runs pay zero compilation.  The
+        hot loop advances one basic block per iteration: the dynamic
+        instruction-limit check is hoisted to block granularity (legal
+        because a unit's length is fixed and, with no value observer,
+        nothing a partially executed block does is observable once
+        ``SimulationLimitExceeded`` propagates).
+
+        Value-profiling runs fall back to the fast tier: the observer's
+        watched set is per-run, which is exactly what the block compiler
+        bakes out.
+        """
+        if value_observer is not None:
+            return self._run_fast(collect_trace, value_observer, arguments)
+        regs, memory, pc = self._init_run_state(arguments)
+        block_counts: dict[tuple[str, str], int] = {}
+        call_counts: dict[str, int] = {}
+        trace = self._new_trace() if collect_trace else None
+        output: list[int] = []
+
+        program = self._block_programs.get(collect_trace)
+        if program is None:
+            program = compile_blocks(self, collect_trace)
+            self._block_programs[collect_trace] = program
+        if trace is not None:
+            rows_extend, arena_extend, mem_append, spill = trace.block_emitters()
+        else:
+            rows_extend = arena_extend = mem_append = spill = None
+        funcs = program.bind(
+            regs,
+            memory.load,
+            memory.store,
+            memory._pages.get,
+            memory._page,
+            output.append,
+            block_counts,
+            call_counts,
+            program.consts,
+            rows_extend,
+            arena_extend,
+            mem_append,
+            spill,
+        )
+        lengths = program.lengths
+
+        executed = 0
+        limit = self.max_instructions
+        try:
+            while pc >= 0:
+                unit = funcs[pc]
+                if unit is None:
+                    # A computed control transfer landed mid-block (a
+                    # return address nobody's call produced): finish the
+                    # run on the per-instruction tier, sharing all state.
+                    return self._finish_fast(
+                        pc, executed, regs, memory, trace, output,
+                        block_counts, call_counts, None,
+                    )
+                executed += lengths[pc]
+                if executed > limit:
+                    raise SimulationLimitExceeded(
+                        f"exceeded the limit of {self.max_instructions} dynamic instructions"
+                    )
+                pc = unit()
+        except IndexError:
+            if 0 <= pc < len(funcs):
                 raise
             raise SimulationError("program counter ran past the end of the program") from None
 
@@ -482,19 +640,28 @@ class Machine:
         block_counts: dict[tuple[str, str], int],
         call_counts: dict[str, int],
         value_observer: Optional[ValueObserver],
-        stop_address: int,
     ) -> list[Callable[[], int]]:
-        """Compile one handler closure per flattened instruction.
+        """Bind one handler closure per flattened instruction.
 
-        Compilation cost is proportional to the *static* program size and is
-        paid once per run; the run state (register file, memory, trace
-        columns) is captured directly in the closures so the per-step
-        dispatch does no attribute or dictionary lookups.
+        The per-instruction *makers* — everything derivable from the
+        static program: opcode semantics, operand slots, packed trace
+        metas, successor pcs — are built once per ``Machine`` and cached;
+        each run only calls them with its own state (register file,
+        memory, trace emitters), which is plain closure creation.
         """
+        makers = self._fast_makers
+        if makers is None:
+            makers = self._fast_makers = [
+                self._instruction_maker(pc, function_name, inst)
+                for pc, (function_name, _, inst) in enumerate(self._flat)
+            ]
         watched = value_observer.watched_uids if value_observer is not None else frozenset()
         emit = emit_mem = None
         if trace is not None:
             emit, emit_mem = trace.emitters()
+        load = memory.load
+        store = memory.store
+        output_append = output.append
         handlers: list[Callable[[], int]] = []
         for pc, (function_name, block_label, inst) in enumerate(self._flat):
             observe = (
@@ -502,39 +669,25 @@ class Machine:
                 if value_observer is not None and inst.uid in watched
                 else None
             )
-            handler = self._compile_instruction(
-                pc,
-                function_name,
-                inst,
-                regs,
-                memory,
-                emit,
-                emit_mem,
-                output,
-                call_counts,
-                observe,
-                stop_address,
-            )
+            handler = makers[pc](regs, load, store, emit, emit_mem, output_append,
+                                 call_counts, observe)
             block_key = (function_name, block_label)
             if self._block_start[block_key] == pc:
                 handler = _count_block_entry(block_counts, block_key, handler)
             handlers.append(handler)
         return handlers
 
-    def _compile_instruction(
-        self,
-        pc: int,
-        function_name: str,
-        inst: Instruction,
-        regs: list[int],
-        memory: Memory,
-        emit,
-        emit_mem,
-        output: list[int],
-        call_counts: dict[str, int],
-        observe: Optional[Callable[[int, int], None]],
-        stop_address: int,
-    ) -> Callable[[], int]:
+    def _instruction_maker(self, pc: int, function_name: str, inst: Instruction):
+        """Build the cached *maker* for one static instruction.
+
+        Everything derivable from the static program — opcode semantics,
+        operand slots, width wrap, packed trace metas, successor pcs —
+        is resolved here, once per ``Machine``.  The returned maker
+        ``make(regs, load, store, emit, emit_mem, output_append,
+        call_counts, observe)`` only binds a run's state into a handler
+        closure; a second ``run()`` therefore performs zero handler
+        compilation.
+        """
         op = inst.op
         kind = inst.kind
         width = inst.width
@@ -555,113 +708,205 @@ class Machine:
             fn = _ARITH[op]
             ai, av = _operand_slot(inst.srcs[0])
             bi, bv = _operand_slot(inst.srcs[1])
-            if emit is None and observe is None:
+            meta = base_meta | FLAG_RESULT | 2 << 4
 
-                def handler() -> int:
-                    a = regs[ai] if ai >= 0 else av
-                    b = regs[bi] if bi >= 0 else bv
-                    if di >= 0:
-                        regs[di] = fn(a, b, width)
-                    return next_pc
+            def make(regs, load, store, emit, emit_mem, output_append, call_counts, observe):
+                if emit is None and observe is None:
 
-            else:
-                meta = base_meta | FLAG_RESULT | 2 << 4
+                    def handler() -> int:
+                        a = regs[ai] if ai >= 0 else av
+                        b = regs[bi] if bi >= 0 else bv
+                        if di >= 0:
+                            regs[di] = fn(a, b, width)
+                        return next_pc
 
-                def handler() -> int:
-                    a = regs[ai] if ai >= 0 else av
-                    b = regs[bi] if bi >= 0 else bv
-                    result = fn(a, b, width)
-                    if di >= 0:
-                        regs[di] = result
-                    if observe is not None:
-                        observe(uid, result)
-                    if emit is not None:
-                        emit(meta, (a, b, result))
-                    return next_pc
+                else:
 
-            return handler
+                    def handler() -> int:
+                        a = regs[ai] if ai >= 0 else av
+                        b = regs[bi] if bi >= 0 else bv
+                        result = fn(a, b, width)
+                        if di >= 0:
+                            regs[di] = result
+                        if observe is not None:
+                            observe(uid, result)
+                        if emit is not None:
+                            emit(meta, (a, b, result))
+                        return next_pc
+
+                return handler
+
+            return make
 
         if kind is OpKind.COMPARE:
             cmp = _COMPARE[op]
             ai, av = _operand_slot(inst.srcs[0])
             bi, bv = _operand_slot(inst.srcs[1])
-            if emit is None and observe is None:
+            meta = base_meta | FLAG_RESULT | 2 << 4
 
-                def handler() -> int:
-                    a = regs[ai] if ai >= 0 else av
-                    b = regs[bi] if bi >= 0 else bv
-                    if di >= 0:
-                        regs[di] = cmp(a, b)
-                    return next_pc
+            def make(regs, load, store, emit, emit_mem, output_append, call_counts, observe):
+                if emit is None and observe is None:
 
-            else:
-                meta = base_meta | FLAG_RESULT | 2 << 4
+                    def handler() -> int:
+                        a = regs[ai] if ai >= 0 else av
+                        b = regs[bi] if bi >= 0 else bv
+                        if di >= 0:
+                            regs[di] = cmp(a, b)
+                        return next_pc
 
-                def handler() -> int:
-                    a = regs[ai] if ai >= 0 else av
-                    b = regs[bi] if bi >= 0 else bv
-                    result = cmp(a, b)
-                    if di >= 0:
-                        regs[di] = result
-                    if observe is not None:
-                        observe(uid, result)
-                    if emit is not None:
-                        emit(meta, (a, b, result))
-                    return next_pc
+                else:
 
-            return handler
+                    def handler() -> int:
+                        a = regs[ai] if ai >= 0 else av
+                        b = regs[bi] if bi >= 0 else bv
+                        result = cmp(a, b)
+                        if di >= 0:
+                            regs[di] = result
+                        if observe is not None:
+                            observe(uid, result)
+                        if emit is not None:
+                            emit(meta, (a, b, result))
+                        return next_pc
+
+                return handler
+
+            return make
 
         if kind is OpKind.CMOV:
             take_on_zero = op is Opcode.CMOVEQ
             ci, cv = _operand_slot(inst.srcs[0])
             vi, vv = _operand_slot(inst.srcs[1])
-            if emit is None and observe is None:
+            meta = base_meta | FLAG_RESULT | 3 << 4
 
-                def handler() -> int:
-                    cond = regs[ci] if ci >= 0 else cv
-                    value = regs[vi] if vi >= 0 else vv
-                    old = regs[di] if di >= 0 else 0
-                    take = cond == 0 if take_on_zero else cond != 0
-                    if di >= 0:
-                        regs[di] = wrap(value, width) if take else old
-                    return next_pc
+            def make(regs, load, store, emit, emit_mem, output_append, call_counts, observe):
+                if emit is None and observe is None:
 
-            else:
-                meta = base_meta | FLAG_RESULT | 3 << 4
+                    def handler() -> int:
+                        cond = regs[ci] if ci >= 0 else cv
+                        value = regs[vi] if vi >= 0 else vv
+                        old = regs[di] if di >= 0 else 0
+                        take = cond == 0 if take_on_zero else cond != 0
+                        if di >= 0:
+                            regs[di] = wrap(value, width) if take else old
+                        return next_pc
 
-                def handler() -> int:
-                    cond = regs[ci] if ci >= 0 else cv
-                    value = regs[vi] if vi >= 0 else vv
-                    old = regs[di] if di >= 0 else 0
-                    take = cond == 0 if take_on_zero else cond != 0
-                    result = wrap(value, width) if take else old
-                    if di >= 0:
-                        regs[di] = result
-                    if observe is not None:
-                        observe(uid, result)
-                    if emit is not None:
-                        emit(meta, (cond, value, old, result))
-                    return next_pc
+                else:
 
-            return handler
+                    def handler() -> int:
+                        cond = regs[ci] if ci >= 0 else cv
+                        value = regs[vi] if vi >= 0 else vv
+                        old = regs[di] if di >= 0 else 0
+                        take = cond == 0 if take_on_zero else cond != 0
+                        result = wrap(value, width) if take else old
+                        if di >= 0:
+                            regs[di] = result
+                        if observe is not None:
+                            observe(uid, result)
+                        if emit is not None:
+                            emit(meta, (cond, value, old, result))
+                        return next_pc
+
+                return handler
+
+            return make
 
         if kind is OpKind.MASK or kind is OpKind.EXTEND:
             mask = _MASK[op]
             ai, av = _operand_slot(inst.srcs[0])
-            if emit is None and observe is None:
+            meta = base_meta | FLAG_RESULT | 1 << 4
 
-                def handler() -> int:
-                    a = regs[ai] if ai >= 0 else av
-                    if di >= 0:
-                        regs[di] = mask(a)
-                    return next_pc
+            def make(regs, load, store, emit, emit_mem, output_append, call_counts, observe):
+                if emit is None and observe is None:
 
-            else:
+                    def handler() -> int:
+                        a = regs[ai] if ai >= 0 else av
+                        if di >= 0:
+                            regs[di] = mask(a)
+                        return next_pc
+
+                else:
+
+                    def handler() -> int:
+                        a = regs[ai] if ai >= 0 else av
+                        result = mask(a)
+                        if di >= 0:
+                            regs[di] = result
+                        if observe is not None:
+                            observe(uid, result)
+                        if emit is not None:
+                            emit(meta, (a, result))
+                        return next_pc
+
+                return handler
+
+            return make
+
+        if kind is OpKind.MOVE:
+            if op is Opcode.LI:
+                ai, av = _operand_slot(inst.srcs[0])
+                meta = base_meta | FLAG_RESULT
+
+                def make(regs, load, store, emit, emit_mem, output_append, call_counts, observe):
+                    def handler() -> int:
+                        result = signed64(regs[ai]) if ai >= 0 else signed64(av)
+                        if di >= 0:
+                            regs[di] = result
+                        if observe is not None:
+                            observe(uid, result)
+                        if emit is not None:
+                            emit(meta, (result,))
+                        return next_pc
+
+                    return handler
+
+                return make
+            if op is Opcode.MOV:
+                ai, av = _operand_slot(inst.srcs[0])
                 meta = base_meta | FLAG_RESULT | 1 << 4
+                if ai >= 0:
+                    # Register values are already signed; store as-is.
+                    def make(regs, load, store, emit, emit_mem, output_append, call_counts,
+                             observe):
+                        def handler() -> int:
+                            a = regs[ai]
+                            if di >= 0:
+                                regs[di] = a
+                            if observe is not None:
+                                observe(uid, a)
+                            if emit is not None:
+                                emit(meta, (a, a))
+                            return next_pc
 
+                        return handler
+
+                    return make
+                # Immediate source: the reference loop records the raw bit
+                # pattern but writes it through to_signed — precompute both.
+                stored = signed64(av)
+
+                def make(regs, load, store, emit, emit_mem, output_append, call_counts, observe):
+                    def handler() -> int:
+                        if di >= 0:
+                            regs[di] = stored
+                        if observe is not None:
+                            observe(uid, av)
+                        if emit is not None:
+                            emit(meta, (av, av))
+                        return next_pc
+
+                    return handler
+
+                return make
+            # LDA
+            ai, av = _operand_slot(inst.srcs[0])
+            bi, bv = _operand_slot(inst.srcs[1])
+            meta = base_meta | FLAG_RESULT | 1 << 4
+
+            def make(regs, load, store, emit, emit_mem, output_append, call_counts, observe):
                 def handler() -> int:
                     a = regs[ai] if ai >= 0 else av
-                    result = mask(a)
+                    offset = regs[bi] if bi >= 0 else bv
+                    result = wrap(a + offset, Width.QUAD)
                     if di >= 0:
                         regs[di] = result
                     if observe is not None:
@@ -670,134 +915,77 @@ class Machine:
                         emit(meta, (a, result))
                     return next_pc
 
-            return handler
-
-        if kind is OpKind.MOVE:
-            if op is Opcode.LI:
-                ai, av = _operand_slot(inst.srcs[0])
-                meta = base_meta | FLAG_RESULT
-
-                def handler() -> int:
-                    result = signed64(regs[ai]) if ai >= 0 else signed64(av)
-                    if di >= 0:
-                        regs[di] = result
-                    if observe is not None:
-                        observe(uid, result)
-                    if emit is not None:
-                        emit(meta, (result,))
-                    return next_pc
-
                 return handler
-            if op is Opcode.MOV:
-                ai, av = _operand_slot(inst.srcs[0])
-                meta = base_meta | FLAG_RESULT | 1 << 4
-                if ai >= 0:
-                    # Register values are already signed; store as-is.
-                    def handler() -> int:
-                        a = regs[ai]
-                        if di >= 0:
-                            regs[di] = a
-                        if observe is not None:
-                            observe(uid, a)
-                        if emit is not None:
-                            emit(meta, (a, a))
-                        return next_pc
 
-                    return handler
-                # Immediate source: the reference loop records the raw bit
-                # pattern but writes it through to_signed — precompute both.
-                stored = signed64(av)
-
-                def handler() -> int:
-                    if di >= 0:
-                        regs[di] = stored
-                    if observe is not None:
-                        observe(uid, av)
-                    if emit is not None:
-                        emit(meta, (av, av))
-                    return next_pc
-
-                return handler
-            # LDA
-            ai, av = _operand_slot(inst.srcs[0])
-            bi, bv = _operand_slot(inst.srcs[1])
-            meta = base_meta | FLAG_RESULT | 1 << 4
-
-            def handler() -> int:
-                a = regs[ai] if ai >= 0 else av
-                offset = regs[bi] if bi >= 0 else bv
-                result = wrap(a + offset, Width.QUAD)
-                if di >= 0:
-                    regs[di] = result
-                if observe is not None:
-                    observe(uid, result)
-                if emit is not None:
-                    emit(meta, (a, result))
-                return next_pc
-
-            return handler
+            return make
 
         if kind is OpKind.LOAD:
             ai, av = _operand_slot(inst.srcs[0])
             bi, bv = _operand_slot(inst.srcs[1])
             memory_width = inst.memory_width
             signed = op in (Opcode.LDW, Opcode.LDQ)
-            load = memory.load
-            if emit is None and observe is None:
+            meta = base_meta | FLAG_RESULT | FLAG_MEM | 1 << 4
 
-                def handler() -> int:
-                    base = regs[ai] if ai >= 0 else av
-                    offset = regs[bi] if bi >= 0 else bv
-                    if di >= 0:
-                        regs[di] = load((base + offset) & _UINT64, memory_width, signed)
-                    return next_pc
+            def make(regs, load, store, emit, emit_mem, output_append, call_counts, observe):
+                if emit is None and observe is None:
 
-            else:
-                meta = base_meta | FLAG_RESULT | FLAG_MEM | 1 << 4
+                    def handler() -> int:
+                        base = regs[ai] if ai >= 0 else av
+                        offset = regs[bi] if bi >= 0 else bv
+                        if di >= 0:
+                            regs[di] = load((base + offset) & _UINT64, memory_width, signed)
+                        return next_pc
 
-                def handler() -> int:
-                    base = regs[ai] if ai >= 0 else av
-                    offset = regs[bi] if bi >= 0 else bv
-                    mem_address = (base + offset) & _UINT64
-                    result = load(mem_address, memory_width, signed)
-                    if di >= 0:
-                        regs[di] = result
-                    if observe is not None:
-                        observe(uid, result)
-                    if emit_mem is not None:
-                        emit_mem(meta, (base, result), mem_address)
-                    return next_pc
+                else:
 
-            return handler
+                    def handler() -> int:
+                        base = regs[ai] if ai >= 0 else av
+                        offset = regs[bi] if bi >= 0 else bv
+                        mem_address = (base + offset) & _UINT64
+                        result = load(mem_address, memory_width, signed)
+                        if di >= 0:
+                            regs[di] = result
+                        if observe is not None:
+                            observe(uid, result)
+                        if emit_mem is not None:
+                            emit_mem(meta, (base, result), mem_address)
+                        return next_pc
+
+                return handler
+
+            return make
 
         if kind is OpKind.STORE:
             vi, vv = _operand_slot(inst.srcs[0])
             ai, av = _operand_slot(inst.srcs[1])
             bi, bv = _operand_slot(inst.srcs[2])
             memory_width = inst.memory_width
-            store = memory.store
-            if emit_mem is None:
+            meta = base_meta | FLAG_MEM | 2 << 4
 
-                def handler() -> int:
-                    value = regs[vi] if vi >= 0 else vv
-                    base = regs[ai] if ai >= 0 else av
-                    offset = regs[bi] if bi >= 0 else bv
-                    store((base + offset) & _UINT64, value, memory_width)
-                    return next_pc
+            def make(regs, load, store, emit, emit_mem, output_append, call_counts, observe):
+                if emit_mem is None:
 
-            else:
-                meta = base_meta | FLAG_MEM | 2 << 4
+                    def handler() -> int:
+                        value = regs[vi] if vi >= 0 else vv
+                        base = regs[ai] if ai >= 0 else av
+                        offset = regs[bi] if bi >= 0 else bv
+                        store((base + offset) & _UINT64, value, memory_width)
+                        return next_pc
 
-                def handler() -> int:
-                    value = regs[vi] if vi >= 0 else vv
-                    base = regs[ai] if ai >= 0 else av
-                    offset = regs[bi] if bi >= 0 else bv
-                    mem_address = (base + offset) & _UINT64
-                    store(mem_address, value, memory_width)
-                    emit_mem(meta, (value, base), mem_address)
-                    return next_pc
+                else:
 
-            return handler
+                    def handler() -> int:
+                        value = regs[vi] if vi >= 0 else vv
+                        base = regs[ai] if ai >= 0 else av
+                        offset = regs[bi] if bi >= 0 else bv
+                        mem_address = (base + offset) & _UINT64
+                        store(mem_address, value, memory_width)
+                        emit_mem(meta, (value, base), mem_address)
+                        return next_pc
+
+                return handler
+
+            return make
 
         if kind is OpKind.BRANCH:
             taken_pc = self._block_start.get((function_name, inst.target))
@@ -809,58 +997,73 @@ class Machine:
                 target = inst.target
                 if op is Opcode.BR:
 
-                    def handler() -> int:
-                        return block_start[(function_name, target)]
+                    def make(regs, load, store, emit, emit_mem, output_append, call_counts,
+                             observe):
+                        def handler() -> int:
+                            return block_start[(function_name, target)]
 
-                    return handler
+                        return handler
+
+                    return make
                 pred = _BRANCH[op]
                 ci, cv = _operand_slot(inst.srcs[0])
                 meta_not_taken = base_meta | _NOT_TAKEN | 1 << 4
 
-                def handler() -> int:
-                    cond = regs[ci] if ci >= 0 else cv
-                    if pred(cond):
-                        return block_start[(function_name, target)]
-                    if emit is not None:
-                        emit(meta_not_taken, (cond,))
-                    return next_pc
+                def make(regs, load, store, emit, emit_mem, output_append, call_counts, observe):
+                    def handler() -> int:
+                        cond = regs[ci] if ci >= 0 else cv
+                        if pred(cond):
+                            return block_start[(function_name, target)]
+                        if emit is not None:
+                            emit(meta_not_taken, (cond,))
+                        return next_pc
 
-                return handler
+                    return handler
+
+                return make
             if op is Opcode.BR:
+                meta = base_meta | _TAKEN
+
+                def make(regs, load, store, emit, emit_mem, output_append, call_counts, observe):
+                    if emit is None:
+
+                        def handler() -> int:
+                            return taken_pc
+
+                    else:
+
+                        def handler() -> int:
+                            emit(meta, ())
+                            return taken_pc
+
+                    return handler
+
+                return make
+            pred = _BRANCH[op]
+            ci, cv = _operand_slot(inst.srcs[0])
+            meta_taken = base_meta | _TAKEN | 1 << 4
+            meta_not_taken = base_meta | _NOT_TAKEN | 1 << 4
+
+            def make(regs, load, store, emit, emit_mem, output_append, call_counts, observe):
                 if emit is None:
 
                     def handler() -> int:
-                        return taken_pc
+                        cond = regs[ci] if ci >= 0 else cv
+                        return taken_pc if pred(cond) else next_pc
 
                 else:
-                    meta = base_meta | _TAKEN
 
                     def handler() -> int:
-                        emit(meta, ())
-                        return taken_pc
+                        cond = regs[ci] if ci >= 0 else cv
+                        if pred(cond):
+                            emit(meta_taken, (cond,))
+                            return taken_pc
+                        emit(meta_not_taken, (cond,))
+                        return next_pc
 
                 return handler
-            pred = _BRANCH[op]
-            ci, cv = _operand_slot(inst.srcs[0])
-            if emit is None:
 
-                def handler() -> int:
-                    cond = regs[ci] if ci >= 0 else cv
-                    return taken_pc if pred(cond) else next_pc
-
-            else:
-                meta_taken = base_meta | _TAKEN | 1 << 4
-                meta_not_taken = base_meta | _NOT_TAKEN | 1 << 4
-
-                def handler() -> int:
-                    cond = regs[ci] if ci >= 0 else cv
-                    if pred(cond):
-                        emit(meta_taken, (cond,))
-                        return taken_pc
-                    emit(meta_not_taken, (cond,))
-                    return next_pc
-
-            return handler
+            return make
 
         if kind is OpKind.CALL:
             return_address = self.address_of_index(pc + 1)
@@ -873,82 +1076,101 @@ class Machine:
                 # loop orders it.
                 function_entry = self._function_entry
 
+                def make(regs, load, store, emit, emit_mem, output_append, call_counts, observe):
+                    def handler() -> int:
+                        if di >= 0:
+                            regs[di] = return_address
+                        return function_entry[target]
+
+                    return handler
+
+                return make
+            meta = base_meta | FLAG_RESULT | _TAKEN
+
+            def make(regs, load, store, emit, emit_mem, output_append, call_counts, observe):
                 def handler() -> int:
                     if di >= 0:
                         regs[di] = return_address
-                    return function_entry[target]
+                    call_counts[target] = call_counts.get(target, 0) + 1
+                    if observe is not None:
+                        observe(uid, return_address)
+                    if emit is not None:
+                        emit(meta, (return_address,))
+                    return target_pc
 
                 return handler
-            meta = base_meta | FLAG_RESULT | _TAKEN
 
-            def handler() -> int:
-                if di >= 0:
-                    regs[di] = return_address
-                call_counts[target] = call_counts.get(target, 0) + 1
-                if observe is not None:
-                    observe(uid, return_address)
-                if emit is not None:
-                    emit(meta, (return_address,))
-                return target_pc
-
-            return handler
+            return make
 
         if kind is OpKind.RETURN:
             ai, av = _operand_slot(inst.srcs[0])
             index_of_address = self.index_of_address
+            stop_address = self._stop_address
             meta = base_meta | _TAKEN | 1 << 4
 
-            def handler() -> int:
-                address = regs[ai] if ai >= 0 else av
-                if address == stop_address:
+            def make(regs, load, store, emit, emit_mem, output_append, call_counts, observe):
+                def handler() -> int:
+                    address = regs[ai] if ai >= 0 else av
+                    if address == stop_address:
+                        if emit is not None:
+                            emit(meta, (address,))
+                        return _HALT_PC
+                    return_pc = index_of_address(address)
                     if emit is not None:
                         emit(meta, (address,))
-                    return _HALT_PC
-                return_pc = index_of_address(address)
-                if emit is not None:
-                    emit(meta, (address,))
-                return return_pc
+                    return return_pc
 
-            return handler
+                return handler
+
+            return make
 
         if kind is OpKind.HALT:
             meta = base_meta
 
-            def handler() -> int:
-                if emit is not None:
-                    emit(meta, ())
-                return _HALT_PC
+            def make(regs, load, store, emit, emit_mem, output_append, call_counts, observe):
+                def handler() -> int:
+                    if emit is not None:
+                        emit(meta, ())
+                    return _HALT_PC
 
-            return handler
+                return handler
+
+            return make
 
         if kind is OpKind.OUTPUT:
             vi, vv = _operand_slot(inst.srcs[0])
-            emit_value = output.append
             meta = base_meta | 1 << 4
 
-            def handler() -> int:
-                value = regs[vi] if vi >= 0 else vv
-                emit_value(value)
-                if emit is not None:
-                    emit(meta, (value,))
-                return next_pc
+            def make(regs, load, store, emit, emit_mem, output_append, call_counts, observe):
+                def handler() -> int:
+                    value = regs[vi] if vi >= 0 else vv
+                    output_append(value)
+                    if emit is not None:
+                        emit(meta, (value,))
+                    return next_pc
 
-            return handler
+                return handler
+
+            return make
 
         if kind is OpKind.NOP:
-            if emit is None:
+            meta = base_meta
 
-                def handler() -> int:
-                    return next_pc
+            def make(regs, load, store, emit, emit_mem, output_append, call_counts, observe):
+                if emit is None:
 
-            else:
-                meta = base_meta
+                    def handler() -> int:
+                        return next_pc
 
-                def handler() -> int:
-                    emit(meta, ())
-                    return next_pc
+                else:
 
-            return handler
+                    def handler() -> int:
+                        emit(meta, ())
+                        return next_pc
+
+                return handler
+
+            return make
 
         raise SimulationError(f"cannot execute {inst}")  # pragma: no cover
 

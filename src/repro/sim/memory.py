@@ -10,6 +10,7 @@ __all__ = ["Memory", "load_program_data"]
 
 _PAGE_SIZE = 4096
 _PAGE_MASK = _PAGE_SIZE - 1
+_PAGE_SHIFT = _PAGE_SIZE.bit_length() - 1
 
 
 class Memory:
@@ -18,6 +19,13 @@ class Memory:
     Pages are materialised lazily and zero-filled, so the simulator can use
     a realistic 64-bit address space (globals high, stack higher) without
     allocating it.
+
+    The block-compiled interpreter tier (:mod:`repro.sim.blockc`) inlines
+    this layout — page size, mask, byte order, lazy zero-fill — for
+    accesses that stay inside one materialized page, falling back to the
+    bound :meth:`load`/:meth:`store` methods otherwise; changes here must
+    keep that generated fast path equivalent (the differential tests in
+    ``tests/test_sim_machine.py`` enforce it).
     """
 
     def __init__(self) -> None:
@@ -27,7 +35,7 @@ class Memory:
     # Raw byte access
     # ------------------------------------------------------------------
     def _page(self, address: int) -> bytearray:
-        page_number = address >> 12
+        page_number = address >> _PAGE_SHIFT
         page = self._pages.get(page_number)
         if page is None:
             page = bytearray(_PAGE_SIZE)

@@ -17,6 +17,13 @@ Snapshots are a local cache format, not an interchange format: the column
 byte order is the host's, recorded in the header; a mismatch (or any
 structural inconsistency) raises ``ValueError``, which the store treats as
 a miss.
+
+Stored snapshots are keyed by a *simulator-side* code fingerprint
+(``repro/experiments/store.py``) covering every source file under
+``repro/sim`` — including the block compiler (``blockc.py``), whose
+generated per-program code is a pure function of those files — so any
+change to simulation semantics retires old snapshots instead of replaying
+them stale; ``tests/test_block_compiler.py`` locks this down.
 """
 
 from __future__ import annotations

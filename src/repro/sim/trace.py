@@ -289,6 +289,30 @@ def _encode_u64(value: int) -> int:
     return value - (1 << 64) if value > _INT64_MAX else value
 
 
+def _extend_values_exact(arena: array, big: dict[int, int], values: tuple[int, ...]) -> None:
+    """Append ``values`` to the arena with exact overflow diversion.
+
+    The shared recovery path behind both the per-record and the
+    block-batched append closures, invoked after ``arena.extend(values)``
+    raised ``OverflowError``: ``array.extend`` appends elementwise and
+    stops at the first element that fails the int64 conversion, so the
+    arena holds exactly the in-range prefix of ``values``.  Truncate back
+    to the batch boundary and re-append with the exact out-of-range
+    values diverted to the ``big`` side table (keyed by arena index).
+    """
+    prefix = 0
+    while prefix < len(values) and _INT64_MIN <= values[prefix] <= _INT64_MAX:
+        prefix += 1
+    start = len(arena) - prefix
+    del arena[start:]
+    for position, value in enumerate(values):
+        if _INT64_MIN <= value <= _INT64_MAX:
+            arena.append(value)
+        else:
+            big[start + position] = value
+            arena.append(0)
+
+
 def pack_record(
     uid: int,
     srcs: tuple[int, ...],
@@ -372,12 +396,14 @@ class Trace:
     # Construction
     # ------------------------------------------------------------------
     def emitters(self):
-        """The shared append path: ``(emit, emit_mem)`` closures.
+        """The shared per-record append path: ``(emit, emit_mem)`` closures.
 
-        Both interpreter loops of :class:`~repro.sim.machine.Machine`
-        write trace records exclusively through these two closures, so
-        the columnar encoding has a single source of truth and the two
-        emission sites cannot drift.
+        The reference and fast-dispatch tiers of
+        :class:`~repro.sim.machine.Machine` write trace records
+        exclusively through these two closures (the block-compiled tier
+        batches the same packed words via :meth:`block_emitters`), so the
+        columnar encoding has a single source of truth and the emission
+        sites cannot drift.
 
         ``emit(meta, values)`` appends one record whose packed ``meta``
         the caller provides (``uid << 8 | flags``); ``values`` holds the
@@ -392,40 +418,45 @@ class Trace:
         mem_append = self._mem.append
         big = self._big
 
-        def _emit_slow(meta: int, values: tuple[int, ...]) -> None:
-            """Exact fallback for values outside the int64 range.
-
-            ``array.extend`` appends elementwise and stops at the first
-            element that fails the conversion, so the arena holds exactly
-            the in-range prefix of ``values``; truncate it back to the
-            record boundary and re-append with the exact overflow values
-            diverted to the side table (keyed by arena index).
-            """
-            prefix = 0
-            while prefix < len(values) and _INT64_MIN <= values[prefix] <= _INT64_MAX:
-                prefix += 1
-            start = len(arena) - prefix
-            del arena[start:]
-            for position, value in enumerate(values):
-                if _INT64_MIN <= value <= _INT64_MAX:
-                    arena.append(value)
-                else:
-                    big[start + position] = value
-                    arena.append(0)
-
         def emit(meta: int, values: tuple[int, ...]) -> None:
             rows_append(meta)
             if values:
                 try:
                     arena_extend(values)
                 except OverflowError:
-                    _emit_slow(meta, values)
+                    _extend_values_exact(arena, big, values)
 
         def emit_mem(meta: int, values: tuple[int, ...], mem_address: int) -> None:
             emit(meta, values)
             mem_append(_encode_u64(mem_address))
 
         return emit, emit_mem
+
+    def block_emitters(self):
+        """Block-batched append path: ``(extend_rows, extend_values,
+        append_mem, spill_values)``.
+
+        Used by the block-compiled interpreter tier
+        (:mod:`repro.sim.blockc`), which amortizes emission over whole
+        basic blocks: ``extend_rows`` takes a block's precomputed meta
+        template (an ``array('q')`` built from the same packed words
+        :meth:`emitters` appends one at a time), ``extend_values`` takes
+        the block's dynamic values as one flat tuple.  When
+        ``extend_values`` raises ``OverflowError`` the caller must invoke
+        ``spill_values`` with the same tuple — it runs the identical
+        exact-overflow recovery the per-record ``emit`` closure uses, so
+        the two append paths cannot drift.  ``append_mem`` appends one
+        *signed-encoded* effective address; the block compiler bakes the
+        unsigned→signed reinterpretation of :func:`_encode_u64` into its
+        generated source, exactly as the fast-dispatch tier bakes metas.
+        """
+        arena = self._arena
+        big = self._big
+
+        def spill_values(values: tuple[int, ...]) -> None:
+            _extend_values_exact(arena, big, values)
+
+        return self._rows.extend, arena.extend, self._mem.append, spill_values
 
     def _ingest(self, records: Iterable[TraceRecord]) -> None:
         """Build columns from an explicit record iterable.

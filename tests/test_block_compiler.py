@@ -1,0 +1,204 @@
+"""Block-compiler contracts beyond trace equivalence.
+
+Three properties the differential harness cannot see:
+
+1. **Compiled-program reuse** — a second ``run()`` on the same ``Machine``
+   performs *zero* handler/block compilation, in both compiled tiers
+   (the acceptance probe for the recompile-every-run fix).
+2. **Deterministic generation** — the generated source is a pure function
+   of the program, so it can serve as a debugging artifact and the
+   simulator code fingerprint covers it through ``sim/blockc.py``.
+3. **Snapshot hygiene** — mutating the block compiler's source rotates
+   the simulator-side fingerprint, so stored binary trace snapshots are
+   re-simulated rather than replayed after a semantics change.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.asm import assemble_program
+from repro.sim import Machine
+from repro.sim import blockc
+from repro.sim.blockc import compile_blocks
+
+_LOOP_ASM = """
+.data buf 8 64
+.func helper 1
+entry:
+    add v0, a0, a0
+    ret
+.endfunc
+.func main 0
+entry:
+    li r1, 0
+    li r2, =buf
+loop:
+    add r1, r1, 1
+    stq r1, 0(r2)
+    ldq r3, 0(r2)
+    mov a0, r3
+    jsr helper
+    cmplt r4, r1, 5
+    bne r4, loop
+done:
+    print v0
+    halt
+.endfunc
+"""
+
+
+class TestCompiledProgramReuse:
+    def test_second_run_performs_zero_compilation(self, monkeypatch):
+        """The acceptance probe: repeated runs only *bind* per-run state —
+        no instruction makers are rebuilt, no block program is recompiled,
+        for either compiled tier or trace flavour."""
+        import repro.sim.machine as machine_module
+
+        program = assemble_program(_LOOP_ASM)
+        machine = Machine(program)
+
+        calls = {"makers": 0, "blocks": 0}
+        real_maker = Machine._instruction_maker
+        real_compile = machine_module.compile_blocks
+
+        def counting_maker(self, *args, **kwargs):
+            calls["makers"] += 1
+            return real_maker(self, *args, **kwargs)
+
+        def counting_compile(*args, **kwargs):
+            calls["blocks"] += 1
+            return real_compile(*args, **kwargs)
+
+        monkeypatch.setattr(Machine, "_instruction_maker", counting_maker)
+        monkeypatch.setattr(machine_module, "compile_blocks", counting_compile)
+
+        first = {
+            (tier, trace): machine.run(collect_trace=trace, dispatch=tier)
+            for tier in ("block", "fast")
+            for trace in (True, False)
+        }
+        assert calls["makers"] == len(machine._flat)
+        assert calls["blocks"] == 2  # one block program per trace flavour
+
+        calls["makers"] = calls["blocks"] = 0
+        for (tier, trace), cold in first.items():
+            warm = machine.run(collect_trace=trace, dispatch=tier)
+            assert warm.output == cold.output
+            assert warm.instructions == cold.instructions
+            assert warm.block_counts == cold.block_counts
+            if trace:
+                assert warm.trace.records == cold.trace.records
+        assert calls == {"makers": 0, "blocks": 0}, "second run must not compile"
+
+    def test_repeated_runs_share_one_block_program(self):
+        machine = Machine(assemble_program(_LOOP_ASM))
+        machine.run(collect_trace=True, dispatch="block")
+        program_object = machine._block_programs[True]
+        machine.run(collect_trace=True, dispatch="block")
+        assert machine._block_programs[True] is program_object
+
+
+class TestGeneratedSource:
+    def test_generation_is_deterministic(self):
+        program = assemble_program(_LOOP_ASM)
+        first = compile_blocks(Machine(program), collect_trace=True)
+        second = compile_blocks(Machine(program), collect_trace=True)
+        assert first.source == second.source
+        assert first.lengths == second.lengths
+        assert first.entry_points == second.entry_points
+
+    def test_units_cover_blocks_and_call_return_sites(self):
+        program = assemble_program(_LOOP_ASM)
+        machine = Machine(program)
+        compiled = compile_blocks(machine, collect_trace=False)
+        # Every basic-block start is an entry point...
+        for start in machine._block_start.values():
+            if start < len(machine._flat):
+                assert start in compiled.entry_points
+        # ...and so is the instruction after every call.
+        for pc, (_, _, inst) in enumerate(machine._flat):
+            if inst.is_call and pc + 1 < len(machine._flat):
+                assert pc + 1 in compiled.entry_points
+        # Unit lengths tile the whole program.
+        assert sum(compiled.lengths) == len(machine._flat)
+
+
+class TestSnapshotFingerprint:
+    def test_fingerprint_covers_block_compiler_source(self):
+        from repro.experiments.store import _sim_source_paths
+
+        paths = {path.name for path in _sim_source_paths()}
+        assert "blockc.py" in paths
+        assert "machine.py" in paths
+        assert "trace.py" in paths
+
+    def _mutated_blockc(self, monkeypatch):
+        """Patch Path.read_bytes so only sim/blockc.py appears edited."""
+        target = Path(blockc.__file__).resolve()
+        real_read = Path.read_bytes
+
+        def fake_read(path):
+            data = real_read(path)
+            if Path(path).resolve() == target:
+                data += b"\n# semantics changed\n"
+            return data
+
+        monkeypatch.setattr(Path, "read_bytes", fake_read)
+
+    def _clear_fingerprint_caches(self):
+        from repro.experiments import store as store_module
+
+        store_module._sim_fingerprint.cache_clear()
+        store_module._code_fingerprint.cache_clear()
+        store_module._trace_material.cache_clear()
+        store_module._config_material.cache_clear()
+
+    def test_mutating_block_compiler_rotates_sim_fingerprint(self, monkeypatch):
+        from repro.experiments import store as store_module
+
+        try:
+            self._clear_fingerprint_caches()
+            base = store_module._sim_fingerprint()
+            self._mutated_blockc(monkeypatch)
+            self._clear_fingerprint_caches()
+            assert store_module._sim_fingerprint() != base
+        finally:
+            monkeypatch.undo()
+            self._clear_fingerprint_caches()
+
+    def test_mutated_compiler_never_replays_stale_snapshots(
+        self, tmp_path, monkeypatch
+    ):
+        """End to end: after a block-compiler edit, the engine re-simulates
+        instead of replaying the previous generation's trace snapshot."""
+        from repro.experiments.engine import ExperimentConfig, ExperimentEngine
+        from repro.experiments.store import ResultStore
+
+        monkeypatch.setenv("REPRO_RESULT_STORE", str(tmp_path))
+        monkeypatch.delenv("REPRO_TRACE_STORE", raising=False)
+
+        calls = {"count": 0}
+        original_run = Machine.run
+
+        def counting_run(self, *args, **kwargs):
+            calls["count"] += 1
+            return original_run(self, *args, **kwargs)
+
+        monkeypatch.setattr(Machine, "run", counting_run)
+
+        config = ExperimentConfig(workload="ijpeg")
+        try:
+            self._clear_fingerprint_caches()
+            ExperimentEngine(store=ResultStore(tmp_path), jobs=1).evaluate(config)
+            assert calls["count"] > 0
+
+            self._mutated_blockc(monkeypatch)
+            self._clear_fingerprint_caches()
+            calls["count"] = 0
+            warm = ExperimentEngine(store=ResultStore(tmp_path), jobs=1).evaluate(config)
+            assert calls["count"] > 0, "stale snapshot must not be replayed"
+            assert not warm.replayed_from_store
+        finally:
+            monkeypatch.undo()
+            self._clear_fingerprint_caches()

@@ -334,3 +334,247 @@ entry:
             # (typical 2.5-3.5x locally), not a scheduler.
             ratio = max(ratio, measured_ratio())
         assert ratio >= 2.0
+
+
+class TestBlockDispatch:
+    """The block-compiled tier must be indistinguishable from the reference
+    loop (and the fast tier) — records, counters, outputs, failure modes."""
+
+    def _run_all_tiers(self, program, **kwargs):
+        machine = Machine(program)
+        return {
+            tier: machine.run(collect_trace=True, dispatch=tier, **kwargs)
+            for tier in ("reference", "fast", "block")
+        }
+
+    @pytest.mark.parametrize("name", ("ijpeg", "li"))
+    def test_traces_are_bit_identical_on_workloads(self, name):
+        workload = workload_by_name(name)
+        program = workload.build()
+        workload.apply_input(program, "ref")
+        runs = self._run_all_tiers(program)
+        reference = runs["reference"]
+        for tier in ("fast", "block"):
+            other = runs[tier]
+            assert other.instructions == reference.instructions, tier
+            assert other.output == reference.output, tier
+            assert other.block_counts == reference.block_counts, tier
+            assert other.call_counts == reference.call_counts, tier
+            assert other.halted == reference.halted, tier
+            assert other.trace.records == reference.trace.records, tier
+
+    def test_dispatch_tier_resolution(self, monkeypatch):
+        program = assemble_program(
+            """
+.func main 0
+entry:
+    halt
+.endfunc
+"""
+        )
+        monkeypatch.delenv("REPRO_SIM_DISPATCH", raising=False)
+        assert Machine(program).dispatch == "block"
+        monkeypatch.setenv("REPRO_SIM_DISPATCH", "fast")
+        assert Machine(program).dispatch == "fast"
+        monkeypatch.setenv("REPRO_SIM_DISPATCH", "reference")
+        assert Machine(program).dispatch == "reference"
+        monkeypatch.setenv("REPRO_SIM_DISPATCH", "block")
+        assert Machine(program).dispatch == "block"
+        # Explicit arguments beat the environment; dispatch beats the
+        # legacy boolean; unknown tiers fail fast.
+        assert Machine(program, dispatch="fast").dispatch == "fast"
+        assert Machine(program, fast_dispatch=False).dispatch == "reference"
+        assert Machine(program, fast_dispatch=False, dispatch="block").dispatch == "block"
+        with pytest.raises(ValueError):
+            Machine(program, dispatch="turbo")
+        with pytest.raises(ValueError):
+            Machine(program).run(dispatch="turbo")
+
+    def test_limit_boundaries_exact_across_tiers(self):
+        """SimulationLimitExceeded must fire at the same dynamic
+        instruction count in every tier, including limits landing in the
+        middle of a basic block (the block tier hoists its limit check to
+        block granularity)."""
+        program = assemble_program(
+            """
+.data buf 8 64
+.func main 0
+entry:
+    li r1, 0
+    li r2, =buf
+loop:
+    add r1, r1, 1
+    stq r1, 0(r2)
+    ldq r3, 0(r2)
+    xor r4, r3, 85
+    cmplt r5, r1, 3
+    bne r5, loop
+done:
+    print r1
+    halt
+.endfunc
+"""
+        )
+        machine = Machine(program)
+        total = machine.run(dispatch="reference").instructions
+        assert total > 10
+        for limit in range(1, total + 1):
+            bounded = Machine(program, max_instructions=limit)
+            outcomes = {}
+            for tier in ("reference", "fast", "block"):
+                try:
+                    bounded.run(dispatch=tier)
+                    outcomes[tier] = "completed"
+                except SimulationLimitExceeded as error:
+                    outcomes[tier] = str(error)
+            assert outcomes["fast"] == outcomes["reference"], limit
+            assert outcomes["block"] == outcomes["reference"], limit
+        assert Machine(program, max_instructions=total).run().halted
+
+    def test_value_observer_falls_back_bit_exact(self):
+        """Profiling runs take the fast tier under block dispatch; the
+        observed value stream must match the reference loop exactly."""
+        program = assemble_program(
+            """
+.func main 0
+entry:
+    li r1, 0
+loop:
+    add r1, r1, 7
+    cmplt r2, r1, 21
+    bne r2, loop
+done:
+    print r1
+    halt
+.endfunc
+"""
+        )
+        add = [i for i in program.functions["main"].instructions() if i.op.value == "add"][0]
+        tables = {}
+        for tier in ("reference", "block"):
+            profiler = ValueProfiler({add.uid})
+            machine = Machine(program, dispatch=tier)
+            run = machine.run(collect_trace=True, value_observer=profiler)
+            tables[tier] = (profiler.table(add.uid).entries, run.output, run.trace.records)
+        assert tables["block"][0] == tables["reference"][0] == {7: 1, 14: 1, 21: 1}
+        assert tables["block"][1] == tables["reference"][1]
+        assert tables["block"][2] == tables["reference"][2]
+
+    def test_computed_return_mid_block_matches_reference(self):
+        """A return address nobody's call produced lands mid-block; the
+        block tier finishes on its per-instruction landing pad with
+        identical results."""
+        program = assemble_program(
+            """
+.func helper 0
+entry:
+    add ra, ra, 4
+    ret
+.endfunc
+.func main 0
+entry:
+    li r1, 7
+    jsr helper
+    add r1, r1, 100
+    print r1
+    halt
+.endfunc
+"""
+        )
+        runs = self._run_all_tiers(program)
+        reference = runs["reference"]
+        assert reference.output == [7]  # the tampered return skips the add
+        for tier in ("fast", "block"):
+            assert runs[tier].output == reference.output, tier
+            assert runs[tier].instructions == reference.instructions, tier
+            assert runs[tier].block_counts == reference.block_counts, tier
+            assert runs[tier].trace.records == reference.trace.records, tier
+
+    def test_mov_out_of_range_immediate_matches_reference(self):
+        """Raw 64-bit immediates overflow the batched arena extend; the
+        block tier's spill path must keep them exact."""
+        from repro.isa import Imm
+
+        program = assemble_program(
+            """
+.func main 0
+entry:
+    li r1, 1
+    mov r2, r1
+    add r3, r2, 1
+    print r3
+    halt
+.endfunc
+"""
+        )
+        mov = [i for i in program.functions["main"].instructions() if i.op.value == "mov"][0]
+        mov.srcs = (Imm(2**64 - 1),)
+        runs = self._run_all_tiers(program)
+        assert runs["block"].output == runs["reference"].output == [0]
+        assert runs["block"].trace.records == runs["reference"].trace.records
+        assert runs["block"].trace.has_overflow_values
+
+    def test_dead_branch_and_dead_call_match_reference(self):
+        program = assemble_program(
+            """
+.func main 0
+entry:
+    li r1, 0
+    beq r1, next
+next:
+    print r1
+    halt
+.endfunc
+"""
+        )
+        beq = [i for i in program.functions["main"].instructions() if i.op.value == "beq"][0]
+        beq.target = "ghost"
+        errors = {}
+        for tier in ("reference", "fast", "block"):
+            with pytest.raises(KeyError) as excinfo:
+                Machine(program).run(dispatch=tier)
+            errors[tier] = excinfo.value.args
+        assert errors["fast"] == errors["reference"]
+        assert errors["block"] == errors["reference"]
+
+        # Dead call: a jsr whose callee was removed must raise the same
+        # KeyError in every tier (after the return-address write, before
+        # any call counting or emission).
+        call_program = assemble_program(
+            """
+.func helper 0
+entry:
+    ret
+.endfunc
+.func main 0
+entry:
+    li r1, 1
+    jsr helper
+    print r1
+    halt
+.endfunc
+"""
+        )
+        jsr = [
+            i for i in call_program.functions["main"].instructions() if i.op.value == "jsr"
+        ][0]
+        jsr.target = "removed"
+        call_errors = {}
+        for tier in ("reference", "fast", "block"):
+            with pytest.raises(KeyError) as excinfo:
+                Machine(call_program).run(dispatch=tier)
+            call_errors[tier] = excinfo.value.args
+        assert call_errors["fast"] == call_errors["reference"] == ("removed",)
+        assert call_errors["block"] == call_errors["reference"]
+
+    def test_instruction_limit_enforced(self):
+        program = assemble_program(
+            """
+.func main 0
+entry:
+    br entry
+.endfunc
+"""
+        )
+        with pytest.raises(SimulationLimitExceeded):
+            Machine(program, max_instructions=100).run(dispatch="block")

@@ -320,3 +320,27 @@ def test_fresh_process_is_served_without_simulation(tmp_path):
     served_restored, served_cycles = json.loads(served.stdout.strip().splitlines()[-1])
     assert served_restored is True
     assert served_cycles == warm_cycles
+
+
+# ----------------------------------------------------------------------
+# CLI: the profile subcommand
+# ----------------------------------------------------------------------
+def test_cli_profile_prints_cumulative_top(capsys):
+    """`python -m repro.experiments profile` runs one workload under
+    cProfile and prints a cumulative-time ranking (the before/after
+    evidence future performance PRs cite)."""
+    from repro.experiments.__main__ import main
+
+    assert main(["profile", "--workload", "ijpeg", "--top", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "profile: workload=ijpeg" in out
+    assert "dynamic instructions" in out
+    assert "cumulative" in out  # pstats ordering header
+    assert "compute_evaluation" in out
+
+
+def test_cli_profile_rejects_unknown_workload(capsys):
+    from repro.experiments.__main__ import main
+
+    assert main(["profile", "--workload", "nosuch"]) == 2
+    assert "unknown workload" in capsys.readouterr().err

@@ -5,10 +5,10 @@ consumers against **verbatim record-list references** — copies of the
 walkers as they existed when the trace was a ``list[TraceRecord]`` — in
 the style of ``tests/test_power_fused.py``:
 
-1. **Emission**: the reference and fast-dispatch interpreter loops must
-   produce identical records through the shared columnar append path, and
-   a trace rebuilt from its own record view must be indistinguishable
-   from the machine-emitted original.
+1. **Emission**: all three interpreter tiers (reference, fast-dispatch,
+   block-compiled) must produce identical records through the shared
+   columnar append encoding, and a trace rebuilt from its own record view
+   must be indistinguishable from the machine-emitted original.
 2. **Kernels, bit-exact**: cycle counts (reference timing walk), energy
    shape counts (reference per-record fold), energy breakdowns for all
    six gating policies, all four summary distributions and the width
@@ -384,14 +384,17 @@ def _assert_columnar_equals_reference(trace: Trace, instructions: int, output: l
 def _run_differential(asm: str):
     program = assemble_program(asm)
     machine = Machine(program)
-    reference = machine.run(collect_trace=True, fast_dispatch=False)
-    fast = machine.run(collect_trace=True, fast_dispatch=True)
-    # The two interpreter loops share one emission path; their traces and
-    # outputs must be indistinguishable.
-    assert fast.output == reference.output
-    assert fast.instructions == reference.instructions
-    assert fast.trace.records == reference.trace.records
-    _assert_columnar_equals_reference(fast.trace, fast.instructions, fast.output)
+    reference = machine.run(collect_trace=True, dispatch="reference")
+    # All three interpreter tiers share one emission encoding; their
+    # traces, outputs and counters must be indistinguishable.
+    for tier in ("fast", "block"):
+        run = machine.run(collect_trace=True, dispatch=tier)
+        assert run.output == reference.output, tier
+        assert run.instructions == reference.instructions, tier
+        assert run.block_counts == reference.block_counts, tier
+        assert run.call_counts == reference.call_counts, tier
+        assert run.trace.records == reference.trace.records, tier
+    _assert_columnar_equals_reference(run.trace, run.instructions, run.output)
 
 
 class TestGeneratedPrograms:
@@ -429,10 +432,21 @@ class TestRealWorkloads:
 @pytest.mark.slow
 @pytest.mark.parametrize("name", SUITE_NAMES)
 def test_suite_workload_columnar_equals_reference(name):
+    """Every suite workload, under all three dispatch tiers: bit-exact
+    traces, outputs and counters, and every columnar consumer equal to its
+    record-list reference."""
     workload = workload_by_name(name)
     program = workload.build()
     workload.apply_input(program, "ref")
-    run = Machine(program).run(collect_trace=True)
+    machine = Machine(program)
+    reference = machine.run(collect_trace=True, dispatch="reference")
+    for tier in ("fast", "block"):
+        run = machine.run(collect_trace=True, dispatch=tier)
+        assert run.output == reference.output, tier
+        assert run.instructions == reference.instructions, tier
+        assert run.block_counts == reference.block_counts, tier
+        assert run.call_counts == reference.call_counts, tier
+        assert run.trace.records == reference.trace.records, tier
     _assert_columnar_equals_reference(run.trace, run.instructions, run.output)
 
 
