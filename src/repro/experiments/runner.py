@@ -349,8 +349,10 @@ def compute_evaluation(
     """Build, transform and simulate one workload configuration (uncached).
 
     The simulator runs under the dispatch tier selected by
-    ``REPRO_SIM_DISPATCH`` (block-compiled by default); tiers are
-    bit-identical, so the choice never affects results or store keys.
+    ``REPRO_SIM_DISPATCH`` (block-compiled by default) and the timing
+    model under the kernel tier selected by ``REPRO_TIMING_KERNEL``
+    (compiled by default; see ``docs/timing.md``); tiers are
+    bit-identical, so the choices never affect results or store keys.
     Note the per-mechanism ordering: the ``Machine`` is built only
     *after* the VRP/VRS transformation mutated the program, because
     machines snapshot the program into their compiled artifacts.
@@ -422,6 +424,11 @@ def replay_summary(
     instruction count, program output, VRP/VRS statistics) come from the
     artifact.  Because trace, kernels and accumulation order are
     identical, the replayed summary is bit-identical to a fresh one.
+
+    The timing walk dominates a replay's cost, so it routes through the
+    compiled timing kernel by default (``REPRO_TIMING_KERNEL`` selects;
+    both kernel tiers are bit-exact, keeping replayed summaries
+    identical to cold ones).
     """
     trace = artifact.trace
     timing = OutOfOrderModel(machine_config).run(trace)

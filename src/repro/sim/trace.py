@@ -158,12 +158,25 @@ class StaticInfo:
     leave ``None`` holes.
     """
 
-    __slots__ = ("entries", "uid_base", "_count")
+    # __weakref__ lets derived lookup structures (e.g. the compiled
+    # timing kernel's packed static table) be cached per-StaticInfo in a
+    # WeakKeyDictionary without pinning the program in memory.
+    __slots__ = ("entries", "uid_base", "_count", "_version", "__weakref__")
 
     def __init__(self) -> None:
         self.entries: list[Optional[StaticEntry]] = []
         self.uid_base: int = 0
         self._count = 0
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Mutation counter, bumped by every :meth:`add_entry`.
+
+        Lets derived caches detect *in-place* entry replacement, which
+        leaves every shape-observable (base, length, count) unchanged.
+        """
+        return self._version
 
     @classmethod
     def from_program(cls, program: Program) -> "StaticInfo":
@@ -206,6 +219,7 @@ class StaticInfo:
         """Insert a prebuilt entry, growing the dense table as needed."""
         uid = entry.uid
         entries = self.entries
+        self._version += 1
         if not entries:
             self.uid_base = uid
             entries.append(entry)
@@ -368,6 +382,7 @@ class Trace:
         "_mem_prefix",
         "_uid_counts_cache",
         "_shape_counts_cache",
+        "_addr_cache",
     )
 
     def __init__(
@@ -389,6 +404,7 @@ class Trace:
         self._mem_prefix = None
         self._uid_counts_cache = None
         self._shape_counts_cache = None
+        self._addr_cache = None
         if records is not None:
             self._ingest(records)
 
@@ -550,12 +566,37 @@ class Trace:
             return self._addr_by_uid[self._rows[index + 1] >> 8]
         return address + 4
 
+    @property
+    def has_derived_addresses(self) -> bool:
+        """True when record addresses derive from the static uid map
+        (simulator-emitted traces).  Hand-built traces carry explicit
+        per-record address columns instead, and consumers that bake
+        per-uid address facts (the compiled timing kernel) must fall
+        back to the per-record column for them."""
+        return self._addr is None
+
+    @property
+    def address_map(self) -> Optional[dict[int, int]]:
+        """The uid → instruction-address map of a derived-address trace
+        (None for traces with explicit address columns)."""
+        return self._addr_by_uid
+
     def addresses(self) -> array:
-        """The per-record instruction-address column (materialized)."""
+        """The per-record instruction-address column (materialized, cached).
+
+        Simulator traces derive addresses from the static uid; both
+        timing kernels walk this column, so the derived materialization
+        is cached rather than rebuilt per run.  The cache is *not* the
+        explicit ``_addr`` column (snapshots serialize that one only for
+        hand-built traces) and is dropped by
+        :meth:`invalidate_aggregation_caches` like every derived cache.
+        """
         if self._addr is not None:
             return self._addr
-        lookup = self._addr_by_uid
-        return array("q", (lookup[meta >> 8] for meta in self._rows))
+        if self._addr_cache is None:
+            lookup = self._addr_by_uid
+            self._addr_cache = array("q", (lookup[meta >> 8] for meta in self._rows))
+        return self._addr_cache
 
     # ------------------------------------------------------------------
     # Record view
@@ -762,6 +803,7 @@ class Trace:
         self._mem_prefix = None
         self._uid_counts_cache = None
         self._shape_counts_cache = None
+        self._addr_cache = None
 
     # ------------------------------------------------------------------
     # Introspection

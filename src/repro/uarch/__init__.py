@@ -1,9 +1,18 @@
-"""Out-of-order microarchitecture timing model (Table 2 machine)."""
+"""Out-of-order microarchitecture timing model (Table 2 machine).
+
+Two bit-identical kernel tiers run the model: the reference scoreboard
+walk (:meth:`OutOfOrderModel.run_reference`) and the compiled kernel
+(:mod:`repro.uarch.tkernel`, the default — packed static table,
+ring-buffer slot allocators, inlined caches/predictor).  Select with
+``REPRO_TIMING_KERNEL`` or ``OutOfOrderModel(kernel=...)``; see
+``docs/timing.md``.
+"""
 
 from .branch_predictor import CombinedPredictor
 from .caches import Cache, CacheHierarchy
 from .config import CacheConfig, MachineConfig, PredictorConfig
-from .ooo import OutOfOrderModel, TimingResult
+from .ooo import TIMING_KERNELS, OutOfOrderModel, TimingResult
+from .tkernel import StaticTable, bake_static_table, run_compiled
 
 __all__ = [
     "CombinedPredictor",
@@ -14,4 +23,8 @@ __all__ = [
     "PredictorConfig",
     "OutOfOrderModel",
     "TimingResult",
+    "TIMING_KERNELS",
+    "StaticTable",
+    "bake_static_table",
+    "run_compiled",
 ]

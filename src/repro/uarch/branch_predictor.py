@@ -8,7 +8,15 @@ __all__ = ["CombinedPredictor"]
 
 
 class _CounterTable:
-    """A table of 2-bit saturating counters."""
+    """A table of 2-bit saturating counters.
+
+    The compiled timing kernel (:mod:`repro.uarch.tkernel`) inlines
+    these flat tables and their saturation arithmetic; any change here
+    must be mirrored there (``tests/test_uarch_timing.py`` catches
+    drift bit-for-bit).
+    """
+
+    __slots__ = ("_mask", "_counters")
 
     def __init__(self, entries: int, initial: int = 1) -> None:
         self._mask = entries - 1
@@ -31,6 +39,17 @@ class _CounterTable:
 
 class CombinedPredictor:
     """Selector-based combination of a gshare and a bimodal predictor."""
+
+    __slots__ = (
+        "config",
+        "_gshare",
+        "_bimodal",
+        "_selector",
+        "_history",
+        "_history_mask",
+        "lookups",
+        "mispredictions",
+    )
 
     def __init__(self, config: PredictorConfig | None = None) -> None:
         config = config or PredictorConfig()

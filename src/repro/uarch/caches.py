@@ -8,21 +8,33 @@ __all__ = ["Cache", "CacheHierarchy"]
 
 
 class Cache:
-    """A single cache level (tag-only model, LRU replacement)."""
+    """A single cache level (tag-only model, LRU replacement).
+
+    The compiled timing kernel (:mod:`repro.uarch.tkernel`) inlines this
+    exact set/tag/LRU arithmetic on flat tag lists; any change here must
+    be mirrored there (the differential suite in
+    ``tests/test_uarch_timing.py`` catches drift).
+    """
+
+    __slots__ = ("config", "name", "_sets", "_line_bytes", "_num_sets", "accesses", "misses")
 
     def __init__(self, config: CacheConfig, name: str = "cache") -> None:
         self.config = config
         self.name = name
         self._sets: list[list[int]] = [[] for _ in range(config.num_sets)]
+        # Geometry snapshotted once: ``num_sets`` is a derived property
+        # whose division would otherwise run twice per access.
+        self._line_bytes = config.line_bytes
+        self._num_sets = config.num_sets
         self.accesses = 0
         self.misses = 0
 
     def access(self, address: int) -> bool:
         """Access the line containing ``address``; returns True on a hit."""
         self.accesses += 1
-        line = address // self.config.line_bytes
-        index = line % self.config.num_sets
-        tag = line // self.config.num_sets
+        line = address // self._line_bytes
+        index = line % self._num_sets
+        tag = line // self._num_sets
         ways = self._sets[index]
         if tag in ways:
             ways.remove(tag)

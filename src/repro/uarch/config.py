@@ -9,13 +9,30 @@ __all__ = ["CacheConfig", "PredictorConfig", "MachineConfig"]
 
 @dataclass(frozen=True)
 class CacheConfig:
-    """One cache level."""
+    """One cache level.
+
+    Geometry is validated at construction: a size that does not yield at
+    least one whole set would otherwise surface as a bare
+    ``ZeroDivisionError`` deep inside the first timing walk.
+    """
 
     size_bytes: int
     associativity: int
     line_bytes: int
     hit_cycles: int
     miss_penalty_cycles: int
+
+    def __post_init__(self) -> None:
+        if self.associativity < 1 or self.line_bytes < 1:
+            raise ValueError(
+                f"cache associativity and line size must be >= 1, got "
+                f"{self.associativity} ways x {self.line_bytes} B lines"
+            )
+        if self.size_bytes < self.associativity * self.line_bytes:
+            raise ValueError(
+                f"cache of {self.size_bytes} B cannot hold one "
+                f"{self.associativity}-way set of {self.line_bytes} B lines"
+            )
 
     @property
     def num_sets(self) -> int:
@@ -30,6 +47,13 @@ class PredictorConfig:
     history_bits: int = 16
     bimodal_entries: int = 2 * 1024
     selector_entries: int = 1024
+
+    def __post_init__(self) -> None:
+        for field_name in ("gshare_entries", "bimodal_entries", "selector_entries"):
+            if getattr(self, field_name) < 1:
+                raise ValueError(f"{field_name} must be >= 1")
+        if self.history_bits < 0:
+            raise ValueError("history_bits must be >= 0")
 
 
 @dataclass(frozen=True)

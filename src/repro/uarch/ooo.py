@@ -17,18 +17,34 @@ orders of magnitude faster in Python while preserving the first-order
 behaviour (dependence chains, window fill, structural hazards, memory
 latency, branch redirects) that the paper's execution-time results rest on.
 
-The walk is columnar: one pass over the trace's packed meta column zipped
-with its address column.  The per-record flag byte replaces the ``None``
-checks of the old record walk, static facts come from the dense
-uid-indexed entry list, and effective addresses are consumed from the
-sparse memory column with a running cursor.  The arithmetic is identical
-to the record walk, so cycle counts are bit-exact (the differential
-harness in ``tests/test_trace_columnar.py`` asserts exactly that).
+The model comes in **two kernel tiers** (see ``docs/timing.md``):
+
+* ``reference`` — the columnar walk in :meth:`OutOfOrderModel.run_reference`:
+  one pass over the trace's packed meta column zipped with its address
+  column.  The per-record flag byte replaces the ``None`` checks of the
+  old record walk, static facts come from the dense uid-indexed entry
+  list, and effective addresses are consumed from the sparse memory
+  column with a running cursor.  The arithmetic is identical to the
+  record walk, so cycle counts are bit-exact (the differential harness
+  in ``tests/test_trace_columnar.py`` asserts exactly that).
+* ``compiled`` (the default) — the specialized kernel in
+  :mod:`repro.uarch.tkernel`: the same scoreboard arithmetic over a
+  packed per-uid static table, ring-buffer slot allocators and inlined
+  cache/predictor state.  Bit-exact against the reference tier on every
+  :class:`TimingResult` field (``tests/test_uarch_timing.py``), ~3-4x
+  faster (``benchmarks/bench_timing.py`` enforces ≥2x in CI).
+
+Select a tier per model (``OutOfOrderModel(kernel=...)``), per run
+(``run(kernel=...)``) or process-wide with ``REPRO_TIMING_KERNEL``
+(``compiled`` — the default — or ``reference``/``slow``/``off``),
+mirroring the functional simulator's ``REPRO_SIM_DISPATCH`` tiers.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
+from typing import Optional
 
 from ..sim import Trace
 from ..sim.trace import FLAG_MEM, FLAG_TAKEN, FLAG_TAKEN_TRUE
@@ -36,15 +52,44 @@ from .branch_predictor import CombinedPredictor
 from .caches import Cache, CacheHierarchy
 from .config import MachineConfig
 
-__all__ = ["TimingResult", "OutOfOrderModel"]
+__all__ = ["TIMING_KERNELS", "TimingResult", "OutOfOrderModel"]
 
 _UINT64 = (1 << 64) - 1
 
+#: The two timing-kernel tiers; both produce bit-identical results.
+TIMING_KERNELS = ("reference", "compiled")
+
+
+def _default_kernel() -> str:
+    """Kernel tier selected by ``REPRO_TIMING_KERNEL`` (default: compiled).
+
+    The opt-out vocabulary mirrors ``REPRO_SIM_DISPATCH``'s reference
+    spellings, so either variable understands the same words; anything
+    else selects the compiled kernel.
+    """
+    value = os.environ.get("REPRO_TIMING_KERNEL", "").lower()
+    if value in ("reference", "ref", "slow", "0", "off", "false", "disabled", "none"):
+        return "reference"
+    return "compiled"
+
 
 class _Slots:
-    """Bounded number of events per cycle (issue ports, FUs, retire slots)."""
+    """Bounded number of events per cycle (issue ports, FUs, retire slots).
+
+    ``allocate`` probes upward from ``earliest`` for a cycle with spare
+    width.  The per-cycle usage dict would otherwise grow one entry per
+    distinct cycle for the whole trace — unbounded on long traces — so
+    the walk periodically calls :meth:`release_below` with a monotone
+    lower bound on all future probes, letting exhausted cycles be
+    forgotten without changing any allocation (the regression probe in
+    ``tests/test_uarch_timing.py`` asserts both properties).
+    """
 
     __slots__ = ("width", "_used")
+
+    #: Entry count above which ``release_below`` actually scans; keeps
+    #: the scan amortized against the walk's periodic call cadence.
+    PRUNE_THRESHOLD = 4096
 
     def __init__(self, width: int) -> None:
         self.width = width
@@ -57,6 +102,13 @@ class _Slots:
             cycle += 1
         used[cycle] = used.get(cycle, 0) + 1
         return cycle
+
+    def release_below(self, floor: int) -> None:
+        """Forget cycles below ``floor`` (a bound no future probe goes under)."""
+        used = self._used
+        if len(used) > self.PRUNE_THRESHOLD:
+            for cycle in [cycle for cycle in used if cycle < floor]:
+                del used[cycle]
 
 
 @dataclass
@@ -83,12 +135,41 @@ class TimingResult:
 
 
 class OutOfOrderModel:
-    """Runs the timing model over one trace."""
+    """Runs the timing model over one trace.
 
-    def __init__(self, config: MachineConfig | None = None) -> None:
+    ``kernel`` pins the kernel tier for this model (``"reference"`` or
+    ``"compiled"``); when ``None`` each :meth:`run` resolves the tier
+    from ``REPRO_TIMING_KERNEL`` (compiled by default).  The tiers are
+    bit-identical, so the choice never affects results — only speed.
+    """
+
+    def __init__(
+        self, config: MachineConfig | None = None, kernel: Optional[str] = None
+    ) -> None:
         self.config = config or MachineConfig()
+        if kernel is not None and kernel not in TIMING_KERNELS:
+            raise ValueError(
+                f"unknown timing kernel {kernel!r}; expected one of {', '.join(TIMING_KERNELS)}"
+            )
+        self.kernel = kernel
 
-    def run(self, trace: Trace) -> TimingResult:
+    def run(self, trace: Trace, kernel: Optional[str] = None) -> TimingResult:
+        """Time ``trace`` under the resolved kernel tier."""
+        tier = kernel if kernel is not None else self.kernel
+        if tier is None:
+            tier = _default_kernel()
+        elif tier not in TIMING_KERNELS:
+            raise ValueError(
+                f"unknown timing kernel {tier!r}; expected one of {', '.join(TIMING_KERNELS)}"
+            )
+        if tier == "compiled":
+            from .tkernel import run_compiled
+
+            return run_compiled(trace, self.config)
+        return self.run_reference(trace)
+
+    def run_reference(self, trace: Trace) -> TimingResult:
+        """The reference scoreboard walk — the compiled kernel's oracle."""
         config = self.config
         static = trace.static
         entries = static.entries
@@ -129,7 +210,19 @@ class OutOfOrderModel:
         line_bytes = config.icache.line_bytes
         frontend = config.frontend_depth
 
+        # Issue-family probes never go below fetch_cycle (monotone) and
+        # retire probes never below last_commit, so exhausted cycles can
+        # be released periodically — bounding the per-cycle dicts on
+        # long traces without touching any allocation.
+        prune_countdown = prune_interval = _Slots.PRUNE_THRESHOLD
+
         for meta, address in zip(trace.metas, trace.addresses()):
+            prune_countdown -= 1
+            if not prune_countdown:
+                prune_countdown = prune_interval
+                for slots in (issue_slots, alu_slots, mul_slots, lsq_slots):
+                    slots.release_below(fetch_cycle)
+                retire_slots.release_below(last_commit)
             flags = meta & 0xFF
             entry = entries[(meta >> 8) - uid_base]
             if flags & FLAG_MEM:

@@ -1,0 +1,851 @@
+"""Compiled out-of-order timing kernel.
+
+Runs the *same scoreboard arithmetic* as the reference walk in
+:meth:`repro.uarch.ooo.OutOfOrderModel.run_reference`, but as
+**generated, per-configuration Python source** (the same technique the
+simulator's block compiler uses) driven off precomputed packed data:
+
+* **Specialized walk source** (:data:`KERNEL_TEMPLATE`): every machine
+  parameter is baked in as a literal, power-of-two cache/line/window
+  arithmetic compiles to shifts and masks, and only the configured
+  cache-associativity variant is emitted.  Compiled once per
+  (config, address-mode) pair and cached for the process.
+
+* **Packed static table** (:class:`StaticTable`): the per-uid facts the
+  walk needs (latency, functional-unit class, class bits, destination
+  register, source registers) are baked once per :class:`StaticInfo`
+  into dense ``array('q')`` columns — the source registers as seven
+  8-bit lanes plus a count byte, everything else fused into one *hot
+  word* per uid — then flattened into one tuple per uid, so the loop
+  makes a single list indexing per record for all static facts instead
+  of a dataclass attribute walk.  Simulator traces derive instruction
+  addresses from the uid, so the *derived* address mode also bakes the
+  fetch-line number and branch pc per uid and iterates the meta column
+  alone; hand-built traces take the explicit two-column variant.
+
+* **Ring-buffer slot allocators**: the reference model's ``_Slots``
+  (a per-cycle usage dict) becomes a pair of flat lists per allocator —
+  ``cycle_at[slot]``/``count[slot]`` with ``slot = cycle & mask`` — so
+  an ``allocate`` is list indexing instead of dict probing, and the
+  occupancy state is bounded by the ring capacity instead of growing
+  with the cycle count.  Equivalence is unconditional: a slot write
+  that would clobber a *live* tenant (tenant cycle ≥ the monotone probe
+  floor ``fetch + frontend_depth``) grows the ring first
+  (:func:`_grow_ring`); stale tenants are below every future probe, so
+  overwriting them is exactly the dict allocator's garbage.  A
+  known-full interval memo collapses the re-walk of saturated cycles
+  (see :func:`_ring_probe`), and the retire allocator's probes are
+  monotone (``max(complete, last_commit)``), so it collapses further,
+  to a frontier ``(cycle, used)`` scalar pair.
+
+* **Inlined caches and predictor**: L1 set/tag math runs on flat
+  MRU/LRU tag lists when the cache is 2-way (the Table 2 shape), with a
+  generic per-set list fallback for other associativities; the shared
+  L2 keeps the reference's per-set LRU lists (it is only touched on L1
+  misses).  The gshare/bimodal/selector tables are flat lists of 2-bit
+  counters updated inline with the exact saturation arithmetic of
+  :class:`~repro.uarch.branch_predictor.CombinedPredictor`.
+
+Every counter (accesses, misses, lookups, mispredictions, loads,
+stores) and every cycle is bit-exact against the reference walk — the
+differential harness in ``tests/test_uarch_timing.py`` asserts
+field-for-field :class:`TimingResult` equality on hypothesis-generated
+programs and on every suite workload.  Select the kernel with
+``REPRO_TIMING_KERNEL=reference|compiled`` (compiled is the default);
+see ``docs/timing.md``.
+"""
+
+from __future__ import annotations
+
+import weakref
+from array import array
+from dataclasses import dataclass
+
+from ..sim import Trace
+from ..sim.trace import StaticInfo
+from .config import MachineConfig
+
+__all__ = ["StaticTable", "bake_static_table", "run_compiled"]
+
+_UINT64 = (1 << 64) - 1
+
+#: Hot-word layout (:attr:`StaticTable.hot_word`): one int per uid
+#: fusing every scalar static fact the walk consumes.
+HOT_LATENCY_MASK = 0xFF  # bits 0-7: execution latency
+HOT_IMUL = 1 << 8  # functional unit: integer multiplier
+HOT_MEM = 1 << 9  # functional unit: load/store queue
+HOT_LOAD = 1 << 10
+HOT_STORE = 1 << 11
+HOT_BRANCH = 1 << 12
+HOT_CONDITIONAL = 1 << 13
+HOT_CALL_RETURN = 1 << 14
+HOT_DEST_SHIFT = 16  # bits 16+: dest_reg + 1 (0 = no producer-visible dest)
+
+#: Test masks the kernel template bakes in as literals (768, 3072, 20480).
+HOT_FU = HOT_IMUL | HOT_MEM
+HOT_LS = HOT_LOAD | HOT_STORE
+HOT_CTRL = HOT_BRANCH | HOT_CALL_RETURN
+
+#: log2 of the initial ring capacity of the issue-family slot
+#: allocators.  16384 cycles is far beyond any reachable issue-to-fetch
+#: span of the Table 2 machine (the 64-entry window bounds it to a few
+#: thousand cycles even on pathological miss chains); the rings grow on
+#: collision regardless, so this is a sizing hint, not a correctness
+#: bound.  Tests shrink it to force the growth path.
+_RING_BITS = 14
+
+
+@dataclass(frozen=True)
+class StaticTable:
+    """Per-uid static attributes packed into dense ``array('q')`` columns.
+
+    Indexed by ``uid - uid_base`` exactly like ``StaticInfo.entries``;
+    ``None`` holes bake to neutral values (they are unreachable — the
+    kernel validates the trace's uid set up front, as the reference
+    walk does).  ``latency``/``fu_class``/``class_bits``/``dest_reg``
+    are the readable single-fact columns; ``hot_word`` fuses them per
+    the ``HOT_*`` layout and is what the walk actually indexes.
+    """
+
+    uid_base: int
+    latency: array
+    fu_class: array
+    class_bits: array
+    dest_reg: array  # -1 when the entry has no producer-visible dest
+    src_packed: array  # count << 56 | reg[i] << (8 * i)
+    hot_word: array
+    num_regs: int
+    #: Mutation stamp of the StaticInfo the table was baked from.
+    stamp: tuple
+
+    def src_tuples(self) -> list[tuple[int, ...]]:
+        """Decode the packed source-register column to per-uid tuples."""
+        decoded: list[tuple[int, ...]] = []
+        for word in self.src_packed:
+            count = word >> 56
+            decoded.append(tuple((word >> (8 * i)) & 0xFF for i in range(count)))
+        return decoded
+
+
+#: Class-bit layout of :attr:`StaticTable.class_bits` (the readable
+#: column; the hot word carries the same bits shifted to ``HOT_*``).
+CLS_LOAD = 1
+CLS_STORE = 2
+CLS_BRANCH = 4
+CLS_CONDITIONAL = 8
+CLS_CALL_RETURN = 16
+
+#: Functional-unit classes (:attr:`StaticTable.fu_class`).
+FU_ALU = 0
+FU_IMUL = 1
+FU_MEM = 2
+
+
+def _static_stamp(static: StaticInfo) -> tuple:
+    # version catches in-place entry replacement, which leaves the
+    # shape-based components (base, length, count) unchanged.
+    return (static.version, static.uid_base, len(static.entries), len(static))
+
+
+def bake_static_table(static: StaticInfo) -> StaticTable:
+    """Bake ``static`` into packed columns (pure function of its entries)."""
+    latency = array("q")
+    fu_class = array("q")
+    class_bits = array("q")
+    dest_reg = array("q")
+    src_packed = array("q")
+    hot_word = array("q")
+    num_regs = 32
+    for entry in static.entries:
+        if entry is None:
+            latency.append(0)
+            fu_class.append(FU_ALU)
+            class_bits.append(0)
+            dest_reg.append(-1)
+            src_packed.append(0)
+            hot_word.append(0)
+            continue
+        if not 0 <= entry.latency <= HOT_LATENCY_MASK:
+            raise ValueError(
+                f"uid {entry.uid}: latency {entry.latency} does not fit the hot word"
+            )
+        latency.append(entry.latency)
+        hot = entry.latency
+        if entry.functional_unit == "imul":
+            fu_class.append(FU_IMUL)
+            hot |= HOT_IMUL
+        elif entry.functional_unit == "mem":
+            fu_class.append(FU_MEM)
+            hot |= HOT_MEM
+        else:
+            fu_class.append(FU_ALU)
+        cls = (
+            (CLS_LOAD if entry.is_load else 0)
+            | (CLS_STORE if entry.is_store else 0)
+            | (CLS_BRANCH if entry.is_branch else 0)
+            | (CLS_CONDITIONAL if entry.is_conditional else 0)
+            | (CLS_CALL_RETURN if entry.is_call or entry.is_return else 0)
+        )
+        class_bits.append(cls)
+        hot |= cls << 10  # CLS_* bits land on HOT_LOAD..HOT_CALL_RETURN
+        dest = entry.dest_reg
+        if dest is None or dest == 31:
+            dest_reg.append(-1)
+        else:
+            dest_reg.append(dest)
+            hot |= (dest + 1) << HOT_DEST_SHIFT
+            if dest >= num_regs:
+                num_regs = dest + 1
+        srcs = entry.src_regs
+        if len(srcs) > 7:
+            raise ValueError(
+                f"uid {entry.uid}: {len(srcs)} source registers exceed the packed lanes"
+            )
+        word = len(srcs) << 56
+        for lane, reg in enumerate(srcs):
+            if not 0 <= reg <= 0xFF:
+                raise ValueError(f"uid {entry.uid}: register index {reg} does not pack")
+            word |= reg << (8 * lane)
+            if reg >= num_regs:
+                num_regs = reg + 1
+        src_packed.append(word)
+        hot_word.append(hot)
+    return StaticTable(
+        uid_base=static.uid_base,
+        latency=latency,
+        fu_class=fu_class,
+        class_bits=class_bits,
+        dest_reg=dest_reg,
+        src_packed=src_packed,
+        hot_word=hot_word,
+        num_regs=num_regs,
+        stamp=_static_stamp(static),
+    )
+
+
+#: StaticInfo → baked table; weak keys so tables die with their program.
+_TABLE_CACHE: "weakref.WeakKeyDictionary[StaticInfo, StaticTable]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _table_for(static: StaticInfo) -> StaticTable:
+    table = _TABLE_CACHE.get(static)
+    if table is None or table.stamp != _static_stamp(static):
+        table = bake_static_table(static)
+        _TABLE_CACHE[static] = table
+    return table
+
+
+def _grow_ring(
+    cycle_at: list, count: list, floor: int, span: int
+) -> tuple[list, list, int]:
+    """Grow a ring until ``span`` fits, rehashing live entries (≥ ``floor``).
+
+    Entries below the monotone probe floor can never be probed again, so
+    dropping them is exactly what the dict allocator's garbage is.
+    """
+    capacity = 2 * len(cycle_at)
+    while capacity <= span:
+        capacity *= 2
+    mask = capacity - 1
+    new_cycle_at = [-1] * capacity
+    new_count = [0] * capacity
+    for cycle, used in zip(cycle_at, count):
+        if cycle >= floor:
+            slot = cycle & mask
+            new_cycle_at[slot] = cycle
+            new_count[slot] = used
+    return new_cycle_at, new_count, mask
+
+
+#: Source template of the specialized walk.  ``_walk_source`` formats
+#: the config into it: scalar parameters become literals, pow2
+#: divisions become shifts/masks, and only the configured cache
+#: associativity variant is emitted.  The scoreboard arithmetic is the
+#: reference walk's, line for line — see ``OutOfOrderModel.run_reference``.
+KERNEL_TEMPLATE = """\
+def _timing_walk(rows, addresses, mem_column, static_of, base, num_regs):
+    {I_SETUP}
+    {D_SETUP}
+    l2_ways = [[] for _ in range({L2_SETS})]
+    i_accesses = i_misses = d_accesses = d_misses = l2_accesses = l2_misses = 0
+
+    gshare = [1] * {G_ENTRIES}
+    bimodal = [1] * {B_ENTRIES}
+    selector = [2] * {S_ENTRIES}
+    history = 0
+    lookups = mispredictions = 0
+
+    iss_cycle_at, iss_count, iss_mask = (
+        [-1] * {RING_CAPACITY}, [0] * {RING_CAPACITY}, {RING_CAPACITY} - 1
+    )
+    alu_cycle_at, alu_count, alu_mask = (
+        [-1] * {RING_CAPACITY}, [0] * {RING_CAPACITY}, {RING_CAPACITY} - 1
+    )
+    mul_cycle_at, mul_count, mul_mask = (
+        [-1] * {RING_CAPACITY}, [0] * {RING_CAPACITY}, {RING_CAPACITY} - 1
+    )
+    lsq_cycle_at, lsq_count, lsq_mask = (
+        [-1] * {RING_CAPACITY}, [0] * {RING_CAPACITY}, {RING_CAPACITY} - 1
+    )
+    iss_skip_from = iss_skip_to = -1
+    alu_skip_from = alu_skip_to = -1
+    mul_skip_from = mul_skip_to = -1
+    lsq_skip_from = lsq_skip_to = -1
+    commit_frontier = -1
+    commit_used = 0
+
+    reg_ready = [0] * num_regs
+    window_commits = [0] * {WINDOW}
+    window_index = 0
+    mem_cursor = 0
+    fetch_cycle = 0
+    fetched_in_cycle = 0
+    current_fetch_line = -1
+    redirect_cycle = 0
+    floor = {FRONTEND}  # = fetch_cycle + frontend depth, kept in step
+    loads = stores = 0
+
+    {LOOP_HEADER}
+        {EXTRACT}
+
+        # ----------------------------------------------------- fetch
+        if redirect_cycle:
+            # The reference keeps redirect_cycle forever and re-maxes
+            # it against fetch_cycle every record; consuming (zeroing)
+            # it at the next fetch is equivalent: once applied,
+            # fetch_cycle is at least the redirect, so the reference's
+            # max() never fires again for it.
+            if redirect_cycle > fetch_cycle:
+                fetch_cycle = redirect_cycle
+                fetched_in_cycle = 0
+                floor = fetch_cycle + {FRONTEND}
+            redirect_cycle = 0
+        {LINE_STMT}if line != current_fetch_line:
+            current_fetch_line = line
+{I_ACCESS}
+            if latency < 0:
+{I_L2}
+            if latency > {I_HIT}:
+                fetch_cycle += latency - {I_HIT}
+                fetched_in_cycle = 1
+                floor = fetch_cycle + {FRONTEND}
+            elif fetched_in_cycle >= {FETCH_WIDTH}:
+                fetch_cycle += 1
+                fetched_in_cycle = 1
+                floor += 1
+            else:
+                fetched_in_cycle += 1
+        elif fetched_in_cycle >= {FETCH_WIDTH}:
+            fetch_cycle += 1
+            fetched_in_cycle = 1
+            floor += 1
+        else:
+            fetched_in_cycle += 1
+
+        # ---------------------------------------- dispatch and issue
+        ready = window_commits[window_index]
+        if ready < floor:
+            ready = floor
+        for reg in srcs:
+            producer_complete = reg_ready[reg]
+            if producer_complete > ready:
+                ready = producer_complete
+        cycle = ready
+{ISSUE_PROBE}
+        if hot & 768:  # off the ALU pool: mul or load/store queue
+            if hot & 512:
+{LSQ_PROBE}
+            else:
+{MUL_PROBE}
+        else:
+{ALU_PROBE}
+
+        # -------------------------------------------------- execute
+        if hot & 3072:  # load or store
+            if hot & 1024:
+                loads += 1
+            else:
+                stores += 1
+            if meta & 2:  # FLAG_MEM: the record carries an address
+                mem_address = mem_column[mem_cursor] & {UINT64}
+                mem_cursor += 1
+{D_ACCESS}
+                if latency < 0:
+{D_L2}
+                if hot & 2048:  # stores retire from the store queue
+                    latency = 1
+            else:
+                latency = hot & 255
+        else:
+            latency = hot & 255
+            if meta & 2:
+                # Non-load/store record carrying a memory address:
+                # consume it so the sparse-column cursor stays aligned.
+                mem_cursor += 1
+        complete = cycle + latency
+
+        # --------------------------------------------------- commit
+        # retire_slots.allocate(max(complete, last_commit)), where
+        # last_commit == commit_frontier: retire probes are monotone,
+        # so the allocator is the frontier (cycle, used) pair.
+        if complete > commit_frontier:
+            commit_frontier = complete
+            commit_used = 1
+        elif commit_used >= {RETIRE_WIDTH}:
+            commit_frontier += 1
+            commit_used = 1
+        else:
+            commit_used += 1
+        window_commits[window_index] = commit_frontier
+        {WINDOW_WRAP}
+
+        dest = hot >> 16  # dest_reg + 1; 0 when absent
+        if dest:
+            reg_ready[dest - 1] = complete
+
+        # -------------------------------------------------- branches
+        if hot & 20480:  # branch or call/return
+            if hot & 4096 and meta & 4:  # branch with a taken flag
+                if hot & 8192:  # conditional: predictor.update inline
+                    taken = meta & 8
+                    {PC_STMT}
+                    gkey = (pc ^ history) & {G_MASK}
+                    bkey = pc & {B_MASK}
+                    skey = pc & {S_MASK}
+                    gshare_prediction = gshare[gkey] >= 2
+                    bimodal_prediction = bimodal[bkey] >= 2
+                    if selector[skey] >= 2:
+                        prediction = gshare_prediction
+                    else:
+                        prediction = bimodal_prediction
+                    lookups += 1
+                    if taken:
+                        if gshare_prediction != bimodal_prediction:
+                            counter = selector[skey]
+                            if gshare_prediction:
+                                if counter < 3:
+                                    selector[skey] = counter + 1
+                            elif counter > 0:
+                                selector[skey] = counter - 1
+                        counter = gshare[gkey]
+                        if counter < 3:
+                            gshare[gkey] = counter + 1
+                        counter = bimodal[bkey]
+                        if counter < 3:
+                            bimodal[bkey] = counter + 1
+                        history = ((history << 1) | 1) & {HISTORY_MASK}
+                        if not prediction:
+                            mispredictions += 1
+                            redirect_cycle = complete + {MISPREDICT_PENALTY}
+                            current_fetch_line = -1
+                    else:
+                        if gshare_prediction != bimodal_prediction:
+                            counter = selector[skey]
+                            if gshare_prediction:
+                                if counter > 0:
+                                    selector[skey] = counter - 1
+                            elif counter < 3:
+                                selector[skey] = counter + 1
+                        counter = gshare[gkey]
+                        if counter > 0:
+                            gshare[gkey] = counter - 1
+                        counter = bimodal[bkey]
+                        if counter > 0:
+                            bimodal[bkey] = counter - 1
+                        history = (history << 1) & {HISTORY_MASK}
+                        if prediction:
+                            mispredictions += 1
+                            redirect_cycle = complete + {MISPREDICT_PENALTY}
+                            current_fetch_line = -1
+            elif hot & 16384 and meta & 8:  # taken call/return redirect
+                # A pending redirect was either just applied (making it
+                # at most fetch_cycle) or never set, so the reference's
+                # max(redirect, fetch + 1) is always fetch_cycle + 1.
+                redirect_cycle = fetch_cycle + 1
+                current_fetch_line = -1
+
+    last_commit = commit_frontier if commit_frontier >= 0 else 0
+    cycles = (last_commit if last_commit > fetch_cycle else fetch_cycle) + 1
+    return (
+        cycles,
+        lookups,
+        mispredictions,
+        i_accesses,
+        i_misses,
+        d_accesses,
+        d_misses,
+        l2_accesses,
+        l2_misses,
+        loads,
+        stores,
+    )
+"""
+
+
+def _div(value_expr: str, divisor: int) -> str:
+    """Source expression dividing ``value_expr`` by ``divisor`` (shift if pow2)."""
+    if divisor & (divisor - 1) == 0:
+        return f"({value_expr} >> {divisor.bit_length() - 1})"
+    return f"({value_expr} // {divisor})"
+
+
+def _mod(value_expr: str, divisor: int) -> str:
+    """Source expression for ``value_expr % divisor`` (mask if pow2)."""
+    if divisor & (divisor - 1) == 0:
+        return f"({value_expr} & {divisor - 1})"
+    return f"({value_expr} % {divisor})"
+
+
+def _l1_access(prefix: str, cfg, line_expr: str, indent: str) -> str:
+    """Source for one inlined L1 access: sets ``latency`` (-1 = L1 miss).
+
+    ``line_expr`` is the cache-line number (the icache reuses the fetch
+    line — same geometry; the dcache derives it from the effective
+    address).  Two-way caches (the Table 2 shape) run on the flat
+    MRU/LRU tag lists; other associativities use the reference's
+    per-set LRU lists.
+    """
+    p = prefix
+    lines = [
+        f"{p}_accesses += 1",
+        f"{p}line = " + line_expr,
+        f"{p}set_ = " + _mod(f"{p}line", cfg.num_sets),
+        f"tag = " + _div(f"{p}line", cfg.num_sets),
+    ]
+    if cfg.associativity == 2:
+        lines += [
+            f"if tag == {p}_mru[{p}set_]:",
+            f"    latency = {cfg.hit_cycles}",
+            f"elif tag == {p}_lru[{p}set_]:",
+            f"    {p}_lru[{p}set_] = {p}_mru[{p}set_]",
+            f"    {p}_mru[{p}set_] = tag",
+            f"    latency = {cfg.hit_cycles}",
+            "else:",
+            f"    {p}_misses += 1",
+            f"    {p}_lru[{p}set_] = {p}_mru[{p}set_]",
+            f"    {p}_mru[{p}set_] = tag",
+            "    latency = -1",
+        ]
+    else:
+        lines += [
+            f"ways = {p}_ways[{p}set_]",
+            "if tag in ways:",
+            "    ways.remove(tag)",
+            "    ways.append(tag)",
+            f"    latency = {cfg.hit_cycles}",
+            "else:",
+            f"    {p}_misses += 1",
+            "    ways.append(tag)",
+            f"    if len(ways) > {cfg.associativity}:",
+            "        ways.pop(0)",
+            "    latency = -1",
+        ]
+    return "\n".join(indent + line for line in lines)
+
+
+def _l2_access(
+    l2cfg, line_expr: str, hit_latency: int, miss_latency: int, indent: str
+) -> str:
+    """Source for one shared-L2 access (reference per-set LRU lists)."""
+    lines = [
+        "l2_accesses += 1",
+        "l2line = " + line_expr,
+        "ways = l2_ways[" + _mod("l2line", l2cfg.num_sets) + "]",
+        "l2tag = " + _div("l2line", l2cfg.num_sets),
+        "if l2tag in ways:",
+        "    ways.remove(l2tag)",
+        "    ways.append(l2tag)",
+        f"    latency = {hit_latency}",
+        "else:",
+        "    l2_misses += 1",
+        "    ways.append(l2tag)",
+        f"    if len(ways) > {l2cfg.associativity}:",
+        "        ways.pop(0)",
+        f"    latency = {miss_latency}",
+    ]
+    return "\n".join(indent + line for line in lines)
+
+
+def _ring_probe(name: str, width: int, indent: str) -> str:
+    """Source for one inlined ring-allocator probe from ``cycle``.
+
+    A slot write may only clobber a stale tenant (``old < floor``:
+    below every future probe); a live collision grows the ring and
+    re-probes, so dict-allocator equivalence is unconditional.
+
+    Saturated-prefix memoization: per-cycle usage only ever grows, so a
+    cycle once seen full stays full.  Each allocator remembers one
+    known-full interval ``[skip_from, skip_to)``; hitting a full cycle
+    inside it jumps straight past the interval instead of re-walking it
+    (the dominant cost at IPC near the issue width — several full
+    cycles re-probed per record).  The memo is consulted and maintained
+    exclusively on the full-cycle path, so unconstrained allocations
+    pay nothing.
+    """
+    n = name
+    lines = [
+        "while True:",
+        f"    slot = cycle & {n}_mask",
+        f"    old = {n}_cycle_at[slot]",
+        "    if old == cycle:",
+        f"        used = {n}_count[slot]",
+        f"        if used < {width}:",
+        f"            {n}_count[slot] = used + 1",
+        "            break",
+        f"        if {n}_skip_from <= cycle < {n}_skip_to:",
+        f"            cycle = {n}_skip_to",
+        f"        elif cycle == {n}_skip_to:",
+        f"            {n}_skip_to = cycle = cycle + 1",
+        "        else:",
+        f"            {n}_skip_from = cycle",
+        f"            {n}_skip_to = cycle = cycle + 1",
+        "    elif old < floor:",
+        f"        {n}_cycle_at[slot] = cycle",
+        f"        {n}_count[slot] = 1",
+        "        break",
+        "    else:",
+        f"        {n}_cycle_at, {n}_count, {n}_mask = _grow_ring(",
+        f"            {n}_cycle_at, {n}_count, floor, cycle - floor",
+        "        )",
+    ]
+    return "\n".join(indent + line for line in lines)
+
+
+def _walk_source(config: MachineConfig, derived: bool) -> str:
+    """Generate the specialized walk source for one machine config.
+
+    Every configuration scalar is baked in as a literal, power-of-two
+    divisions become shifts, and only the relevant cache-associativity
+    variant is emitted — the bytecode the interpreter runs is exactly
+    the arithmetic this machine needs, nothing more.
+
+    ``derived`` selects the address mode.  Simulator traces derive the
+    instruction address from the static uid, so the fetch-line number
+    and branch pc are *static* per-uid facts: the derived walk bakes
+    them into the per-uid tuples, iterates the meta column alone (no
+    address lane, no per-record line division) and reconstructs the
+    icache's L2 line from the fetch line.  Hand-built traces carry an
+    explicit address column and take the two-lane variant.
+    """
+    icfg, dcfg, l2cfg = config.icache, config.dcache, config.l2cache
+    pcfg = config.predictor
+    memory_latency = (
+        config.memory_first_chunk_cycles + 3 * config.memory_interchunk_cycles
+    )
+    i_miss = icfg.hit_cycles + icfg.miss_penalty_cycles
+    d_miss = dcfg.hit_cycles + dcfg.miss_penalty_cycles
+    l2_extra = l2cfg.miss_penalty_cycles + memory_latency
+    if derived:
+        loop_header = "for meta in rows:"
+        extract = "hot, line, pc, srcs = static_of[(meta >> 8) - base]"
+        line_stmt = ""
+        pc_stmt = "pass  # pc is baked into the static tuple"
+        # addr // l2_line == (addr // l1_line) // (l2_line // l1_line)
+        # exactly, because _derived_mode_supported checked divisibility.
+        i_l2_line = _div("line", l2cfg.line_bytes // icfg.line_bytes)
+    else:
+        loop_header = "for meta, address in zip(rows, addresses):"
+        extract = "hot, srcs = static_of[(meta >> 8) - base]"
+        line_stmt = "line = " + _div("address", icfg.line_bytes) + "\n        "
+        pc_stmt = "pc = address >> 2"
+        i_l2_line = _div("address", l2cfg.line_bytes)
+    window_wrap = (
+        "window_index = (window_index + 1) & " + str(config.max_in_flight - 1)
+        if config.max_in_flight & (config.max_in_flight - 1) == 0
+        else "window_index += 1\n"
+        + " " * 8
+        + f"if window_index == {config.max_in_flight}:\n"
+        + " " * 12
+        + "window_index = 0"
+    )
+    # The empty-way sentinel must be unreachable by any computed tag;
+    # tags are negative for negative (hand-built) addresses, so an int
+    # sentinel like -1 would alias a real tag.  None compares unequal
+    # to every int, exactly like the reference's empty way list.
+    i_setup = (
+        f"i_mru, i_lru = [None] * {icfg.num_sets}, [None] * {icfg.num_sets}"
+        if icfg.associativity == 2
+        else f"i_ways = [[] for _ in range({icfg.num_sets})]"
+    )
+    d_setup = (
+        f"d_mru, d_lru = [None] * {dcfg.num_sets}, [None] * {dcfg.num_sets}"
+        if dcfg.associativity == 2
+        else f"d_ways = [[] for _ in range({dcfg.num_sets})]"
+    )
+    return KERNEL_TEMPLATE.format(
+        LOOP_HEADER=loop_header,
+        EXTRACT=extract,
+        LINE_STMT=line_stmt,
+        PC_STMT=pc_stmt,
+        FETCH_WIDTH=config.fetch_width,
+        ISSUE_WIDTH=config.issue_width,
+        RETIRE_WIDTH=config.retire_width,
+        FRONTEND=config.frontend_depth,
+        WINDOW=config.max_in_flight,
+        WINDOW_WRAP=window_wrap,
+        MISPREDICT_PENALTY=config.mispredict_redirect_penalty,
+        RING_CAPACITY=1 << _RING_BITS,
+        I_SETUP=i_setup,
+        D_SETUP=d_setup,
+        I_ACCESS=_l1_access("i", icfg, "line", " " * 12),
+        I_L2=_l2_access(l2cfg, i_l2_line, i_miss, i_miss + l2_extra, " " * 16),
+        D_ACCESS=_l1_access(
+            "d", dcfg, _div("mem_address", dcfg.line_bytes), " " * 16
+        ),
+        D_L2=_l2_access(
+            l2cfg,
+            _div("mem_address", l2cfg.line_bytes),
+            d_miss,
+            d_miss + l2_extra,
+            " " * 20,
+        ),
+        ISSUE_PROBE=_ring_probe("iss", config.issue_width, " " * 8),
+        ALU_PROBE=_ring_probe("alu", config.int_alus, " " * 12),
+        MUL_PROBE=_ring_probe("mul", config.int_muls, " " * 16),
+        LSQ_PROBE=_ring_probe("lsq", config.lsq_ports, " " * 16),
+        I_HIT=icfg.hit_cycles,
+        L2_SETS=l2cfg.num_sets,
+        G_ENTRIES=pcfg.gshare_entries,
+        B_ENTRIES=pcfg.bimodal_entries,
+        S_ENTRIES=pcfg.selector_entries,
+        G_MASK=pcfg.gshare_entries - 1,
+        B_MASK=pcfg.bimodal_entries - 1,
+        S_MASK=pcfg.selector_entries - 1,
+        HISTORY_MASK=(1 << pcfg.history_bits) - 1,
+        UINT64=_UINT64,
+    )
+
+
+#: (MachineConfig, derived) -> compiled walk (configs are frozen/hashable).
+_WALK_CACHE: dict = {}
+
+
+def _walk_for(config: MachineConfig, derived: bool):
+    key = (config, derived)
+    walk = _WALK_CACHE.get(key)
+    if walk is None:
+        namespace = {"_grow_ring": _grow_ring}
+        exec(compile(_walk_source(config, derived), "<timing-kernel>", "exec"), namespace)
+        walk = namespace["_timing_walk"]
+        _WALK_CACHE[key] = walk
+    return walk
+
+
+def _derived_mode_supported(config: MachineConfig) -> bool:
+    """Derived mode reconstructs the icache's L2 line from the fetch
+    line, which is exact only when the L2 line size is a whole multiple
+    of the icache line size (true for any sane hierarchy, including
+    Table 2's 64B over 32B)."""
+    return config.l2cache.line_bytes % config.icache.line_bytes == 0
+
+
+#: StaticInfo -> mode-keyed per-uid tuple lists for the walk's single
+#: static lookup per record.  Weak keys: the lists die with the program.
+_STATIC_OF_CACHE: "weakref.WeakKeyDictionary[StaticInfo, dict]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _static_of_for(static: StaticInfo, table: StaticTable, addr_map, line_bytes: int):
+    """The per-uid walk tuples for one mode (cached).
+
+    Explicit mode: ``(hot word, src regs)``.  Derived mode adds the
+    per-uid fetch-line number and branch pc — pure functions of the
+    trace's uid → address map — keyed by the icache line size and
+    revalidated against the trace's map (machines rebuilt for the same
+    program produce equal maps; a different map just rebuilds).
+    """
+    modes = _STATIC_OF_CACHE.get(static)
+    if modes is None:
+        modes = {}
+        _STATIC_OF_CACHE[static] = modes
+    key = ("derived", line_bytes) if addr_map is not None else ("explicit",)
+    cached = modes.get(key)
+    if cached is not None:
+        cached_table, cached_map, static_of = cached
+        if cached_table is table and (
+            cached_map is addr_map or cached_map == addr_map
+        ):
+            return static_of
+    hot_list = table.hot_word.tolist()
+    srcs_list = table.src_tuples()
+    if addr_map is None:
+        static_of = list(zip(hot_list, srcs_list))
+    else:
+        base = table.uid_base
+        static_of = []
+        for index, (hot, srcs) in enumerate(zip(hot_list, srcs_list)):
+            address = addr_map.get(base + index)
+            if address is None:
+                # Unreachable after run_compiled's uid validation.
+                static_of.append((hot, -1, 0, srcs))
+            else:
+                static_of.append((hot, address // line_bytes, address >> 2, srcs))
+    modes[key] = (table, addr_map, static_of)
+    return static_of
+
+
+def run_compiled(trace: Trace, config: MachineConfig | None = None):
+    """The compiled timing walk; bit-exact vs the reference scoreboard."""
+    from .ooo import TimingResult  # local import breaks the module cycle
+
+    config = config or MachineConfig()
+    static = trace.static
+    addr_map = trace.address_map
+    derived = (
+        trace.has_derived_addresses
+        and addr_map is not None
+        and _derived_mode_supported(config)
+    )
+    # Same up-front uid validation (and the same KeyError) as the
+    # reference walk: a record without a static entry must not silently
+    # index a hole or an unrelated entry, and a derived-address record
+    # without an address must fail exactly like the reference's
+    # address-column materialization does.
+    for uid in trace.uid_counts():
+        if static.get(uid) is None:
+            raise KeyError(uid)
+        if derived and uid not in addr_map:
+            raise KeyError(uid)
+
+    table = _table_for(static)
+    static_of = _static_of_for(
+        static, table, addr_map if derived else None, config.icache.line_bytes
+    )
+    walk = _walk_for(config, derived)
+    (
+        cycles,
+        lookups,
+        mispredictions,
+        i_accesses,
+        i_misses,
+        d_accesses,
+        d_misses,
+        l2_accesses,
+        l2_misses,
+        loads,
+        stores,
+    ) = walk(
+        trace.metas,
+        None if derived else trace.addresses(),
+        trace.mem_addresses,
+        static_of,
+        table.uid_base,
+        table.num_regs,
+    )
+    return TimingResult(
+        cycles=cycles,
+        instructions=len(trace),
+        branch_lookups=lookups,
+        branch_mispredictions=mispredictions,
+        icache_accesses=i_accesses,
+        icache_misses=i_misses,
+        dcache_accesses=d_accesses,
+        dcache_misses=d_misses,
+        l2_accesses=l2_accesses,
+        l2_misses=l2_misses,
+        loads=loads,
+        stores=stores,
+    )

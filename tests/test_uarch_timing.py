@@ -1,0 +1,643 @@
+"""First-class differential and unit suite for the `uarch` timing model.
+
+The out-of-order model now has two kernel tiers: the reference
+scoreboard walk (`OutOfOrderModel.run_reference`, locked against a
+verbatim record-list copy by ``tests/test_trace_columnar.py``) and the
+compiled kernel (`repro/uarch/tkernel.py`: generated per-config source,
+packed static table, ring-buffer slot allocators, inlined caches and
+predictor).  This suite locks the compiled tier against the reference
+tier **field-for-field on every TimingResult member** — cycles,
+predictor counters, cache/L2 counters, loads/stores — over:
+
+1. hypothesis-generated programs (arithmetic, multiplies, memory
+   traffic, calls, data-dependent branches) in *both* address modes
+   (derived uid→address map and explicit per-record columns),
+2. every suite workload (suite/slow tier),
+3. non-default machine configurations (narrow widths, non-2-way and
+   non-power-of-two caches, tiny predictors) that force the generic
+   codegen variants,
+4. adversarial probes: forced ring growth, the missing-static-uid
+   ``KeyError`` equivalence, and mem-flagged records on non-memory
+   instructions (sparse-column cursor alignment).
+
+Plus direct unit tests for the pieces the kernels inline: the combined
+branch predictor (selector crossover, history wraparound), the cache
+models (set/tag aliasing, LRU boundary eviction, L2 sharing) and the
+slot allocators (width-1 serialization, the bounded ``_Slots`` fix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asm import assemble_program
+from repro.sim import Machine, Trace
+from repro.sim.trace import StaticInfo
+from repro.uarch import (
+    Cache,
+    CacheConfig,
+    CacheHierarchy,
+    CombinedPredictor,
+    MachineConfig,
+    OutOfOrderModel,
+    PredictorConfig,
+    TIMING_KERNELS,
+    bake_static_table,
+)
+from repro.uarch import tkernel
+from repro.uarch.ooo import _Slots, _default_kernel
+from repro.workloads import SUITE_NAMES, workload_by_name
+
+
+def _assert_kernels_agree(trace, config=None):
+    """Compiled ≡ reference on every TimingResult field, both address modes."""
+    model = OutOfOrderModel(config)
+    reference = asdict(model.run(trace, kernel="reference"))
+    assert asdict(model.run(trace, kernel="compiled")) == reference
+    # The record-rebuilt trace carries explicit address columns, forcing
+    # the compiled kernel's explicit-address variant.
+    rebuilt = Trace(records=list(trace), static=trace.static)
+    assert not rebuilt.has_derived_addresses
+    assert asdict(model.run(rebuilt, kernel="compiled")) == reference
+    return reference
+
+
+# ----------------------------------------------------------------------
+# Hypothesis-generated programs
+# ----------------------------------------------------------------------
+_ARITH_OPS = ("add", "sub", "mul", "and", "or", "xor", "sll", "srl")
+_CMP_OPS = ("cmpeq", "cmplt", "cmple", "cmpult")
+_IMMEDIATES = (-129, -1, 0, 1, 7, 127, 255, 4095, 2**31, 2**40 - 3)
+
+
+@st.composite
+def _programs(draw) -> str:
+    """Small terminating programs stressing every timing-relevant shape.
+
+    A call-taking helper exercises call/return redirects, the counted
+    loop's body mixes ALU/multiplier/LSQ traffic (all three FU
+    allocators), long dependence chains through r1, and data-dependent
+    forward branches that train and mistrain the predictor.
+    """
+    body_ops = draw(st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=12))
+    trip_count = draw(st.integers(min_value=1, max_value=8))
+    seed_value = draw(st.sampled_from(_IMMEDIATES))
+    lines = [
+        ".data buf 64 64",
+        ".func helper 1",
+        "entry:",
+        "    mul v0, a0, 3",
+        "    ret",
+        ".endfunc",
+        ".func main 0",
+        "entry:",
+        f"    li r1, {seed_value}",
+        "    li r2, =buf",
+        "    li r3, 0",
+        "loop:",
+    ]
+    for index, choice in enumerate(body_ops):
+        dest = f"r{4 + (index % 5)}"
+        if choice == 0:
+            op = draw(st.sampled_from(_ARITH_OPS))
+            imm = draw(st.sampled_from(_IMMEDIATES))
+            lines.append(f"    {op} {dest}, r1, {imm}")
+        elif choice == 1:
+            op = draw(st.sampled_from(_CMP_OPS))
+            lines.append(f"    {op} {dest}, r1, r3")
+        elif choice == 2:
+            # Dependence chain through r1 (producer feeds next reader).
+            lines.append("    mul r1, r1, 3")
+            lines.append("    add r1, r1, 1")
+        elif choice == 3:
+            offset = draw(st.integers(min_value=0, max_value=7)) * 8
+            store = draw(st.sampled_from(("stq", "stw", "stb")))
+            load = draw(st.sampled_from(("ldq", "ldw", "ldb")))
+            lines.append(f"    {store} r1, {offset}(r2)")
+            lines.append(f"    {load} {dest}, {offset}(r2)")
+        elif choice == 4:
+            lines.append("    mov a0, r1")
+            lines.append("    jsr helper")
+            lines.append(f"    mov {dest}, v0")
+        else:
+            skip = f"skip{index}"
+            lines.append(f"    blt r1, {skip}")
+            lines.append(f"fall{index}:")
+            lines.append(f"    xor {dest}, r1, 85")
+            lines.append(f"{skip}:")
+            lines.append("    nop")
+    lines += [
+        "    add r1, r1, 3",
+        "    add r3, r3, 1",
+        f"    cmplt r9, r3, {trip_count}",
+        "    bne r9, loop",
+        "done:",
+        "    print r1",
+        "    halt",
+        ".endfunc",
+    ]
+    return "\n".join(lines)
+
+
+def _machine_trace(asm: str):
+    return Machine(assemble_program(asm)).run(collect_trace=True).trace
+
+
+class TestGeneratedPrograms:
+    @settings(max_examples=25, deadline=None)
+    @given(_programs())
+    def test_compiled_equals_reference(self, asm):
+        trace = _machine_trace(asm)
+        assert trace.has_derived_addresses
+        _assert_kernels_agree(trace)
+
+    @settings(max_examples=10, deadline=None)
+    @given(_programs())
+    def test_compiled_equals_reference_on_narrow_machine(self, asm):
+        """Non-default widths change every allocator's contention."""
+        config = replace(
+            MachineConfig(),
+            fetch_width=2,
+            issue_width=2,
+            retire_width=1,
+            int_alus=1,
+            lsq_ports=1,
+            frontend_depth=1,
+            max_in_flight=8,
+        )
+        _assert_kernels_agree(_machine_trace(asm), config)
+
+
+# ----------------------------------------------------------------------
+# Non-default configurations: force the generic codegen variants
+# ----------------------------------------------------------------------
+_SMOKE_ASM = """
+.data buf 64 64
+.func main 0
+entry:
+    li r1, 7
+    li r2, =buf
+    li r3, 0
+loop:
+    mul r4, r1, 5
+    stq r4, 0(r2)
+    ldq r5, 0(r2)
+    add r1, r5, 1
+    add r3, r3, 1
+    cmplt r9, r3, 50
+    bne r9, loop
+done:
+    print r1
+    halt
+.endfunc
+"""
+
+
+class TestConfigurationVariants:
+    def test_non_two_way_and_non_pow2_caches(self):
+        """Direct-mapped + 4-way L1s with 3-set geometry: the generic
+        list-based cache variant and the true-division index math."""
+        config = replace(
+            MachineConfig(),
+            icache=CacheConfig(
+                size_bytes=3 * 32, associativity=1, line_bytes=32,
+                hit_cycles=1, miss_penalty_cycles=6,
+            ),
+            dcache=CacheConfig(
+                size_bytes=4 * 3 * 32, associativity=4, line_bytes=32,
+                hit_cycles=2, miss_penalty_cycles=9,
+            ),
+        )
+        _assert_kernels_agree(_machine_trace(_SMOKE_ASM), config)
+
+    def test_l2_line_not_multiple_of_l1_disables_derived_mode(self):
+        """A 48B L2 line over 32B L1 lines cannot reconstruct the L2
+        line from the fetch line; the kernel must fall back to the
+        explicit-address walk and stay bit-exact."""
+        config = replace(
+            MachineConfig(),
+            l2cache=CacheConfig(
+                size_bytes=4 * 16 * 48, associativity=4, line_bytes=48,
+                hit_cycles=6, miss_penalty_cycles=18,
+            ),
+        )
+        assert not tkernel._derived_mode_supported(config)
+        _assert_kernels_agree(_machine_trace(_SMOKE_ASM), config)
+
+    def test_tiny_predictor_tables(self):
+        """Small power-of-two tables exercise key aliasing heavily."""
+        config = replace(
+            MachineConfig(),
+            predictor=PredictorConfig(
+                gshare_entries=16, history_bits=3,
+                bimodal_entries=8, selector_entries=4,
+            ),
+        )
+        _assert_kernels_agree(_machine_trace(_SMOKE_ASM), config)
+
+
+# ----------------------------------------------------------------------
+# Real workloads
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def ijpeg_trace():
+    workload = workload_by_name("ijpeg")
+    program = workload.build()
+    workload.apply_input(program, "ref")
+    return Machine(program).run(collect_trace=True).trace
+
+
+class TestRealWorkloads:
+    def test_ijpeg_compiled_equals_reference(self, ijpeg_trace):
+        reference = _assert_kernels_agree(ijpeg_trace)
+        # Sanity: the workload actually exercises every subsystem.
+        assert reference["branch_mispredictions"] > 0
+        assert reference["icache_misses"] > 0
+        assert reference["dcache_misses"] > 0
+        assert reference["l2_accesses"] > 0
+        assert reference["loads"] > 0 and reference["stores"] > 0
+
+    def test_machine_traces_take_the_derived_address_mode(self, ijpeg_trace):
+        assert ijpeg_trace.has_derived_addresses
+        assert ijpeg_trace.address_map is not None
+        OutOfOrderModel().run(ijpeg_trace, kernel="compiled")
+        modes = tkernel._STATIC_OF_CACHE.get(ijpeg_trace.static)
+        assert modes is not None
+        assert any(key[0] == "derived" for key in modes)
+
+
+@pytest.mark.suite
+@pytest.mark.slow
+@pytest.mark.parametrize("name", SUITE_NAMES)
+def test_suite_workload_compiled_equals_reference(name):
+    workload = workload_by_name(name)
+    program = workload.build()
+    workload.apply_input(program, "ref")
+    trace = Machine(program).run(collect_trace=True).trace
+    _assert_kernels_agree(trace)
+
+
+# ----------------------------------------------------------------------
+# Adversarial probes
+# ----------------------------------------------------------------------
+class TestAdversarialProbes:
+    def test_missing_static_uid_raises_keyerror_in_both_kernels(self):
+        """A record without a static entry must raise KeyError (with the
+        uid) from both kernels, never wrap-index to a wrong entry."""
+        trace = _machine_trace(_SMOKE_ASM)
+        records = list(trace)
+        bogus_uid = trace.static.uid_base + len(trace.static.entries) + 7
+        records[3] = records[3]._replace(uid=bogus_uid)
+        broken = Trace(records=records, static=trace.static)
+        model = OutOfOrderModel()
+        for kernel in TIMING_KERNELS:
+            with pytest.raises(KeyError) as exc:
+                model.run(broken, kernel=kernel)
+            assert exc.value.args[0] == bogus_uid
+
+    def test_forced_ring_growth_stays_bit_exact(self, monkeypatch):
+        """An 8-entry ring collides constantly; growth must preserve
+        exact equivalence with the dict allocator."""
+        trace = _machine_trace(_SMOKE_ASM)
+        reference = asdict(OutOfOrderModel().run(trace, kernel="reference"))
+        monkeypatch.setattr(tkernel, "_RING_BITS", 3)
+        monkeypatch.setattr(tkernel, "_WALK_CACHE", {})
+        assert asdict(OutOfOrderModel().run(trace, kernel="compiled")) == reference
+
+    def test_mem_flag_on_non_memory_record_keeps_cursor_aligned(self):
+        """A hand-built ALU record carrying a mem address must consume
+        one sparse-column slot in both kernels (cursor alignment)."""
+        trace = _machine_trace(_SMOKE_ASM)
+        records = list(trace)
+        # Attach an address to the first non-memory, non-branch record
+        # that precedes a real load/store, then verify both kernels
+        # still agree (the load's address must not shift).
+        for index, record in enumerate(records):
+            entry = trace.static[record.uid]
+            if not (entry.is_load or entry.is_store or entry.is_branch
+                    or entry.is_call or entry.is_return):
+                records[index] = record._replace(mem_address=0x1230)
+                break
+        weird = Trace(records=records, static=trace.static)
+        model = OutOfOrderModel()
+        assert asdict(model.run(weird, kernel="compiled")) == asdict(
+            model.run(weird, kernel="reference")
+        )
+
+    def test_negative_instruction_addresses_stay_bit_exact(self):
+        """Hand-built traces may carry negative addresses; negative
+        fetch-line tags must not alias the empty-way sentinel of the
+        compiled kernel's flat 2-way tag lists (regression: a tag of -1
+        counted as a hit against an uninitialized way)."""
+        trace = _machine_trace(_SMOKE_ASM)
+        records = [r._replace(address=r.address - (1 << 20)) for r in trace]
+        shifted = Trace(records=records, static=trace.static)
+        model = OutOfOrderModel()
+        assert asdict(model.run(shifted, kernel="compiled")) == asdict(
+            model.run(shifted, kernel="reference")
+        )
+
+    def test_in_place_entry_replacement_rebakes_the_table(self):
+        """StaticInfo.add_entry over an existing uid changes no shape
+        observable; the version counter must still invalidate the baked
+        table so the kernels keep agreeing (regression: stale table)."""
+        trace = _machine_trace(_SMOKE_ASM)
+        static = trace.static
+        model = OutOfOrderModel()
+        before = asdict(model.run(trace, kernel="compiled"))
+        hot_uid = max(trace.uid_counts(), key=trace.uid_counts().get)
+        version = static.version
+        static.add_entry(replace(static[hot_uid], latency=9))
+        assert static.version > version
+        after_reference = asdict(model.run(trace, kernel="reference"))
+        after_compiled = asdict(model.run(trace, kernel="compiled"))
+        assert after_compiled == after_reference
+        assert after_compiled["cycles"] != before["cycles"]
+
+    def test_empty_trace(self):
+        trace = Trace(records=[], static=StaticInfo())
+        model = OutOfOrderModel()
+        for kernel in TIMING_KERNELS:
+            timing = model.run(trace, kernel=kernel)
+            assert timing.cycles == 1
+            assert timing.instructions == 0
+
+
+# ----------------------------------------------------------------------
+# Kernel selection
+# ----------------------------------------------------------------------
+class TestKernelSelection:
+    def test_env_vocabulary(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TIMING_KERNEL", raising=False)
+        assert _default_kernel() == "compiled"
+        for value in ("reference", "REF", "slow", "off", "0", "none"):
+            monkeypatch.setenv("REPRO_TIMING_KERNEL", value)
+            assert _default_kernel() == "reference"
+        for value in ("compiled", "", "anything-else"):
+            monkeypatch.setenv("REPRO_TIMING_KERNEL", value)
+            assert _default_kernel() == "compiled"
+
+    def test_env_selects_kernel_end_to_end(self, monkeypatch):
+        trace = _machine_trace(_SMOKE_ASM)
+        calls = []
+        real = tkernel.run_compiled
+        monkeypatch.setattr(
+            tkernel, "run_compiled", lambda *a, **k: calls.append(1) or real(*a, **k)
+        )
+        monkeypatch.setenv("REPRO_TIMING_KERNEL", "reference")
+        OutOfOrderModel().run(trace)
+        assert not calls
+        monkeypatch.setenv("REPRO_TIMING_KERNEL", "compiled")
+        OutOfOrderModel().run(trace)
+        assert len(calls) == 1
+
+    def test_explicit_kernel_beats_env(self, monkeypatch):
+        trace = _machine_trace(_SMOKE_ASM)
+        calls = []
+        real = tkernel.run_compiled
+        monkeypatch.setattr(
+            tkernel, "run_compiled", lambda *a, **k: calls.append(1) or real(*a, **k)
+        )
+        monkeypatch.setenv("REPRO_TIMING_KERNEL", "reference")
+        OutOfOrderModel(kernel="compiled").run(trace)
+        assert len(calls) == 1
+        OutOfOrderModel().run(trace, kernel="compiled")
+        assert len(calls) == 2
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            OutOfOrderModel(kernel="bogus")
+        with pytest.raises(ValueError):
+            OutOfOrderModel().run(Trace(records=[], static=StaticInfo()), kernel="bogus")
+
+
+# ----------------------------------------------------------------------
+# Packed static table
+# ----------------------------------------------------------------------
+class TestStaticTable:
+    def test_columns_match_entries(self, ijpeg_trace):
+        static = ijpeg_trace.static
+        table = bake_static_table(static)
+        srcs = table.src_tuples()
+        for index, entry in enumerate(static.entries):
+            if entry is None:
+                continue
+            assert table.latency[index] == entry.latency
+            expected_fu = {"imul": tkernel.FU_IMUL, "mem": tkernel.FU_MEM}.get(
+                entry.functional_unit, tkernel.FU_ALU
+            )
+            assert table.fu_class[index] == expected_fu
+            cls = table.class_bits[index]
+            assert bool(cls & tkernel.CLS_LOAD) == entry.is_load
+            assert bool(cls & tkernel.CLS_STORE) == entry.is_store
+            assert bool(cls & tkernel.CLS_BRANCH) == entry.is_branch
+            assert bool(cls & tkernel.CLS_CONDITIONAL) == entry.is_conditional
+            assert bool(cls & tkernel.CLS_CALL_RETURN) == (
+                entry.is_call or entry.is_return
+            )
+            expected_dest = (
+                -1
+                if entry.dest_reg is None or entry.dest_reg == 31
+                else entry.dest_reg
+            )
+            assert table.dest_reg[index] == expected_dest
+            assert srcs[index] == entry.src_regs
+
+    def test_hot_word_fuses_the_columns(self, ijpeg_trace):
+        table = bake_static_table(ijpeg_trace.static)
+        for index in range(len(table.hot_word)):
+            hot = table.hot_word[index]
+            assert hot & tkernel.HOT_LATENCY_MASK == table.latency[index]
+            fu = table.fu_class[index]
+            assert bool(hot & tkernel.HOT_IMUL) == (fu == tkernel.FU_IMUL)
+            assert bool(hot & tkernel.HOT_MEM) == (fu == tkernel.FU_MEM)
+            assert (hot >> 10) & 0x1F == table.class_bits[index]
+            assert (hot >> tkernel.HOT_DEST_SHIFT) == table.dest_reg[index] + 1
+
+    def test_unpackable_entries_rejected(self, ijpeg_trace):
+        source = next(iter(ijpeg_trace.static))
+        info = StaticInfo()
+        info.add_entry(replace(source, uid=1, latency=4096))
+        with pytest.raises(ValueError, match="latency"):
+            bake_static_table(info)
+        info = StaticInfo()
+        info.add_entry(replace(source, uid=1, src_regs=tuple(range(8))))
+        with pytest.raises(ValueError, match="source registers"):
+            bake_static_table(info)
+
+    def test_table_cached_per_static_and_invalidated_on_growth(self, ijpeg_trace):
+        source = next(iter(ijpeg_trace.static))
+        info = StaticInfo()
+        info.add_entry(replace(source, uid=50))
+        first = tkernel._table_for(info)
+        assert tkernel._table_for(info) is first
+        # Mutating the static info must rotate the stamp and rebake.
+        info.add_entry(replace(source, uid=53))
+        second = tkernel._table_for(info)
+        assert second is not first
+        assert second.stamp != first.stamp
+
+
+# ----------------------------------------------------------------------
+# Branch predictor units
+# ----------------------------------------------------------------------
+class TestCombinedPredictorUnits:
+    def test_selector_crossover(self):
+        """The selector must migrate toward whichever component predicts
+        a history-dependent alternating branch correctly (gshare), and
+        the misprediction rate must collapse once it has."""
+        predictor = CombinedPredictor()
+        outcome = True
+        for _ in range(512):
+            predictor.update(0x9000, outcome)
+            outcome = not outcome
+        warm_mispredictions = predictor.mispredictions
+        for _ in range(512):
+            predictor.update(0x9000, outcome)
+            outcome = not outcome
+        late = predictor.mispredictions - warm_mispredictions
+        assert late < 16  # gshare, via the selector, nails the pattern
+        assert predictor.misprediction_rate < 0.5
+
+    def test_history_wraparound(self):
+        """With 2 history bits, the history register must stay masked,
+        and patterns longer than the history must keep aliasing."""
+        config = PredictorConfig(
+            gshare_entries=8, history_bits=2, bimodal_entries=4, selector_entries=4
+        )
+        predictor = CombinedPredictor(config)
+        for step in range(64):
+            predictor.update(0x40, step % 3 == 0)
+            assert 0 <= predictor._history < 4
+        assert predictor.lookups == 64
+
+    def test_prediction_before_update_is_weakly_not_taken(self):
+        predictor = CombinedPredictor()
+        assert predictor.predict(0x1234) is False
+        assert predictor.misprediction_rate == 0.0
+
+    def test_minimum_table_sizes_validated(self):
+        with pytest.raises(ValueError):
+            PredictorConfig(gshare_entries=0)
+        with pytest.raises(ValueError):
+            PredictorConfig(history_bits=-1)
+
+
+# ----------------------------------------------------------------------
+# Cache units
+# ----------------------------------------------------------------------
+class TestCacheUnits:
+    def test_set_and_tag_aliasing(self):
+        """Addresses one set-stride apart alias the same set with
+        different tags; addresses one line apart do not conflict."""
+        config = CacheConfig(
+            size_bytes=4 * 32, associativity=1, line_bytes=32,
+            hit_cycles=1, miss_penalty_cycles=6,
+        )  # 4 sets, direct-mapped: set stride 128
+        cache = Cache(config)
+        assert cache.access(0x000) is False
+        assert cache.access(0x080) is False  # same set, new tag: evicts
+        assert cache.access(0x000) is False  # original line was evicted
+        assert cache.access(0x020) is False  # different set: no conflict
+        assert cache.access(0x020) is True
+
+    def test_lru_eviction_at_the_boundary(self):
+        """In a 2-way set the least-recently *used* way is evicted, and
+        a hit refreshes recency."""
+        config = CacheConfig(
+            size_bytes=2 * 32, associativity=2, line_bytes=32,
+            hit_cycles=1, miss_penalty_cycles=6,
+        )  # one set, two ways
+        cache = Cache(config)
+        cache.access(0 * 32)
+        cache.access(1 * 32)
+        cache.access(0 * 32)  # refresh line 0: line 1 becomes LRU
+        assert cache.access(2 * 32) is False  # evicts line 1
+        assert cache.access(0 * 32) is True
+        assert cache.access(1 * 32) is False
+
+    def test_l2_shared_between_instruction_and_data_paths(self):
+        config = MachineConfig()
+        l2 = Cache(config.l2cache, name="l2")
+        icache = CacheHierarchy(config.icache, l2, memory_latency=22)
+        dcache = CacheHierarchy(config.dcache, l2, memory_latency=22)
+        address = 0x4000
+        miss = icache.access(address)
+        assert miss > config.icache.hit_cycles
+        assert l2.accesses == 1 and l2.misses == 1
+        # The data path missing L1 on the same line must now hit in L2.
+        hit_via_l2 = dcache.access(address)
+        assert l2.accesses == 2 and l2.misses == 1
+        assert hit_via_l2 == (
+            config.dcache.hit_cycles + config.dcache.miss_penalty_cycles
+        )
+
+    def test_bad_geometry_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=16, associativity=1, line_bytes=32,
+                        hit_cycles=1, miss_penalty_cycles=6)
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1024, associativity=0, line_bytes=32,
+                        hit_cycles=1, miss_penalty_cycles=6)
+
+
+# ----------------------------------------------------------------------
+# Slot allocators
+# ----------------------------------------------------------------------
+class TestSlotAllocators:
+    def test_width_one_serializes(self):
+        slots = _Slots(1)
+        assert [slots.allocate(5) for _ in range(4)] == [5, 6, 7, 8]
+
+    def test_width_n_packs_then_overflows(self):
+        slots = _Slots(3)
+        assert [slots.allocate(2) for _ in range(5)] == [2, 2, 2, 3, 3]
+
+    def test_release_below_keeps_dict_bounded_without_changing_results(self):
+        """The regression probe for the unbounded ``_used`` dict: under
+        a monotone floor the pruned allocator must return exactly the
+        same cycles as an unpruned twin while holding a bounded dict."""
+        pruned = _Slots(2)
+        unpruned = _Slots(2)
+        for cycle in range(0, 200_000, 2):
+            for _ in range(3):  # overflows each cycle into the next
+                assert pruned.allocate(cycle) == unpruned.allocate(cycle)
+            pruned.release_below(cycle - 64)
+        assert len(unpruned._used) > _Slots.PRUNE_THRESHOLD
+        assert len(pruned._used) <= _Slots.PRUNE_THRESHOLD + 64
+
+    def test_reference_walk_prunes_slot_dicts_on_long_traces(self, monkeypatch):
+        """End to end: with a tiny prune threshold, the reference walk's
+        allocators must stay small across a long trace."""
+        observed = []
+        original = _Slots.release_below
+
+        def spying(self, floor):
+            original(self, floor)
+            observed.append(len(self._used))
+
+        monkeypatch.setattr(_Slots, "PRUNE_THRESHOLD", 64)
+        monkeypatch.setattr(_Slots, "release_below", spying)
+        trace = _machine_trace(_SMOKE_ASM)
+        OutOfOrderModel().run(trace, kernel="reference")
+        assert observed, "the walk never released exhausted cycles"
+        assert max(observed) <= 64 + 128
+
+
+def test_ring_allocator_growth_rehashes_live_entries():
+    cycle_at, count = [-1] * 8, [0] * 8
+    # Live tenants at cycles 100..103 (slots 4..7), stale one at cycle 3.
+    for cycle in (100, 101, 102, 103):
+        cycle_at[cycle & 7] = cycle
+        count[cycle & 7] = 2
+    cycle_at[3], count[3] = 3, 9
+    new_cycle_at, new_count, mask = tkernel._grow_ring(cycle_at, count, 100, 40)
+    assert mask >= 63  # grew until the span fits
+    for cycle in (100, 101, 102, 103):
+        assert new_cycle_at[cycle & mask] == cycle
+        assert new_count[cycle & mask] == 2
+    assert all(c != 3 for c in new_cycle_at)  # the stale tenant is gone
