@@ -1,4 +1,20 @@
-"""Experiment harness: one public function per table/figure of the paper.
+"""Experiment harness: the engine session API plus one function per paper artefact.
+
+The blessed programmatic surface is the :class:`ExperimentEngine` session
+API on :func:`default_engine`:
+
+* ``engine.evaluate(point)`` — resolve one :class:`ExperimentConfig`
+  through memo → store → snapshot replay → compute,
+* ``engine.map(points)`` / ``engine.map_suite(...)`` — many points, in
+  parallel where possible,
+* ``engine.sweep(spec)`` — a batched design-space matrix
+  (:class:`SweepSpec` → streamed :class:`SweepRow` rows; see
+  ``docs/sweeps.md``),
+* ``engine.compute(point)`` — the uncached live pipeline (trace attached).
+
+The legacy free functions (``evaluate_program``, ``evaluate_workload``,
+``evaluate_suite``, ``compute_evaluation``) are deprecated shims over the
+default engine, kept for compatibility.
 
 | Paper artefact | Function |
 |---|---|
@@ -54,6 +70,13 @@ from .runner import (
 )
 from .store import ResultStore, StoreEntry, config_key, default_store_root
 from .summary import EvaluationSummary
+from .sweep import (
+    SweepPoint,
+    SweepResult,
+    SweepRow,
+    SweepSpec,
+    default_sweep_configs,
+)
 from .specialization import (
     figure04_profiled_point_distribution,
     figure05_static_specialized_instructions,
@@ -88,6 +111,11 @@ __all__ = [
     "ExperimentEngine",
     "default_engine",
     "reset_default_engine",
+    "SweepPoint",
+    "SweepResult",
+    "SweepRow",
+    "SweepSpec",
+    "default_sweep_configs",
     "ResultStore",
     "StoreEntry",
     "config_key",

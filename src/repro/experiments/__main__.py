@@ -4,7 +4,11 @@ Usage::
 
     python -m repro.experiments run [--workload NAME ...] [--mechanism M]
                                     [--threshold NJ] [--conventional-vrp]
-                                    [--policy P] [--jobs N]
+                                    [--policy P] [--jobs N] [--json]
+    python -m repro.experiments sweep [--workload NAME ...] [--config NAME ...]
+                                      [--policy P ...] [--mechanism M]
+                                      [--threshold NJ] [--conventional-vrp]
+                                      [--json]
     python -m repro.experiments profile [--workload NAME] [--mechanism M]
                                         [--dispatch TIER] [--top N]
     python -m repro.experiments ls
@@ -13,32 +17,83 @@ Usage::
 ``run`` evaluates the requested configurations (all eight suite workloads
 by default) through the engine — memo, then persistent store, then a
 parallel compute fan-out — and prints one row per workload.  ``--policy
-all`` prints one energy column per stored gating policy; every summary
-carries all of them because cold evaluations account the whole policy set
-in a single fused trace walk.  ``profile`` runs one workload's full
-build → transform → simulate → account pipeline under ``cProfile``
-(bypassing every cache layer) and prints the top-N functions by
-cumulative time — the standard before/after evidence for performance
-work.  ``ls`` and ``clear`` inspect and empty the content-addressed
-result store.
+all`` prints one energy column per registered gating policy
+(``gating.registry()``); every summary carries all of them because cold
+evaluations account the whole policy set in a single fused trace walk.
+
+``sweep`` evaluates a design-space *matrix* — machine configs × gating
+policies × workloads — through the batched sweep path
+(``ExperimentEngine.sweep``; see ``docs/sweeps.md``): one snapshot replay
+or simulation per workload, one multi-config timing-kernel walk per
+cache/predictor shape group, one fused accounting walk per trace.  From a
+warm store the whole matrix completes with zero simulator calls.  The
+default matrix (8 configs × 6 policies × 8 workloads = 384 points)
+reproduces the paper's ED² comparisons (Figures 11/15) across machines.
+
+``profile`` runs one workload's full build → transform → simulate →
+account pipeline under ``cProfile`` (bypassing every cache layer) and
+prints the top-N functions by cumulative time — the standard
+before/after evidence for performance work.  ``ls`` and ``clear``
+inspect and empty the content-addressed result store.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
+from ..hardware import gating
 from ..workloads import SUITE_NAMES
 from .engine import ExperimentConfig, default_engine
-from .report import format_table
+from .report import format_percent, format_table
 from .runner import POLICY_NAMES
 from .store import ResultStore
+from .sweep import SweepResult, SweepSpec, default_sweep_configs
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    engine = default_engine()
-    workloads = args.workload or list(SUITE_NAMES)
+# ----------------------------------------------------------------------
+# Shared argument plumbing (run / profile / sweep)
+# ----------------------------------------------------------------------
+def _add_config_arguments(parser: argparse.ArgumentParser, repeatable_workload: bool) -> None:
+    """The experiment-configuration arguments every evaluating command shares."""
+    if repeatable_workload:
+        parser.add_argument(
+            "--workload",
+            action="append",
+            metavar="NAME",
+            help="workload to evaluate (repeatable; default: the whole suite)",
+        )
+    else:
+        parser.add_argument(
+            "--workload",
+            default="ijpeg",
+            metavar="NAME",
+            help="workload to profile (default: ijpeg)",
+        )
+    parser.add_argument(
+        "--mechanism",
+        choices=("none", "vrp", "vrs"),
+        default="none",
+        help="width mechanism to apply (default: none)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=50.0,
+        metavar="NJ",
+        help="VRS specialization-cost threshold in nanojoules (default: 50)",
+    )
+    parser.add_argument(
+        "--conventional-vrp",
+        action="store_true",
+        help="use conventional (non-useful-range) VRP",
+    )
+
+
+def _check_workloads(workloads: list[str]) -> int:
+    """Print an error and return 2 on unknown workload names, else 0."""
     unknown = sorted(set(workloads) - set(SUITE_NAMES))
     if unknown:
         print(
@@ -47,7 +102,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    configs = [
+    return 0
+
+
+def _experiment_configs(args: argparse.Namespace, workloads: list[str]) -> list[ExperimentConfig]:
+    """One ExperimentConfig per workload from the shared arguments."""
+    return [
         ExperimentConfig(
             workload=name,
             mechanism=args.mechanism,
@@ -56,9 +116,46 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         for name in workloads
     ]
+
+
+# ----------------------------------------------------------------------
+# run
+# ----------------------------------------------------------------------
+def _cmd_run(args: argparse.Namespace) -> int:
+    engine = default_engine()
+    workloads = args.workload or list(SUITE_NAMES)
+    status = _check_workloads(workloads)
+    if status:
+        return status
+    configs = _experiment_configs(args, workloads)
     start = time.perf_counter()
     evaluations = engine.map(configs, jobs=args.jobs)
     elapsed = time.perf_counter() - start
+
+    if args.json:
+        policies = list(POLICY_NAMES) if args.policy == "all" else [args.policy]
+        payload = {
+            "mechanism": args.mechanism,
+            "threshold_nj": args.threshold,
+            "conventional_vrp": args.conventional_vrp,
+            "seconds": elapsed,
+            "rows": [
+                {
+                    "workload": evaluation.workload.name,
+                    "instructions": evaluation.total_dynamic_instructions,
+                    "cycles": evaluation.outcome("baseline").cycles,
+                    "source": "computed" if evaluation.freshly_computed else "store",
+                    "energy_nj": {
+                        name: evaluation.outcome(name).energy.total for name in policies
+                    },
+                    "ed2": {name: evaluation.outcome(name).ed2 for name in policies},
+                }
+                for evaluation in evaluations
+            ],
+        }
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+        return 0
 
     title = f"mechanism={args.mechanism} policy={args.policy}"
     if args.mechanism == "vrs":
@@ -98,6 +195,106 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# sweep
+# ----------------------------------------------------------------------
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    engine = default_engine()
+    workloads = args.workload or list(SUITE_NAMES)
+    status = _check_workloads(workloads)
+    if status:
+        return status
+
+    available = dict(default_sweep_configs())
+    config_names = args.config or list(available)
+    unknown = sorted(set(config_names) - set(available))
+    if unknown:
+        print(
+            f"unknown machine config(s): {', '.join(unknown)}; "
+            f"available: {', '.join(available)}",
+            file=sys.stderr,
+        )
+        return 2
+    configs = tuple((name, available[name]) for name in config_names)
+
+    # The policy axis enumerates the public registry; "all" (the default)
+    # means every registered policy.
+    if not args.policy or "all" in args.policy:
+        policies = tuple(gating.registry())
+    else:
+        policies = tuple(dict.fromkeys(args.policy))
+
+    spec = SweepSpec.cartesian(
+        workloads=workloads,
+        configs=configs,
+        policies=policies,
+        mechanism=args.mechanism,
+        threshold_nj=args.threshold,
+        conventional_vrp=args.conventional_vrp,
+    )
+    start = time.perf_counter()
+    result = SweepResult.collect(engine.sweep(spec))
+    elapsed = time.perf_counter() - start
+    result.seconds = elapsed
+
+    # ED² savings need the baseline policy's rows as the reference.
+    savings = result.ed2_savings() if "baseline" in policies else None
+
+    if args.json:
+        payload = result.to_json_dict()
+        if savings is not None:
+            payload["ed2_savings"] = [
+                {"config": config, "policy": policy, "savings": cells}
+                for (config, policy), cells in savings.items()
+            ]
+        payload["pareto"] = [row.to_json_dict() for row in result.pareto_frontier()]
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+        return 0
+
+    title = f"sweep: {len(config_names)} configs x {len(policies)} policies x {len(workloads)} workloads ({len(result)} points)"
+    if savings is not None:
+        headers = ["config", "policy"] + list(workloads) + ["mean"]
+        rows = []
+        for (config, policy), cells in savings.items():
+            if policy == "baseline":
+                continue  # savings vs itself: identically zero
+            values = [cells[name] for name in workloads]
+            rows.append(
+                [config, policy]
+                + [format_percent(value) for value in values]
+                + [format_percent(sum(values) / len(values))]
+            )
+        print(format_table(headers, rows, title=title + " - ED^2 savings vs baseline policy"))
+        print()
+    else:
+        print(title + " (no baseline policy on the axis; ED^2 savings omitted)")
+        print()
+
+    pareto_rows = []
+    for name in workloads:
+        for row in result.pareto_frontier(name):
+            pareto_rows.append(
+                [name, row.config, row.policy, row.cycles, row.energy_nj]
+            )
+    print(
+        format_table(
+            ["workload", "config", "policy", "cycles", "energy (nJ)"],
+            pareto_rows,
+            title="Pareto frontier (cycles vs energy, per workload)",
+        )
+    )
+    rate = len(result) / elapsed * 60.0 if elapsed > 0 else float("inf")
+    print(
+        f"{len(result)} points in {elapsed:.2f}s ({rate:,.0f} points/minute), "
+        f"{result.simulations} cold simulation(s)"
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# profile
+# ----------------------------------------------------------------------
 def _cmd_profile(args: argparse.Namespace) -> int:
     """cProfile one workload's cold evaluation pipeline (no cache layers)."""
     import cProfile
@@ -107,14 +304,10 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
     from ..sim.machine import _default_dispatch
     from ..workloads import workload_by_name
-    from .runner import compute_evaluation
 
-    if args.workload not in SUITE_NAMES:
-        print(
-            f"unknown workload {args.workload!r}; the suite is: {', '.join(SUITE_NAMES)}",
-            file=sys.stderr,
-        )
-        return 2
+    status = _check_workloads([args.workload])
+    if status:
+        return status
     previous_dispatch = os.environ.get("REPRO_SIM_DISPATCH")
     if args.dispatch is not None:
         os.environ["REPRO_SIM_DISPATCH"] = args.dispatch
@@ -123,15 +316,19 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     dispatch = _default_dispatch()
 
     workload = workload_by_name(args.workload)
+    engine = default_engine()
     profiler = cProfile.Profile()
     start = time.perf_counter()
     try:
         profiler.enable()
-        evaluation = compute_evaluation(
-            workload,
-            mechanism=args.mechanism,
-            threshold_nj=args.threshold,
-            conventional_vrp=args.conventional_vrp,
+        evaluation = engine.compute(
+            ExperimentConfig(
+                workload=args.workload,
+                mechanism=args.mechanism,
+                threshold_nj=args.threshold,
+                conventional_vrp=args.conventional_vrp,
+            ),
+            workload=workload,
         )
         evaluation.summarize()
         profiler.disable()
@@ -213,37 +410,14 @@ def main(argv: list[str] | None = None) -> int:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     run_parser = subparsers.add_parser("run", help="evaluate workload configurations")
-    run_parser.add_argument(
-        "--workload",
-        action="append",
-        metavar="NAME",
-        help="workload to evaluate (repeatable; default: the whole suite)",
-    )
-    run_parser.add_argument(
-        "--mechanism",
-        choices=("none", "vrp", "vrs"),
-        default="none",
-        help="width mechanism to apply (default: none)",
-    )
-    run_parser.add_argument(
-        "--threshold",
-        type=float,
-        default=50.0,
-        metavar="NJ",
-        help="VRS specialization-cost threshold in nanojoules (default: 50)",
-    )
-    run_parser.add_argument(
-        "--conventional-vrp",
-        action="store_true",
-        help="use conventional (non-useful-range) VRP",
-    )
+    _add_config_arguments(run_parser, repeatable_workload=True)
     run_parser.add_argument(
         "--policy",
         choices=POLICY_NAMES + ("all",),
         default="baseline",
         help=(
             "gating policy for the reported energy column, or 'all' for one "
-            "energy column per stored policy (default: baseline)"
+            "energy column per registered policy (default: baseline)"
         ),
     )
     run_parser.add_argument(
@@ -253,35 +427,42 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="worker processes for cold configurations (default: REPRO_JOBS or CPU count)",
     )
+    run_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of tables",
+    )
     run_parser.set_defaults(func=_cmd_run)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="evaluate a batched design-space matrix (configs x policies x workloads)"
+    )
+    _add_config_arguments(sweep_parser, repeatable_workload=True)
+    sweep_parser.add_argument(
+        "--config",
+        action="append",
+        choices=tuple(name for name, _ in default_sweep_configs()),
+        metavar="NAME",
+        help="machine config for the sweep axis (repeatable; default: all eight)",
+    )
+    sweep_parser.add_argument(
+        "--policy",
+        action="append",
+        choices=POLICY_NAMES + ("all",),
+        metavar="NAME",
+        help="gating policy for the sweep axis (repeatable; default: all registered)",
+    )
+    sweep_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of tables",
+    )
+    sweep_parser.set_defaults(func=_cmd_sweep)
 
     profile_parser = subparsers.add_parser(
         "profile", help="cProfile one workload's cold evaluation pipeline"
     )
-    profile_parser.add_argument(
-        "--workload",
-        default="ijpeg",
-        metavar="NAME",
-        help="workload to profile (default: ijpeg)",
-    )
-    profile_parser.add_argument(
-        "--mechanism",
-        choices=("none", "vrp", "vrs"),
-        default="none",
-        help="width mechanism to apply (default: none)",
-    )
-    profile_parser.add_argument(
-        "--threshold",
-        type=float,
-        default=50.0,
-        metavar="NJ",
-        help="VRS specialization-cost threshold in nanojoules (default: 50)",
-    )
-    profile_parser.add_argument(
-        "--conventional-vrp",
-        action="store_true",
-        help="use conventional (non-useful-range) VRP",
-    )
+    _add_config_arguments(profile_parser, repeatable_workload=False)
     profile_parser.add_argument(
         "--dispatch",
         choices=("block", "fast", "reference"),

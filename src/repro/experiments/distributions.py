@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from ..isa import Width
 from .report import format_percent, format_table
-from .runner import evaluate_suite
+from .engine import default_engine
 
 __all__ = [
     "dynamic_width_fractions",
@@ -25,7 +25,7 @@ def dynamic_width_fractions(
     mechanism: str, conventional_vrp: bool = False, threshold_nj: float = 50.0
 ) -> dict[Width, float]:
     """Average dynamic width distribution over the suite for one mechanism."""
-    evaluations = evaluate_suite(
+    evaluations = default_engine().map_suite(
         mechanism=mechanism, conventional_vrp=conventional_vrp, threshold_nj=threshold_nj
     )
     per_benchmark: list[dict[Width, float]] = []
@@ -59,7 +59,7 @@ def figure07_width_by_mechanism(threshold_nj: float = 50.0) -> dict[str, dict[Wi
 
 def figure12_data_size_distribution() -> dict[int, float]:
     """Figure 12: distribution of result-value sizes (in bytes) on the baseline."""
-    evaluations = evaluate_suite(mechanism="none")
+    evaluations = default_engine().map_suite(mechanism="none")
     histogram = {size: 0 for size in range(1, 9)}
     for evaluation in evaluations.values():
         for size, count in evaluation.result_size_histogram().items():
@@ -72,7 +72,7 @@ def figure12_data_size_distribution() -> dict[int, float]:
 
 def table3_operation_distribution() -> list[dict[str, object]]:
     """Table 3: dynamic operation-type mix and per-type width distribution (VRP)."""
-    evaluations = evaluate_suite(mechanism="vrp")
+    evaluations = default_engine().map_suite(mechanism="vrp")
     type_width_counts: dict[str, dict[Width, int]] = {}
     for evaluation in evaluations.values():
         for op_type, per_width in evaluation.operation_type_width_counts().items():

@@ -10,7 +10,7 @@ from ..core import ALU_ENERGY_SAVINGS_NJ
 from ..isa import Width
 from ..power import STRUCTURES
 from ..workloads import SUITE_NAMES
-from .runner import evaluate_suite
+from .engine import default_engine
 
 __all__ = [
     "VRS_THRESHOLDS_NJ",
@@ -55,8 +55,8 @@ def _suite_structure_savings(
     mechanism: str, policy: str, threshold_nj: float = 50.0
 ) -> dict[str, float]:
     """Average per-structure savings of a configuration vs the baseline."""
-    baseline = evaluate_suite(mechanism="none")
-    configured = evaluate_suite(mechanism=mechanism, threshold_nj=threshold_nj)
+    baseline = default_engine().map_suite(mechanism="none")
+    configured = default_engine().map_suite(mechanism=mechanism, threshold_nj=threshold_nj)
     sums = {name: 0.0 for name in list(STRUCTURES) + ["processor"]}
     for name in SUITE_NAMES:
         base = baseline[name].outcome("baseline").energy
@@ -90,11 +90,11 @@ def figure08_energy_savings_by_benchmark(
 
     Returns ``{configuration: {benchmark: fractional saving, ..., "average": x}}``.
     """
-    baseline = evaluate_suite(mechanism="none")
+    baseline = default_engine().map_suite(mechanism="none")
     results: dict[str, dict[str, float]] = {}
 
     def add(config_name: str, mechanism: str, threshold: float = 50.0) -> None:
-        configured = evaluate_suite(mechanism=mechanism, threshold_nj=threshold)
+        configured = default_engine().map_suite(mechanism=mechanism, threshold_nj=threshold)
         per_benchmark: dict[str, float] = {}
         for name in SUITE_NAMES:
             base = baseline[name].outcome("baseline").energy
@@ -114,7 +114,7 @@ def figure08_energy_savings_by_benchmark(
 # ----------------------------------------------------------------------
 def figure13_hardware_energy_savings() -> dict[str, dict[str, float]]:
     """Figure 13: per-benchmark energy savings of the two hardware schemes."""
-    baseline = evaluate_suite(mechanism="none")
+    baseline = default_engine().map_suite(mechanism="none")
     results: dict[str, dict[str, float]] = {}
     for config_name, policy in (("size_compression", "hw-size"), ("significance_compression", "hw-significance")):
         per_benchmark: dict[str, float] = {}
@@ -129,7 +129,7 @@ def figure13_hardware_energy_savings() -> dict[str, dict[str, float]]:
 
 def figure14_hardware_energy_by_structure() -> dict[str, dict[str, float]]:
     """Figure 14: per-structure energy savings of the two hardware schemes."""
-    baseline = evaluate_suite(mechanism="none")
+    baseline = default_engine().map_suite(mechanism="none")
     results: dict[str, dict[str, float]] = {}
     for config_name, policy in (("size_compression", "hw-size"), ("significance_compression", "hw-significance")):
         sums = {name: 0.0 for name in list(STRUCTURES) + ["processor"]}

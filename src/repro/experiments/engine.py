@@ -29,16 +29,23 @@ import os
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from typing import TYPE_CHECKING
+
 from ..uarch import MachineConfig
-from ..workloads import Workload, workload_by_name
+from ..workloads import Workload, load_suite, workload_by_name
 from .runner import (
     WorkloadEvaluation,
+    _compute_evaluation,
     artifact_from_evaluation,
-    compute_evaluation,
     replay_summary,
 )
 from .store import ResultStore, config_key, trace_key
 from .summary import EvaluationSummary
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from typing import Iterator, Mapping
+
+    from .sweep import SweepRow, SweepSpec
 
 __all__ = [
     "ExperimentConfig",
@@ -109,7 +116,7 @@ def _compute_summary_for(
     summary = _replay_from_snapshot(store, config, workload)
     if summary is not None:
         return key, summary.to_json_dict(), True
-    evaluation = compute_evaluation(
+    evaluation = _compute_evaluation(
         workload,
         mechanism=config.mechanism,
         threshold_nj=config.threshold_nj,
@@ -220,8 +227,7 @@ class ExperimentEngine:
         The returned evaluation is *live* (trace/program attached) only when
         this call actually simulated; memo, store and snapshot-replay hits
         are restored, summary-only objects.  Callers that require a live
-        trace should use
-        :func:`~repro.experiments.runner.compute_evaluation` directly.
+        trace should use :meth:`compute`.
         """
         if workload is None:
             workload = workload_by_name(config.workload)
@@ -239,7 +245,7 @@ class ExperimentEngine:
                 evaluation = WorkloadEvaluation.from_summary(workload, replayed)
                 evaluation.replayed_from_store = True
             else:
-                evaluation = compute_evaluation(
+                evaluation = _compute_evaluation(
                     workload,
                     mechanism=config.mechanism,
                     threshold_nj=config.threshold_nj,
@@ -252,6 +258,27 @@ class ExperimentEngine:
                 evaluation.freshly_computed = True
         self._memo[key] = evaluation
         return evaluation
+
+    def compute(
+        self, config: ExperimentConfig, workload: Optional[Workload] = None
+    ) -> WorkloadEvaluation:
+        """Run the live pipeline for one point, bypassing every cache layer.
+
+        Always builds, transforms and simulates, and always returns a
+        *live* evaluation (program, trace and run attached) — the one
+        entry point for callers that genuinely need the trace.  Nothing
+        is memoized or persisted; use :meth:`evaluate` for cached,
+        store-backed resolution.
+        """
+        if workload is None:
+            workload = workload_by_name(config.workload)
+        return _compute_evaluation(
+            workload,
+            mechanism=config.mechanism,
+            threshold_nj=config.threshold_nj,
+            conventional_vrp=config.conventional_vrp,
+            machine_config=config.machine_config,
+        )
 
     def map(
         self, configs: Sequence[ExperimentConfig], jobs: Optional[int] = None
@@ -266,9 +293,9 @@ class ExperimentEngine:
         Cold configurations always come back *restored* (summary-backed,
         ``trace is None``) — regardless of whether the pool or the serial
         fallback computed them — so the result shape never depends on the
-        machine's CPU count.  Use :func:`compute_evaluation` when a live
-        trace is genuinely required (:meth:`evaluate` returns a live object
-        only when it computes; store hits are restored there too).
+        machine's CPU count.  Use :meth:`compute` when a live trace is
+        genuinely required (:meth:`evaluate` returns a live object only
+        when it computes; store hits are restored there too).
         """
         results: list[Optional[WorkloadEvaluation]] = [None] * len(configs)
         # Deduplicate misses by key: the same configuration requested twice
@@ -321,7 +348,7 @@ class ExperimentEngine:
                         self.store.save(key, replayed)
                         produced.append((key, replayed, False, True))
                         continue
-                    live = compute_evaluation(
+                    live = _compute_evaluation(
                         workload,
                         mechanism=config.mechanism,
                         threshold_nj=config.threshold_nj,
@@ -342,6 +369,53 @@ class ExperimentEngine:
                 for index in missing_indices[key]:
                     results[index] = evaluation
         return results  # type: ignore[return-value]
+
+    def map_suite(
+        self,
+        mechanism: str = "none",
+        threshold_nj: float = 50.0,
+        conventional_vrp: bool = False,
+        machine_config: Optional[MachineConfig] = None,
+        jobs: Optional[int] = None,
+    ) -> dict[str, WorkloadEvaluation]:
+        """Evaluate every workload of the SpecInt95-analogue suite.
+
+        Convenience over :meth:`map`: one configuration per suite
+        workload, results keyed by workload name.  This is what the
+        figure/table modules call.
+        """
+        configs = [
+            ExperimentConfig(
+                workload=workload.name,
+                mechanism=mechanism,
+                threshold_nj=threshold_nj,
+                conventional_vrp=conventional_vrp,
+                machine_config=machine_config,
+            )
+            for workload in load_suite()
+        ]
+        evaluations = self.map(configs, jobs=jobs)
+        return {evaluation.workload.name: evaluation for evaluation in evaluations}
+
+    def sweep(
+        self,
+        spec: "SweepSpec",
+        workloads: Optional["Mapping[str, Workload]"] = None,
+    ) -> "Iterator[SweepRow]":
+        """Stream one :class:`~repro.experiments.sweep.SweepRow` per spec point.
+
+        The batched design-space path (see ``docs/sweeps.md``): one
+        simulation or snapshot replay per distinct trace signature, one
+        multi-config timing-kernel walk per machine-config shape group,
+        one fused accounting walk per trace — instead of a full
+        :meth:`evaluate` round-trip per point.  Rows are bit-identical
+        to what per-point evaluation reports for the same cells.  From a
+        warm store (snapshots present) a sweep performs **zero**
+        simulator calls.
+        """
+        from .sweep import run_sweep
+
+        return run_sweep(self, spec, workloads=workloads)
 
     def _map_parallel(
         self,
@@ -410,7 +484,11 @@ _DEFAULT_ENGINE: Optional[ExperimentEngine] = None
 
 
 def default_engine() -> ExperimentEngine:
-    """The process-wide engine used by ``evaluate_workload``/``evaluate_suite``."""
+    """The process-wide engine: the session the blessed API acts on.
+
+    The CLI, the figure/table modules and the deprecated free-function
+    shims all share this engine (and therefore its memo and store).
+    """
     global _DEFAULT_ENGINE
     if _DEFAULT_ENGINE is None:
         _DEFAULT_ENGINE = ExperimentEngine()

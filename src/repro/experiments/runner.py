@@ -3,12 +3,17 @@
 Every table/figure module composes the same few steps: compile a workload,
 optionally apply VRP or VRS, run the functional simulator on the reference
 input, feed the trace to the timing model and the energy accountant under a
-chosen gating policy.  ``evaluate_program`` performs one such run;
-``evaluate_workload``/``evaluate_suite`` are thin compatibility wrappers
-over the :class:`~repro.experiments.engine.ExperimentEngine`, which
-memoizes evaluations in-process, persists their summaries to the on-disk
+chosen gating policy.  The live pipeline lives here
+(:func:`_compute_evaluation`, surfaced as
+:meth:`~repro.experiments.engine.ExperimentEngine.compute`); callers go
+through the :class:`~repro.experiments.engine.ExperimentEngine` session
+API (``evaluate``/``map``/``map_suite``/``sweep``), which memoizes
+evaluations in-process, persists their summaries to the on-disk
 :class:`~repro.experiments.store.ResultStore` and fans independent
-configurations out across worker processes.
+configurations out across worker processes.  The legacy free functions
+(``evaluate_program``/``evaluate_workload``/``evaluate_suite``/
+``compute_evaluation``) remain as deprecated shims delegating to the
+default engine.
 
 A :class:`WorkloadEvaluation` therefore comes in two flavours: *live* (just
 simulated in this process; carries the program, trace and run) and
@@ -23,20 +28,13 @@ from typing import TYPE_CHECKING, Optional
 
 from ..core import VRPConfig, VRSConfig, VRSResult, apply_widths, run_vrp, run_vrs
 from ..core.vrp import VRPResult
-from ..hardware import (
-    CooperativeGating,
-    GatingPolicy,
-    NoGating,
-    SignificanceCompression,
-    SizeCompression,
-    SoftwareGating,
-)
+from ..hardware import GatingPolicy, gating
 from ..ir import Program
 from ..isa import Width
 from ..power import EnergyAccountant, EnergyBreakdown, MultiPolicyEnergyAccountant
 from ..sim import Machine, RunResult, Trace
 from ..uarch import MachineConfig, OutOfOrderModel, TimingResult
-from ..workloads import Workload, load_suite
+from ..workloads import Workload
 from .summary import (
     EvaluationSummary,
     aggregate_trace,
@@ -283,39 +281,33 @@ class WorkloadEvaluation:
         return self.summary
 
 
-#: Gating policies materialized in every stored summary.
-POLICY_NAMES = (
-    "baseline",
-    "software",
-    "hw-significance",
-    "hw-size",
-    "sw+hw-significance",
-    "sw+hw-size",
-)
-
-_POLICIES: dict[str, GatingPolicy] = {}
+#: Gating policies materialized in every stored summary — the canonical
+#: configuration names of the public registry (``gating.registry()``), in
+#: paper order.
+POLICY_NAMES = tuple(gating.registry())
 
 
 def policy_for(name: str) -> GatingPolicy:
-    """Gating policy by configuration name."""
-    if not _POLICIES:
-        _POLICIES.update(
-            {
-                "baseline": NoGating(),
-                "software": SoftwareGating(),
-                "hw-significance": SignificanceCompression(),
-                "hw-size": SizeCompression(),
-                "sw+hw-significance": CooperativeGating(SignificanceCompression()),
-                "sw+hw-size": CooperativeGating(SizeCompression()),
-            }
-        )
-    try:
-        return _POLICIES[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown gating policy {name!r}; valid policies are: "
-            f"{', '.join(sorted(_POLICIES))}"
-        ) from None
+    """Gating policy by configuration name.
+
+    Thin alias for :func:`repro.hardware.gating.get`, kept because the
+    name is established throughout the tests and figure modules; new code
+    should use the registry directly (``gating.get`` /
+    ``gating.registry``).
+    """
+    return gating.get(name)
+
+
+def _deprecated(name: str, replacement: str) -> None:
+    """Emit the standard deprecation warning for a legacy free function."""
+    import warnings
+
+    warnings.warn(
+        f"repro.experiments.{name} is deprecated; use {replacement} instead "
+        "(see docs/experiments.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def evaluate_program(
@@ -326,7 +318,18 @@ def evaluate_program(
     trace: Optional[Trace] = None,
     run: Optional[RunResult] = None,
 ) -> SimulationOutcome:
-    """Simulate ``program`` once and account energy under ``policy``."""
+    """Simulate ``program`` once and account energy under ``policy``.
+
+    .. deprecated:: PR6
+        Part of the pre-engine free-function surface.  Compose the pieces
+        directly (``Machine`` → ``OutOfOrderModel`` → ``EnergyAccountant``)
+        for ad-hoc programs, or go through :class:`ExperimentEngine` for
+        registered workload points.
+    """
+    _deprecated(
+        "evaluate_program",
+        "Machine/OutOfOrderModel/EnergyAccountant directly (or ExperimentEngine for workload points)",
+    )
     if trace is None or run is None:
         machine = Machine(program, max_instructions=max_instructions)
         run = machine.run(collect_trace=True)
@@ -339,7 +342,7 @@ def evaluate_program(
 # ----------------------------------------------------------------------
 # One full build → transform → simulate pipeline (live path)
 # ----------------------------------------------------------------------
-def compute_evaluation(
+def _compute_evaluation(
     workload: Workload,
     mechanism: str = "none",
     threshold_nj: float = 50.0,
@@ -347,6 +350,9 @@ def compute_evaluation(
     machine_config: Optional[MachineConfig] = None,
 ) -> WorkloadEvaluation:
     """Build, transform and simulate one workload configuration (uncached).
+
+    This is the live pipeline behind :meth:`ExperimentEngine.compute`;
+    the deprecated :func:`compute_evaluation` shim delegates here.
 
     The simulator runs under the dispatch tier selected by
     ``REPRO_SIM_DISPATCH`` (block-compiled by default) and the timing
@@ -457,8 +463,38 @@ def replay_summary(
 
 
 # ----------------------------------------------------------------------
-# Compatibility wrappers over the experiment engine
+# Deprecated compatibility shims over the experiment engine
+#
+# The blessed surface is the ExperimentEngine session API —
+# ``engine.evaluate(point)`` / ``engine.map(points)`` /
+# ``engine.sweep(spec)`` / ``engine.compute(point)`` on
+# ``default_engine()`` — re-exported from ``repro.experiments``.  The
+# free functions below predate it and are kept as thin delegating shims
+# so existing scripts keep working; each emits a DeprecationWarning.
 # ----------------------------------------------------------------------
+def compute_evaluation(
+    workload: Workload,
+    mechanism: str = "none",
+    threshold_nj: float = 50.0,
+    conventional_vrp: bool = False,
+    machine_config: Optional[MachineConfig] = None,
+) -> WorkloadEvaluation:
+    """Build, transform and simulate one workload configuration (uncached).
+
+    .. deprecated:: PR6
+        Use :meth:`ExperimentEngine.compute` (the uncached live path) on
+        :func:`~repro.experiments.engine.default_engine`.
+    """
+    _deprecated("compute_evaluation", "ExperimentEngine.compute")
+    return _compute_evaluation(
+        workload,
+        mechanism=mechanism,
+        threshold_nj=threshold_nj,
+        conventional_vrp=conventional_vrp,
+        machine_config=machine_config,
+    )
+
+
 def clear_cache() -> None:
     """Drop all in-process cached evaluations (used by tests).
 
@@ -484,9 +520,13 @@ def evaluate_workload(
     memoized for the whole process and persisted to the result store, so
     tests and benchmark targets can freely re-request configurations — even
     across processes.
+
+    .. deprecated:: PR6
+        Use ``default_engine().evaluate(ExperimentConfig(...))``.
     """
     from .engine import ExperimentConfig, default_engine
 
+    _deprecated("evaluate_workload", "ExperimentEngine.evaluate")
     config = ExperimentConfig(
         workload=workload.name,
         mechanism=mechanism,
@@ -506,17 +546,15 @@ def evaluate_suite(
 
     Configurations missing from both the in-process memo and the result
     store are fanned out across the engine's worker pool.
-    """
-    from .engine import ExperimentConfig, default_engine
 
-    configs = [
-        ExperimentConfig(
-            workload=workload.name,
-            mechanism=mechanism,
-            threshold_nj=threshold_nj,
-            conventional_vrp=conventional_vrp,
-        )
-        for workload in load_suite()
-    ]
-    evaluations = default_engine().map(configs)
-    return {evaluation.workload.name: evaluation for evaluation in evaluations}
+    .. deprecated:: PR6
+        Use ``default_engine().map_suite(...)``.
+    """
+    from .engine import default_engine
+
+    _deprecated("evaluate_suite", "ExperimentEngine.map_suite")
+    return default_engine().map_suite(
+        mechanism=mechanism,
+        threshold_nj=threshold_nj,
+        conventional_vrp=conventional_vrp,
+    )

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from ..workloads import SUITE_NAMES
-from .runner import evaluate_suite
+from .engine import default_engine
 
 __all__ = [
     "figure04_profiled_point_distribution",
@@ -19,7 +19,7 @@ def figure04_profiled_point_distribution(threshold_nj: float = 50.0) -> dict[str
     profiled points and the fraction that was specialized, eliminated for
     lack of benefit, or dropped because another point's region covered it.
     """
-    evaluations = evaluate_suite(mechanism="vrs", threshold_nj=threshold_nj)
+    evaluations = default_engine().map_suite(mechanism="vrs", threshold_nj=threshold_nj)
     results: dict[str, dict[str, float]] = {}
     for name in SUITE_NAMES:
         vrs = evaluations[name].vrs_statistics()
@@ -39,7 +39,7 @@ def figure04_profiled_point_distribution(threshold_nj: float = 50.0) -> dict[str
 
 def figure05_static_specialized_instructions(threshold_nj: float = 50.0) -> dict[str, dict[str, float]]:
     """Figure 5: static instructions specialized vs eliminated, per benchmark."""
-    evaluations = evaluate_suite(mechanism="vrs", threshold_nj=threshold_nj)
+    evaluations = default_engine().map_suite(mechanism="vrs", threshold_nj=threshold_nj)
     results: dict[str, dict[str, float]] = {}
     for name in SUITE_NAMES:
         vrs = evaluations[name].vrs_statistics()
@@ -61,7 +61,7 @@ def figure05_static_specialized_instructions(threshold_nj: float = 50.0) -> dict
 def figure06_runtime_specialized_instructions(threshold_nj: float = 50.0) -> dict[str, dict[str, float]]:
     """Figure 6: fraction of executed instructions that are specialized code
     and fraction that are specialization comparisons (guards)."""
-    evaluations = evaluate_suite(mechanism="vrs", threshold_nj=threshold_nj)
+    evaluations = default_engine().map_suite(mechanism="vrs", threshold_nj=threshold_nj)
     results: dict[str, dict[str, float]] = {}
     for name in SUITE_NAMES:
         results[name] = dict(evaluations[name].runtime_specialization())

@@ -8,7 +8,7 @@ import time
 from ..core import VRPConfig, run_vrp
 from ..workloads import SUITE_NAMES, load_suite
 from .energy import VRS_THRESHOLDS_NJ
-from .runner import evaluate_suite
+from .engine import default_engine
 
 __all__ = [
     "figure10_execution_time_savings",
@@ -23,10 +23,10 @@ def figure10_execution_time_savings(
     thresholds: tuple[float, ...] = VRS_THRESHOLDS_NJ,
 ) -> dict[str, dict[str, float]]:
     """Figure 10: per-benchmark execution-time reduction of VRS."""
-    baseline = evaluate_suite(mechanism="none")
+    baseline = default_engine().map_suite(mechanism="none")
     results: dict[str, dict[str, float]] = {}
     for threshold in thresholds:
-        configured = evaluate_suite(mechanism="vrs", threshold_nj=threshold)
+        configured = default_engine().map_suite(mechanism="vrs", threshold_nj=threshold)
         per_benchmark: dict[str, float] = {}
         for name in SUITE_NAMES:
             base_cycles = baseline[name].timing.cycles
@@ -41,11 +41,11 @@ def figure11_ed2_savings(
     thresholds: tuple[float, ...] = VRS_THRESHOLDS_NJ,
 ) -> dict[str, dict[str, float]]:
     """Figure 11: per-benchmark energy-delay² savings of VRP and VRS."""
-    baseline = evaluate_suite(mechanism="none")
+    baseline = default_engine().map_suite(mechanism="none")
     results: dict[str, dict[str, float]] = {}
 
     def add(config_name: str, mechanism: str, threshold: float = 50.0) -> None:
-        configured = evaluate_suite(mechanism=mechanism, threshold_nj=threshold)
+        configured = default_engine().map_suite(mechanism=mechanism, threshold_nj=threshold)
         per_benchmark: dict[str, float] = {}
         for name in SUITE_NAMES:
             base = baseline[name].outcome("baseline").energy
@@ -75,10 +75,10 @@ FIGURE15_CONFIGURATIONS = (
 
 def figure15_combined_ed2_savings() -> dict[str, dict[str, float]]:
     """Figure 15: ED² savings of software, hardware and combined schemes."""
-    baseline = evaluate_suite(mechanism="none")
+    baseline = default_engine().map_suite(mechanism="none")
     results: dict[str, dict[str, float]] = {}
     for config_name, mechanism, policy in FIGURE15_CONFIGURATIONS:
-        configured = evaluate_suite(mechanism=mechanism, threshold_nj=50.0)
+        configured = default_engine().map_suite(mechanism=mechanism, threshold_nj=50.0)
         per_benchmark: dict[str, float] = {}
         for name in SUITE_NAMES:
             base = baseline[name].outcome("baseline").energy

@@ -1,5 +1,13 @@
-"""Hardware operand-gating schemes (the comparison points of §4.6/4.7)."""
+"""Hardware operand-gating schemes (the comparison points of §4.6/4.7).
 
+``gating.registry()`` / ``gating.get(name)`` are the public policy
+registry: the canonical mapping from configuration names ("baseline",
+"software", "hw-significance", ...) to policy instances that the
+experiments layer, the CLI's ``--policy all`` and the sweep policy axis
+all enumerate.
+"""
+
+from . import gating
 from .gating import (
     CooperativeGating,
     GatingPolicy,
@@ -18,4 +26,5 @@ __all__ = [
     "SizeCompression",
     "SoftwareGating",
     "encoded_bytes",
+    "gating",
 ]

@@ -30,6 +30,8 @@ __all__ = [
     "SizeCompression",
     "CooperativeGating",
     "encoded_bytes",
+    "registry",
+    "get",
 ]
 
 
@@ -149,3 +151,52 @@ def encoded_bytes(entry: StaticEntry) -> int:
         return entry.memory_width.bytes
     width: Width = entry.width
     return width.bytes
+
+
+# ----------------------------------------------------------------------
+# Policy registry
+# ----------------------------------------------------------------------
+# Canonical configuration names, in the paper's presentation order.  The
+# registry keys are the *configuration* names the experiments layer, the
+# CLI and the stored summaries use ("sw+hw-significance"), which for the
+# cooperative schemes differ from the instances' own ``policy.name``
+# ("software+hw-significance") — the instance name describes the
+# mechanism, the registry key names the machine configuration.
+_REGISTRY: dict[str, GatingPolicy] = {}
+
+
+def _build_registry() -> dict[str, GatingPolicy]:
+    return {
+        "baseline": NoGating(),
+        "software": SoftwareGating(),
+        "hw-significance": SignificanceCompression(),
+        "hw-size": SizeCompression(),
+        "sw+hw-significance": CooperativeGating(SignificanceCompression()),
+        "sw+hw-size": CooperativeGating(SizeCompression()),
+    }
+
+
+def registry() -> dict[str, GatingPolicy]:
+    """All gating policies by configuration name, in paper order.
+
+    Returns a fresh dict (mutating it does not affect the registry).  The
+    policies themselves are shared stateless singletons.  This is the
+    single enumeration point for "every policy": the CLI's
+    ``--policy all``, the sweep policy axis and the per-summary energy
+    materialization all iterate this mapping instead of hard-coding
+    names.
+    """
+    if not _REGISTRY:
+        _REGISTRY.update(_build_registry())
+    return dict(_REGISTRY)
+
+
+def get(name: str) -> GatingPolicy:
+    """Gating policy by configuration name (see :func:`registry`)."""
+    try:
+        return registry()[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown gating policy {name!r}; valid policies are: "
+            f"{', '.join(sorted(registry()))}"
+        ) from None

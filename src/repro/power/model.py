@@ -250,6 +250,53 @@ class MultiPolicyEnergyAccountant:
         return results
 
     # ------------------------------------------------------------------
+    def account_many(
+        self, trace: Trace, timings: Sequence[TimingResult]
+    ) -> list[dict[str, EnergyBreakdown]]:
+        """Account one trace against many timing results in one walk.
+
+        The expensive part of :meth:`account` — the per-record (or
+        per-shape) trace walk — depends only on the trace, not on the
+        timing result; only the final :meth:`_account_timing` additions
+        (cache/predictor/clock activity counters) and the breakdown's
+        ``cycles`` vary with the timing.  ``account_many`` therefore runs
+        the trace walk once, then branches per timing result from a copy
+        of the shared lane totals, applying the timing additions in the
+        exact order :meth:`account` uses.  Every returned breakdown is
+        bit-identical to a separate ``account(trace, timing)`` call: the
+        shared base totals see the same float additions in the same
+        order, and the per-timing additions start from that same base.
+
+        This is what makes a design-space sweep's energy side O(1) trace
+        walks per (workload, policy-set) instead of one walk per machine
+        configuration (see ``docs/sweeps.md``).
+        """
+        structure_names = list(STRUCTURES)
+        lanes = [_PolicyLane(policy, len(structure_names)) for policy in self._named.values()]
+        if lanes:
+            if all(lane.mode is not None for lane in lanes):
+                self._account_aggregated(trace, lanes)
+            else:
+                self._account_direct(trace, lanes)
+        base_totals = [list(lane.totals) for lane in lanes]
+        instructions = len(trace)
+        results: list[dict[str, EnergyBreakdown]] = []
+        for timing in timings:
+            for lane, base in zip(lanes, base_totals):
+                lane.totals = list(base)
+            if lanes:
+                self._account_timing(timing, lanes)
+            per_policy: dict[str, EnergyBreakdown] = {}
+            for key, lane in zip(self._named, lanes):
+                breakdown = EnergyBreakdown(
+                    policy=lane.policy.name, cycles=timing.cycles, instructions=instructions
+                )
+                breakdown.by_structure = dict(zip(structure_names, lane.totals))
+                per_policy[key] = breakdown
+            results.append(per_policy)
+        return results
+
+    # ------------------------------------------------------------------
     # Fast path: canonical record-shape aggregation + per-shape kernel
     # ------------------------------------------------------------------
     @staticmethod

@@ -12,7 +12,13 @@ from .branch_predictor import CombinedPredictor
 from .caches import Cache, CacheHierarchy
 from .config import CacheConfig, MachineConfig, PredictorConfig
 from .ooo import TIMING_KERNELS, OutOfOrderModel, TimingResult
-from .tkernel import StaticTable, bake_static_table, run_compiled
+from .tkernel import (
+    MULTI_KERNEL_MAX_LANES,
+    StaticTable,
+    bake_static_table,
+    run_compiled,
+    run_compiled_many,
+)
 
 __all__ = [
     "CombinedPredictor",
@@ -27,4 +33,6 @@ __all__ = [
     "StaticTable",
     "bake_static_table",
     "run_compiled",
+    "run_compiled_many",
+    "MULTI_KERNEL_MAX_LANES",
 ]

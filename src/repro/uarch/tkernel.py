@@ -65,7 +65,13 @@ from ..sim import Trace
 from ..sim.trace import StaticInfo
 from .config import MachineConfig
 
-__all__ = ["StaticTable", "bake_static_table", "run_compiled"]
+__all__ = [
+    "StaticTable",
+    "bake_static_table",
+    "run_compiled",
+    "run_compiled_many",
+    "MULTI_KERNEL_MAX_LANES",
+]
 
 _UINT64 = (1 << 64) - 1
 
@@ -568,8 +574,14 @@ def _l2_access(
     return "\n".join(indent + line for line in lines)
 
 
-def _ring_probe(name: str, width: int, indent: str) -> str:
-    """Source for one inlined ring-allocator probe from ``cycle``.
+def _ring_probe(
+    name: str,
+    width: int,
+    indent: str,
+    cycle_var: str = "cycle",
+    floor_var: str = "floor",
+) -> str:
+    """Source for one inlined ring-allocator probe from ``cycle_var``.
 
     A slot write may only clobber a stale tenant (``old < floor``:
     below every future probe); a live collision grows the ring and
@@ -583,34 +595,64 @@ def _ring_probe(name: str, width: int, indent: str) -> str:
     cycles re-probed per record).  The memo is consulted and maintained
     exclusively on the full-cycle path, so unconstrained allocations
     pay nothing.
+
+    ``cycle_var``/``floor_var`` let the multi-config kernel probe a
+    lane-suffixed cycle against that lane's own monotone floor; the
+    single-config template uses the defaults.
     """
     n = name
+    c = cycle_var
+    f = floor_var
     lines = [
         "while True:",
-        f"    slot = cycle & {n}_mask",
+        f"    slot = {c} & {n}_mask",
         f"    old = {n}_cycle_at[slot]",
-        "    if old == cycle:",
+        f"    if old == {c}:",
         f"        used = {n}_count[slot]",
         f"        if used < {width}:",
         f"            {n}_count[slot] = used + 1",
         "            break",
-        f"        if {n}_skip_from <= cycle < {n}_skip_to:",
-        f"            cycle = {n}_skip_to",
-        f"        elif cycle == {n}_skip_to:",
-        f"            {n}_skip_to = cycle = cycle + 1",
+        f"        if {n}_skip_from <= {c} < {n}_skip_to:",
+        f"            {c} = {n}_skip_to",
+        f"        elif {c} == {n}_skip_to:",
+        f"            {n}_skip_to = {c} = {c} + 1",
         "        else:",
-        f"            {n}_skip_from = cycle",
-        f"            {n}_skip_to = cycle = cycle + 1",
-        "    elif old < floor:",
-        f"        {n}_cycle_at[slot] = cycle",
+        f"            {n}_skip_from = {c}",
+        f"            {n}_skip_to = {c} = {c} + 1",
+        f"    elif old < {f}:",
+        f"        {n}_cycle_at[slot] = {c}",
         f"        {n}_count[slot] = 1",
         "        break",
         "    else:",
         f"        {n}_cycle_at, {n}_count, {n}_mask = _grow_ring(",
-        f"            {n}_cycle_at, {n}_count, floor, cycle - floor",
+        f"            {n}_cycle_at, {n}_count, {f}, {c} - {f}",
         "        )",
     ]
     return "\n".join(indent + line for line in lines)
+
+
+def _fu_probe(
+    name: str,
+    width: int,
+    issue_width: int,
+    indent: str,
+    cycle_var: str = "cycle",
+    floor_var: str = "floor",
+) -> str | None:
+    """A functional-unit probe, or ``None`` when it can never bind.
+
+    Every record reaches its functional-unit class at the cycle the
+    issue probe granted, and the issue ring admits at most
+    ``issue_width`` grants per cycle — so a class with at least
+    ``issue_width`` units sees at most ``issue_width`` same-cycle
+    probes, never saturates, never defers a probe to a later cycle, and
+    (by induction) never accumulates carryover demand.  Its ring is
+    then pure bookkeeping that nothing reads: the probe is a timing
+    no-op and is elided from the generated walk entirely.
+    """
+    if width >= issue_width:
+        return None
+    return _ring_probe(name, width, indent, cycle_var=cycle_var, floor_var=floor_var)
 
 
 def _walk_source(config: MachineConfig, derived: bool) -> str:
@@ -702,9 +744,12 @@ def _walk_source(config: MachineConfig, derived: bool) -> str:
             " " * 20,
         ),
         ISSUE_PROBE=_ring_probe("iss", config.issue_width, " " * 8),
-        ALU_PROBE=_ring_probe("alu", config.int_alus, " " * 12),
-        MUL_PROBE=_ring_probe("mul", config.int_muls, " " * 16),
-        LSQ_PROBE=_ring_probe("lsq", config.lsq_ports, " " * 16),
+        ALU_PROBE=_fu_probe("alu", config.int_alus, config.issue_width, " " * 12)
+        or (" " * 12 + "pass"),
+        MUL_PROBE=_fu_probe("mul", config.int_muls, config.issue_width, " " * 16)
+        or (" " * 16 + "pass"),
+        LSQ_PROBE=_fu_probe("lsq", config.lsq_ports, config.issue_width, " " * 16)
+        or (" " * 16 + "pass"),
         I_HIT=icfg.hit_cycles,
         L2_SETS=l2cfg.num_sets,
         G_ENTRIES=pcfg.gshare_entries,
@@ -849,3 +894,661 @@ def run_compiled(trace: Trace, config: MachineConfig | None = None):
         loads=loads,
         stores=stores,
     )
+
+
+# ---------------------------------------------------------------------------
+# Multi-config timing kernel: one trace walk, many machine-config lanes.
+#
+# Within a *shape group* — configs sharing cache geometries (line/sets/
+# associativity for L1I, L1D and L2), the predictor configuration and
+# the address mode — the entire front-end event stream is identical
+# across configs: the fetch-line sequence, every cache hit/miss level,
+# the predictor's prediction/update stream (a pure function of the
+# (pc, taken) trace stream), mispredict events and call/return
+# redirect events.  Configs in a group may still differ in every
+# *cycle-valued* parameter: pipeline widths, window size, frontend
+# depth, mispredict penalty, functional-unit counts and all cache
+# latencies.  The multi-config kernel exploits this: the generated
+# source walks the trace once, computes the shared stream once per
+# record, and carries one scoreboard *lane* per config (suffixed
+# locals, per-lane ring allocators) with that lane's constants baked
+# in as literals — so N configs cost one trace decode, one static
+# lookup, one cache/predictor simulation, plus N scoreboards.
+# ---------------------------------------------------------------------------
+
+#: Lane cap per generated multi-config walk.  More lanes amortize the
+#: shared front-end further but grow the per-record bytecode body;
+#: beyond ~8 lanes the marginal win is noise while the generated source
+#: (and its compile time) keeps growing, so larger batches are chunked.
+MULTI_KERNEL_MAX_LANES = 8
+
+#: log2 of the initial per-lane ring capacity.  Smaller than the
+#: single-config kernel's ring (each lane allocates four rings, and a
+#: group allocates ``4 * lanes``); growth-on-live-collision keeps this
+#: a sizing hint, not a correctness bound.
+_MULTI_RING_BITS = 12
+
+
+def _lane_shape(config: MachineConfig, derived: bool) -> tuple:
+    """Grouping key under which configs can share a multi-config walk.
+
+    Everything the *shared* (per-group) generated code bakes in must be
+    in the key: cache geometries, predictor table sizes/history and the
+    address mode.  Cycle-valued parameters are per-lane and excluded.
+    """
+    icfg, dcfg, l2cfg = config.icache, config.dcache, config.l2cache
+    return (
+        derived,
+        (icfg.line_bytes, icfg.num_sets, icfg.associativity),
+        (dcfg.line_bytes, dcfg.num_sets, dcfg.associativity),
+        (l2cfg.line_bytes, l2cfg.num_sets, l2cfg.associativity),
+        config.predictor,
+    )
+
+
+def _multi_walk_source(configs: tuple, derived: bool) -> str:
+    """Generate the lane-parallel walk source for one shape group.
+
+    The per-record body is the single-config kernel's, reorganized:
+    shared sections (extract, fetch-line/icache, FU-class dispatch,
+    dcache, dest decode, branch/predictor) are emitted once and branch
+    into per-lane blocks (fetch accounting, dependence/issue probes,
+    completion, commit, redirect application) with each lane's scalar
+    parameters baked in as literals.  Bit-exactness per lane against
+    ``run_compiled``/``run_reference`` is asserted by the differential
+    tests in ``tests/test_uarch_timing.py``.
+    """
+    n = len(configs)
+    shape = configs[0]
+    icfg, dcfg, l2cfg = shape.icache, shape.dcache, shape.l2cache
+    pcfg = shape.predictor
+    rc = 1 << _MULTI_RING_BITS
+    lanes = range(n)
+    same_window = len({c.max_in_flight for c in configs}) == 1
+    src: list[str] = []
+
+    def emit(depth: int, text: str = "") -> None:
+        src.append("    " * depth + text if text else "")
+
+    def l2_extra(config: MachineConfig) -> int:
+        memory_latency = (
+            config.memory_first_chunk_cycles + 3 * config.memory_interchunk_cycles
+        )
+        return config.l2cache.miss_penalty_cycles + memory_latency
+
+    def fetch_bump(config: MachineConfig, level: int) -> int:
+        # The single kernel bumps fetch by (latency - hit_cycles) when
+        # an instruction fetch missed: miss_penalty at L2-hit level,
+        # plus the L2 miss path's memory latency at L2-miss level.
+        bump = config.icache.miss_penalty_cycles
+        if level == 2:
+            bump += l2_extra(config)
+        return bump
+
+    def d_latency(config: MachineConfig, level: int) -> int:
+        latency = config.dcache.hit_cycles
+        if level >= 1:
+            latency += config.dcache.miss_penalty_cycles
+        if level == 2:
+            latency += l2_extra(config)
+        return latency
+
+    def emit_fetch_plain(depth: int, lane: int) -> None:
+        config = configs[lane]
+        emit(depth, f"if fic{lane} >= {config.fetch_width}:")
+        emit(depth + 1, f"fetch{lane} += 1")
+        emit(depth + 1, f"fic{lane} = 1")
+        emit(depth + 1, f"floor{lane} += 1")
+        emit(depth, "else:")
+        emit(depth + 1, f"fic{lane} += 1")
+
+    def emit_fetch_all(depth: int, level: int) -> None:
+        # level 0: fetch hit (plain width accounting); level 1/2: the
+        # lane stalls by its baked bump unless that bump is zero (a
+        # zero-penalty lane treats the miss as a hit, exactly like the
+        # single kernel's ``latency > hit`` test).
+        for lane in lanes:
+            bump = fetch_bump(configs[lane], level) if level else 0
+            if bump == 0:
+                emit_fetch_plain(depth, lane)
+            else:
+                emit(depth, f"fetch{lane} += {bump}")
+                emit(depth, f"fic{lane} = 1")
+                emit(depth, f"floor{lane} = fetch{lane} + {configs[lane].frontend_depth}")
+
+    def emit_l2(depth: int, line_expr: str, on_hit, on_miss) -> None:
+        emit(depth, "l2_accesses += 1")
+        emit(depth, "l2line = " + line_expr)
+        emit(depth, "ways = l2_ways[" + _mod("l2line", l2cfg.num_sets) + "]")
+        emit(depth, "l2tag = " + _div("l2line", l2cfg.num_sets))
+        emit(depth, "if l2tag in ways:")
+        emit(depth + 1, "ways.remove(l2tag)")
+        emit(depth + 1, "ways.append(l2tag)")
+        on_hit(depth + 1)
+        emit(depth, "else:")
+        emit(depth + 1, "l2_misses += 1")
+        emit(depth + 1, "ways.append(l2tag)")
+        emit(depth + 1, f"if len(ways) > {l2cfg.associativity}:")
+        emit(depth + 2, "ways.pop(0)")
+        on_miss(depth + 1)
+
+    def emit_load_complete(depth: int, level: int) -> None:
+        # Stores retire from the store queue at latency 1 in every lane;
+        # loads take the lane's baked latency for this hit/miss level.
+        emit(depth, "if hot & 2048:")
+        for lane in lanes:
+            emit(depth + 1, f"c{lane} = cyc{lane} + 1")
+        emit(depth, "else:")
+        for lane in lanes:
+            emit(depth + 1, f"c{lane} = cyc{lane} + {d_latency(configs[lane], level)}")
+
+    # ----------------------------------------------------------- header
+    emit(0, "def _timing_walk_multi(rows, addresses, mem_column, static_of, base, num_regs):")
+    if icfg.associativity == 2:
+        emit(1, f"i_mru, i_lru = [None] * {icfg.num_sets}, [None] * {icfg.num_sets}")
+    else:
+        emit(1, f"i_ways = [[] for _ in range({icfg.num_sets})]")
+    if dcfg.associativity == 2:
+        emit(1, f"d_mru, d_lru = [None] * {dcfg.num_sets}, [None] * {dcfg.num_sets}")
+    else:
+        emit(1, f"d_ways = [[] for _ in range({dcfg.num_sets})]")
+    emit(1, f"l2_ways = [[] for _ in range({l2cfg.num_sets})]")
+    emit(1, "i_accesses = i_misses = d_accesses = d_misses = l2_accesses = l2_misses = 0")
+    emit(1, f"gshare = [1] * {pcfg.gshare_entries}")
+    emit(1, f"bimodal = [1] * {pcfg.bimodal_entries}")
+    emit(1, f"selector = [2] * {pcfg.selector_entries}")
+    emit(1, "history = 0")
+    emit(1, "lookups = mispredictions = 0")
+    emit(1, "loads = stores = 0")
+    emit(1, "current_fetch_line = -1")
+    emit(1, "mem_cursor = 0")
+    emit(1, "redirect_pending = False")
+    def binding_rings(lane: int) -> list[str]:
+        # Functional-unit rings with at least issue_width units can
+        # never bind (see _fu_probe) and are elided per lane.
+        config = configs[lane]
+        rings = ["iss"]
+        for ring, width in (
+            ("alu", config.int_alus),
+            ("mul", config.int_muls),
+            ("lsq", config.lsq_ports),
+        ):
+            if width < config.issue_width:
+                rings.append(ring)
+        return rings
+
+    for lane in lanes:
+        config = configs[lane]
+        for ring in binding_rings(lane):
+            name = f"{ring}{lane}"
+            emit(1, f"{name}_cycle_at, {name}_count, {name}_mask = [-1] * {rc}, [0] * {rc}, {rc - 1}")
+            emit(1, f"{name}_skip_from = {name}_skip_to = -1")
+        emit(1, f"cf{lane} = -1")
+        emit(1, f"cu{lane} = 0")
+        emit(1, f"rr{lane} = [0] * num_regs")
+        emit(1, f"wc{lane} = [0] * {config.max_in_flight}")
+        emit(1, f"fetch{lane} = 0")
+        emit(1, f"fic{lane} = 0")
+        emit(1, f"floor{lane} = {config.frontend_depth}")
+        emit(1, f"redirect{lane} = 0")
+    if same_window:
+        emit(1, "wi = 0")
+    else:
+        for lane in lanes:
+            emit(1, f"wi{lane} = 0")
+
+    # ------------------------------------------------------------- loop
+    if derived:
+        emit(1, "for meta in rows:")
+        emit(2, "hot, line, pc, srcs = static_of[(meta >> 8) - base]")
+        i_l2_line = _div("line", l2cfg.line_bytes // icfg.line_bytes)
+    else:
+        emit(1, "for meta, address in zip(rows, addresses):")
+        emit(2, "hot, srcs = static_of[(meta >> 8) - base]")
+        emit(2, "line = " + _div("address", icfg.line_bytes))
+        i_l2_line = _div("address", l2cfg.line_bytes)
+
+    # Redirect application: the pending flag is set exactly when an
+    # event wrote every lane's redirect, so value-truthiness (the
+    # single kernel's consume test) and flag-truthiness coincide up to
+    # all-zero redirects, which apply as no-ops in either scheme.
+    emit(2, "if redirect_pending:")
+    emit(3, "redirect_pending = False")
+    for lane in lanes:
+        emit(3, f"if redirect{lane} > fetch{lane}:")
+        emit(4, f"fetch{lane} = redirect{lane}")
+        emit(4, f"fic{lane} = 0")
+        emit(4, f"floor{lane} = fetch{lane} + {configs[lane].frontend_depth}")
+
+    # Shared fetch line + icache, branching into per-lane fetch blocks.
+    emit(2, "if line != current_fetch_line:")
+    emit(3, "current_fetch_line = line")
+    emit(3, "i_accesses += 1")
+    emit(3, "iset_ = " + _mod("line", icfg.num_sets))
+    emit(3, "tag = " + _div("line", icfg.num_sets))
+    if icfg.associativity == 2:
+        emit(3, "if tag == i_mru[iset_]:")
+        emit_fetch_all(4, 0)
+        emit(3, "elif tag == i_lru[iset_]:")
+        emit(4, "i_lru[iset_] = i_mru[iset_]")
+        emit(4, "i_mru[iset_] = tag")
+        emit_fetch_all(4, 0)
+        emit(3, "else:")
+        emit(4, "i_misses += 1")
+        emit(4, "i_lru[iset_] = i_mru[iset_]")
+        emit(4, "i_mru[iset_] = tag")
+        emit_l2(
+            4,
+            i_l2_line,
+            lambda depth: emit_fetch_all(depth, 1),
+            lambda depth: emit_fetch_all(depth, 2),
+        )
+    else:
+        emit(3, "ways = i_ways[iset_]")
+        emit(3, "if tag in ways:")
+        emit(4, "ways.remove(tag)")
+        emit(4, "ways.append(tag)")
+        emit_fetch_all(4, 0)
+        emit(3, "else:")
+        emit(4, "i_misses += 1")
+        emit(4, "ways.append(tag)")
+        emit(4, f"if len(ways) > {icfg.associativity}:")
+        emit(5, "ways.pop(0)")
+        emit_l2(
+            4,
+            i_l2_line,
+            lambda depth: emit_fetch_all(depth, 1),
+            lambda depth: emit_fetch_all(depth, 2),
+        )
+    emit(2, "else:")
+    for lane in lanes:
+        emit_fetch_plain(3, lane)
+
+    # Per-lane dispatch (window floor), one shared dependence loop that
+    # maxes every lane's cycle in a single pass over srcs, then the
+    # per-lane issue probes.
+    for lane in lanes:
+        wiv = "wi" if same_window else f"wi{lane}"
+        emit(2, f"cyc{lane} = wc{lane}[{wiv}]")
+        emit(2, f"if cyc{lane} < floor{lane}:")
+        emit(3, f"cyc{lane} = floor{lane}")
+    emit(2, "for reg in srcs:")
+    for lane in lanes:
+        emit(3, f"r = rr{lane}[reg]")
+        emit(3, f"if r > cyc{lane}:")
+        emit(4, f"cyc{lane} = r")
+    for lane in lanes:
+        src.append(
+            _ring_probe(
+                f"iss{lane}",
+                configs[lane].issue_width,
+                " " * 8,
+                cycle_var=f"cyc{lane}",
+                floor_var=f"floor{lane}",
+            )
+        )
+
+    # Shared FU-class dispatch, per-lane functional-unit probes
+    # (lanes whose class can never bind are elided, see _fu_probe).
+    def emit_fu_probes(ring: str, widths, indent: str, pad_depth: int) -> None:
+        emitted = False
+        for lane in lanes:
+            probe = _fu_probe(
+                f"{ring}{lane}",
+                widths[lane],
+                configs[lane].issue_width,
+                indent,
+                cycle_var=f"cyc{lane}",
+                floor_var=f"floor{lane}",
+            )
+            if probe is not None:
+                src.append(probe)
+                emitted = True
+        if not emitted:
+            emit(pad_depth, "pass")
+
+    emit(2, "if hot & 768:")
+    emit(3, "if hot & 512:")
+    emit_fu_probes("lsq", [c.lsq_ports for c in configs], " " * 16, 4)
+    emit(3, "else:")
+    emit_fu_probes("mul", [c.int_muls for c in configs], " " * 16, 4)
+    emit(2, "else:")
+    emit_fu_probes("alu", [c.int_alus for c in configs], " " * 12, 3)
+
+    # Shared execute: dcache levels fan into per-lane completions.
+    emit(2, "if hot & 3072:")
+    emit(3, "if hot & 1024:")
+    emit(4, "loads += 1")
+    emit(3, "else:")
+    emit(4, "stores += 1")
+    emit(3, "if meta & 2:")
+    emit(4, f"mem_address = mem_column[mem_cursor] & {_UINT64}")
+    emit(4, "mem_cursor += 1")
+    emit(4, "d_accesses += 1")
+    emit(4, "dline = " + _div("mem_address", dcfg.line_bytes))
+    emit(4, "dset_ = " + _mod("dline", dcfg.num_sets))
+    emit(4, "tag = " + _div("dline", dcfg.num_sets))
+    d_l2_line = _div("mem_address", l2cfg.line_bytes)
+    if dcfg.associativity == 2:
+        emit(4, "if tag == d_mru[dset_]:")
+        emit_load_complete(5, 0)
+        emit(4, "elif tag == d_lru[dset_]:")
+        emit(5, "d_lru[dset_] = d_mru[dset_]")
+        emit(5, "d_mru[dset_] = tag")
+        emit_load_complete(5, 0)
+        emit(4, "else:")
+        emit(5, "d_misses += 1")
+        emit(5, "d_lru[dset_] = d_mru[dset_]")
+        emit(5, "d_mru[dset_] = tag")
+        emit_l2(
+            5,
+            d_l2_line,
+            lambda depth: emit_load_complete(depth, 1),
+            lambda depth: emit_load_complete(depth, 2),
+        )
+    else:
+        emit(4, "ways = d_ways[dset_]")
+        emit(4, "if tag in ways:")
+        emit(5, "ways.remove(tag)")
+        emit(5, "ways.append(tag)")
+        emit_load_complete(5, 0)
+        emit(4, "else:")
+        emit(5, "d_misses += 1")
+        emit(5, "ways.append(tag)")
+        emit(5, f"if len(ways) > {dcfg.associativity}:")
+        emit(6, "ways.pop(0)")
+        emit_l2(
+            5,
+            d_l2_line,
+            lambda depth: emit_load_complete(depth, 1),
+            lambda depth: emit_load_complete(depth, 2),
+        )
+    emit(3, "else:")
+    emit(4, "lat = hot & 255")
+    for lane in lanes:
+        emit(4, f"c{lane} = cyc{lane} + lat")
+    emit(2, "else:")
+    emit(3, "lat = hot & 255")
+    for lane in lanes:
+        emit(3, f"c{lane} = cyc{lane} + lat")
+    emit(3, "if meta & 2:")
+    emit(4, "mem_cursor += 1")
+
+    # Per-lane commit (frontier pair) and window write.
+    for lane in lanes:
+        config = configs[lane]
+        wiv = "wi" if same_window else f"wi{lane}"
+        emit(2, f"if c{lane} > cf{lane}:")
+        emit(3, f"cf{lane} = c{lane}")
+        emit(3, f"cu{lane} = 1")
+        emit(2, f"elif cu{lane} >= {config.retire_width}:")
+        emit(3, f"cf{lane} += 1")
+        emit(3, f"cu{lane} = 1")
+        emit(2, "else:")
+        emit(3, f"cu{lane} += 1")
+        emit(2, f"wc{lane}[{wiv}] = cf{lane}")
+
+    emit(2, "dest = hot >> 16")
+    emit(2, "if dest:")
+    emit(3, "dreg = dest - 1")
+    for lane in lanes:
+        emit(3, f"rr{lane}[dreg] = c{lane}")
+
+    if same_window:
+        window = shape.max_in_flight
+        if window & (window - 1) == 0:
+            emit(2, f"wi = (wi + 1) & {window - 1}")
+        else:
+            emit(2, "wi += 1")
+            emit(2, f"if wi == {window}:")
+            emit(3, "wi = 0")
+    else:
+        for lane in lanes:
+            window = configs[lane].max_in_flight
+            if window & (window - 1) == 0:
+                emit(2, f"wi{lane} = (wi{lane} + 1) & {window - 1}")
+            else:
+                emit(2, f"wi{lane} += 1")
+                emit(2, f"if wi{lane} == {window}:")
+                emit(3, f"wi{lane} = 0")
+
+    # Shared branch/predictor section; redirect events write every lane.
+    emit(2, "if hot & 20480:")
+    emit(3, "if hot & 4096 and meta & 4:")
+    emit(4, "if hot & 8192:")
+    emit(5, "taken = meta & 8")
+    if not derived:
+        emit(5, "pc = address >> 2")
+    emit(5, f"gkey = (pc ^ history) & {pcfg.gshare_entries - 1}")
+    emit(5, f"bkey = pc & {pcfg.bimodal_entries - 1}")
+    emit(5, f"skey = pc & {pcfg.selector_entries - 1}")
+    emit(5, "gshare_prediction = gshare[gkey] >= 2")
+    emit(5, "bimodal_prediction = bimodal[bkey] >= 2")
+    emit(5, "if selector[skey] >= 2:")
+    emit(6, "prediction = gshare_prediction")
+    emit(5, "else:")
+    emit(6, "prediction = bimodal_prediction")
+    emit(5, "lookups += 1")
+    history_mask = (1 << pcfg.history_bits) - 1
+
+    def emit_mispredict(depth: int) -> None:
+        emit(depth, "mispredictions += 1")
+        emit(depth, "redirect_pending = True")
+        for lane in lanes:
+            penalty = configs[lane].mispredict_redirect_penalty
+            emit(depth, f"redirect{lane} = c{lane} + {penalty}")
+        emit(depth, "current_fetch_line = -1")
+
+    emit(5, "if taken:")
+    emit(6, "if gshare_prediction != bimodal_prediction:")
+    emit(7, "counter = selector[skey]")
+    emit(7, "if gshare_prediction:")
+    emit(8, "if counter < 3:")
+    emit(9, "selector[skey] = counter + 1")
+    emit(7, "elif counter > 0:")
+    emit(8, "selector[skey] = counter - 1")
+    emit(6, "counter = gshare[gkey]")
+    emit(6, "if counter < 3:")
+    emit(7, "gshare[gkey] = counter + 1")
+    emit(6, "counter = bimodal[bkey]")
+    emit(6, "if counter < 3:")
+    emit(7, "bimodal[bkey] = counter + 1")
+    emit(6, f"history = ((history << 1) | 1) & {history_mask}")
+    emit(6, "if not prediction:")
+    emit_mispredict(7)
+    emit(5, "else:")
+    emit(6, "if gshare_prediction != bimodal_prediction:")
+    emit(7, "counter = selector[skey]")
+    emit(7, "if gshare_prediction:")
+    emit(8, "if counter > 0:")
+    emit(9, "selector[skey] = counter - 1")
+    emit(7, "elif counter < 3:")
+    emit(8, "selector[skey] = counter + 1")
+    emit(6, "counter = gshare[gkey]")
+    emit(6, "if counter > 0:")
+    emit(7, "gshare[gkey] = counter - 1")
+    emit(6, "counter = bimodal[bkey]")
+    emit(6, "if counter > 0:")
+    emit(7, "bimodal[bkey] = counter - 1")
+    emit(6, f"history = (history << 1) & {history_mask}")
+    emit(6, "if prediction:")
+    emit_mispredict(7)
+    emit(3, "elif hot & 16384 and meta & 8:")
+    emit(4, "redirect_pending = True")
+    for lane in lanes:
+        emit(4, f"redirect{lane} = fetch{lane} + 1")
+    emit(4, "current_fetch_line = -1")
+
+    # --------------------------------------------------------- epilogue
+    for lane in lanes:
+        emit(1, f"if cf{lane} < 0:")
+        emit(2, f"cf{lane} = 0")
+    emit(1, "return (")
+    for lane in lanes:
+        emit(2, f"(cf{lane} if cf{lane} > fetch{lane} else fetch{lane}) + 1,")
+    emit(2, "lookups,")
+    emit(2, "mispredictions,")
+    emit(2, "i_accesses,")
+    emit(2, "i_misses,")
+    emit(2, "d_accesses,")
+    emit(2, "d_misses,")
+    emit(2, "l2_accesses,")
+    emit(2, "l2_misses,")
+    emit(2, "loads,")
+    emit(2, "stores,")
+    emit(1, ")")
+    return "\n".join(src) + "\n"
+
+
+#: (lane-config tuple, derived) -> compiled multi-config walk.
+_MULTI_WALK_CACHE: dict = {}
+
+
+def _multi_walk_for(configs: tuple, derived: bool):
+    key = (configs, derived)
+    walk = _MULTI_WALK_CACHE.get(key)
+    if walk is None:
+        namespace = {"_grow_ring": _grow_ring}
+        exec(
+            compile(
+                _multi_walk_source(configs, derived),
+                "<timing-kernel-multi>",
+                "exec",
+            ),
+            namespace,
+        )
+        walk = namespace["_timing_walk_multi"]
+        _MULTI_WALK_CACHE[key] = walk
+    return walk
+
+
+def run_compiled_many(
+    trace: Trace,
+    configs,
+    *,
+    max_lanes: int | None = None,
+) -> list:
+    """Time ``trace`` under many machine configs in one batched walk.
+
+    Order-preserving: ``results[i]`` corresponds to ``configs[i]``
+    (``None`` entries mean the default :class:`MachineConfig`), and
+    every result is field-for-field identical to
+    ``run_compiled(trace, configs[i])``.  Duplicate configs are timed
+    once; distinct configs are grouped by :func:`_lane_shape` so each
+    group shares one trace walk (front-end simulated once, one
+    scoreboard lane per config), chunked at ``max_lanes``
+    (:data:`MULTI_KERNEL_MAX_LANES` by default).  A config alone in its
+    shape group falls back to the single-config kernel.
+    """
+    from .ooo import TimingResult  # local import breaks the module cycle
+
+    resolved = [config or MachineConfig() for config in configs]
+    if not resolved:
+        return []
+    if max_lanes is None:
+        max_lanes = MULTI_KERNEL_MAX_LANES
+    if max_lanes < 1:
+        raise ValueError(f"max_lanes must be positive, got {max_lanes}")
+
+    static = trace.static
+    addr_map = trace.address_map
+    has_derived = trace.has_derived_addresses and addr_map is not None
+    uid_counts = trace.uid_counts()
+    # Same up-front uid validation (and the same KeyError) as the
+    # reference and single-config walks.
+    for uid in uid_counts:
+        if static.get(uid) is None:
+            raise KeyError(uid)
+
+    lane_index: dict[MachineConfig, int] = {}
+    unique: list[MachineConfig] = []
+    for config in resolved:
+        if config not in lane_index:
+            lane_index[config] = len(unique)
+            unique.append(config)
+    derived_flags = [has_derived and _derived_mode_supported(c) for c in unique]
+    if any(derived_flags):
+        for uid in uid_counts:
+            if uid not in addr_map:
+                raise KeyError(uid)
+
+    groups: dict[tuple, list[int]] = {}
+    for index, config in enumerate(unique):
+        groups.setdefault(_lane_shape(config, derived_flags[index]), []).append(index)
+
+    table = _table_for(static)
+    fields: list = [None] * len(unique)
+    for shape_key, members in groups.items():
+        derived = shape_key[0]
+        for start in range(0, len(members), max_lanes):
+            chunk = members[start : start + max_lanes]
+            if len(chunk) == 1:
+                index = chunk[0]
+                single = run_compiled(trace, unique[index])
+                fields[index] = (
+                    single.cycles,
+                    single.branch_lookups,
+                    single.branch_mispredictions,
+                    single.icache_accesses,
+                    single.icache_misses,
+                    single.dcache_accesses,
+                    single.dcache_misses,
+                    single.l2_accesses,
+                    single.l2_misses,
+                    single.loads,
+                    single.stores,
+                )
+                continue
+            lane_configs = tuple(unique[index] for index in chunk)
+            static_of = _static_of_for(
+                static,
+                table,
+                addr_map if derived else None,
+                lane_configs[0].icache.line_bytes,
+            )
+            walk = _multi_walk_for(lane_configs, derived)
+            out = walk(
+                trace.metas,
+                None if derived else trace.addresses(),
+                trace.mem_addresses,
+                static_of,
+                table.uid_base,
+                table.num_regs,
+            )
+            shared = out[len(chunk) :]
+            for lane, index in enumerate(chunk):
+                fields[index] = (out[lane], *shared)
+
+    instructions = len(trace)
+    results = []
+    for config in resolved:
+        (
+            cycles,
+            lookups,
+            mispredictions,
+            i_accesses,
+            i_misses,
+            d_accesses,
+            d_misses,
+            l2_accesses,
+            l2_misses,
+            loads,
+            stores,
+        ) = fields[lane_index[config]]
+        results.append(
+            TimingResult(
+                cycles=cycles,
+                instructions=instructions,
+                branch_lookups=lookups,
+                branch_mispredictions=mispredictions,
+                icache_accesses=i_accesses,
+                icache_misses=i_misses,
+                dcache_accesses=d_accesses,
+                dcache_misses=d_misses,
+                l2_accesses=l2_accesses,
+                l2_misses=l2_misses,
+                loads=loads,
+                stores=stores,
+            )
+        )
+    return results

@@ -282,6 +282,158 @@ def test_suite_workload_compiled_equals_reference(name):
 
 
 # ----------------------------------------------------------------------
+# Multi-config batched kernel (run_compiled_many)
+# ----------------------------------------------------------------------
+def _lane_config_pool() -> tuple:
+    """Machine-config variants spanning every batching regime.
+
+    Entries 0-8 share the default cache/predictor geometry (one shape
+    group, covering cycle-valued variation: widths, window — including a
+    non-power-of-two one — frontend depth, penalties, FU counts, memory
+    latency, a zero fetch-bump icache).  Entries 9-10 open further shape
+    groups (different icache geometry; 4-way L1s + a small predictor).
+    Entry 11 has a 48B L2 line over 32B L1 lines, which disables the
+    derived-address mode and forces that lane onto an explicit-address
+    group.  ``None`` is the default-config spelling.
+    """
+    base = MachineConfig()
+    return (
+        None,
+        base,
+        replace(base, fetch_width=2, issue_width=2, retire_width=1),
+        replace(base, max_in_flight=8, frontend_depth=1),
+        replace(base, max_in_flight=48),
+        replace(base, frontend_depth=0, mispredict_redirect_penalty=0),
+        replace(base, int_alus=1, int_muls=2, lsq_ports=1),
+        replace(base, icache=replace(base.icache, miss_penalty_cycles=0)),
+        replace(base, memory_first_chunk_cycles=40, memory_interchunk_cycles=8),
+        replace(
+            base,
+            icache=CacheConfig(
+                size_bytes=32 * 1024, associativity=2, line_bytes=32,
+                hit_cycles=1, miss_penalty_cycles=6,
+            ),
+        ),
+        replace(
+            base,
+            icache=CacheConfig(
+                size_bytes=64 * 1024, associativity=4, line_bytes=32,
+                hit_cycles=1, miss_penalty_cycles=6,
+            ),
+            dcache=CacheConfig(
+                size_bytes=64 * 1024, associativity=4, line_bytes=32,
+                hit_cycles=2, miss_penalty_cycles=9,
+            ),
+            predictor=PredictorConfig(
+                gshare_entries=4096, history_bits=10,
+                bimodal_entries=512, selector_entries=256,
+            ),
+        ),
+        replace(
+            base,
+            l2cache=CacheConfig(
+                size_bytes=4 * 16 * 48, associativity=4, line_bytes=48,
+                hit_cycles=6, miss_penalty_cycles=18,
+            ),
+        ),
+    )
+
+
+class TestMultiConfigKernel:
+    """``run_compiled_many`` must be a pure batching of single runs."""
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        _programs(),
+        st.lists(st.integers(min_value=0, max_value=11), min_size=1, max_size=6),
+    )
+    def test_batch_matches_singles_and_reference(self, asm, picks):
+        """Field-for-field bit-exact vs N independent compiled AND
+        reference runs, for arbitrary config mixes (shared shapes,
+        duplicate lanes, mixed derived/explicit address modes)."""
+        trace = _machine_trace(asm)
+        pool = _lane_config_pool()
+        configs = [pool[index] for index in picks]
+        batched = tkernel.run_compiled_many(trace, configs)
+        assert len(batched) == len(configs)
+        for lane, config in zip(batched, configs):
+            model = OutOfOrderModel(config)
+            assert asdict(lane) == asdict(model.run(trace, kernel="compiled"))
+            assert asdict(lane) == asdict(model.run_reference(trace))
+
+    def test_explicit_address_trace_batch(self):
+        """A record-rebuilt trace (no derived addresses) routes every
+        lane through the explicit-address variant and stays bit-exact."""
+        trace = _machine_trace(_SMOKE_ASM)
+        rebuilt = Trace(records=list(trace), static=trace.static)
+        assert not rebuilt.has_derived_addresses
+        configs = [None, replace(MachineConfig(), fetch_width=2, max_in_flight=16)]
+        batched = tkernel.run_compiled_many(rebuilt, configs)
+        for lane, config in zip(batched, configs):
+            assert asdict(lane) == asdict(tkernel.run_compiled(rebuilt, config))
+
+    def test_duplicate_lanes_share_work_but_not_objects(self):
+        base = MachineConfig()
+        trace = _machine_trace(_SMOKE_ASM)
+        batched = tkernel.run_compiled_many(trace, [base, base, None])
+        assert batched[0] == batched[1] == batched[2]
+        # Fresh result objects per requested position: mutating one must
+        # not alias another.
+        assert batched[0] is not batched[1]
+
+    def test_max_lanes_chunking_is_invisible(self):
+        """Chunking a shape group (including down to singleton chunks,
+        the run_compiled fallback) never changes any field."""
+        base = MachineConfig()
+        configs = [replace(base, max_in_flight=window) for window in (16, 32, 48, 64, 128)]
+        trace = _machine_trace(_SMOKE_ASM)
+        full = tkernel.run_compiled_many(trace, configs)
+        for max_lanes in (1, 2, 8):
+            chunked = tkernel.run_compiled_many(trace, configs, max_lanes=max_lanes)
+            assert [asdict(result) for result in chunked] == [
+                asdict(result) for result in full
+            ]
+
+    def test_empty_batch(self):
+        assert tkernel.run_compiled_many(_machine_trace(_SMOKE_ASM), []) == []
+
+    def test_missing_static_uid_raises_keyerror(self):
+        """Same contract as the single-config kernels: unknown uid is a
+        KeyError naming the uid, not a wrong-entry walk."""
+        trace = _machine_trace(_SMOKE_ASM)
+        records = list(trace)
+        bogus_uid = trace.static.uid_base + len(trace.static.entries) + 7
+        records[3] = records[3]._replace(uid=bogus_uid)
+        broken = Trace(records=records, static=trace.static)
+        with pytest.raises(KeyError) as exc:
+            tkernel.run_compiled_many(broken, [None])
+        assert exc.value.args[0] == bogus_uid
+
+
+@pytest.mark.suite
+@pytest.mark.slow
+@pytest.mark.parametrize("name", SUITE_NAMES)
+def test_suite_workload_multi_config_batch(name):
+    """The sweep's default 8-config axis, batched vs single runs on every
+    suite workload, with the reference oracle on one lane per shape group."""
+    from repro.experiments.sweep import default_sweep_configs
+
+    workload = workload_by_name(name)
+    program = workload.build()
+    workload.apply_input(program, "ref")
+    trace = Machine(program).run(collect_trace=True).trace
+    configs = [config for _, config in default_sweep_configs()]
+    batched = tkernel.run_compiled_many(trace, configs)
+    for lane, config in zip(batched, configs):
+        assert asdict(lane) == asdict(tkernel.run_compiled(trace, config))
+    # Reference spot-checks: lane 0 (the shared default-geometry group)
+    # and lane 5 ("l1-16k", the singleton shape group).
+    for index in (0, 5):
+        reference = OutOfOrderModel(configs[index]).run_reference(trace)
+        assert asdict(batched[index]) == asdict(reference)
+
+
+# ----------------------------------------------------------------------
 # Adversarial probes
 # ----------------------------------------------------------------------
 class TestAdversarialProbes:
