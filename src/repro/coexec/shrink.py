@@ -1,0 +1,188 @@
+"""Program minimization and self-contained divergence reproducers.
+
+When a lockstep run diverges, the failing program is usually a full
+workload — tens of thousands of dynamic instructions across dozens of
+functions.  :func:`shrink_source` reduces it with a greedy delta-debugging
+pass (ddmin) over the assembler text: candidate reductions drop chunks of
+lines, and a candidate survives only if it still assembles *and* still
+diverges.  The assembler is the family filter — every candidate that
+parses is by construction a member of the same program family the
+hypothesis generators and the workload suite draw from, and everything
+else (dangling labels, unbalanced ``.func``/``.endfunc``) is rejected by
+the ``check`` callback returning ``None``.
+
+The shrunk program plus everything needed to replay it — the tier pair,
+instruction limit, arguments, the seeded fault (if any) and the recorded
+:class:`~repro.coexec.lockstep.Divergence` — is written as a reproducer
+directory::
+
+    .repro-failures/lockstep-<sha256(program)[:12]>/
+        repro.json      # version, tiers, config, fault, divergence
+        program.asm     # the minimized program, assembler syntax
+
+Reproducers are plain files: attach them to a bug report, or replay with
+``python -m repro.experiments diverge --replay <dir>``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Optional
+
+from ..asm import assemble_program
+from .inject import Fault
+from .lockstep import Divergence, Lockstep, program_digest
+
+__all__ = [
+    "REPRO_ROOT",
+    "REPRO_VERSION",
+    "shrink_source",
+    "write_reproducer",
+    "load_reproducer",
+    "replay_reproducer",
+]
+
+#: Default reproducer directory, relative to the current working tree.
+REPRO_ROOT = Path(".repro-failures")
+
+REPRO_VERSION = 1
+
+Check = Callable[[str], Optional[Divergence]]
+
+
+def _lines(source: str) -> list[str]:
+    return source.splitlines()
+
+
+def shrink_source(
+    source: str, check: Check, max_checks: int = 2000
+) -> tuple[str, Divergence, int]:
+    """Minimize *source* while ``check`` still reports a divergence.
+
+    ``check`` maps candidate source text to the divergence it produces,
+    or ``None`` when the candidate is uninteresting — it fails to
+    assemble, the fault site no longer resolves, or the tiers agree.
+    ``check(source)`` must be non-None to start.
+
+    Greedy ddmin over lines: chunks of halving size are deleted while
+    deletions keep reproducing, repeating until a full pass at chunk
+    size 1 removes nothing (or ``max_checks`` candidate evaluations are
+    spent).  Returns ``(minimized source, its divergence, checks used)``.
+    """
+    divergence = check(source)
+    if divergence is None:
+        raise ValueError("the initial program does not diverge; nothing to shrink")
+    lines = _lines(source)
+    checks = 0
+    changed = True
+    while changed and checks < max_checks:
+        changed = False
+        chunk = max(len(lines) // 2, 1)
+        while chunk >= 1 and checks < max_checks:
+            start = 0
+            while start < len(lines) and checks < max_checks:
+                candidate = lines[:start] + lines[start + chunk :]
+                checks += 1
+                result = check("\n".join(candidate) + "\n") if candidate else None
+                if result is not None:
+                    lines = candidate
+                    divergence = result
+                    changed = True
+                    # The chunk at ``start`` is gone; the next chunk now
+                    # begins at the same index.
+                else:
+                    start += chunk
+            if chunk == 1:
+                break
+            chunk //= 2
+    return "\n".join(lines) + "\n", divergence, checks
+
+
+# ----------------------------------------------------------------------
+# Reproducer files
+# ----------------------------------------------------------------------
+def write_reproducer(
+    source: str,
+    divergence: Divergence,
+    *,
+    tiers: tuple[str, str],
+    max_instructions: int,
+    arguments: Optional[list[int]] = None,
+    fault: Optional[Fault] = None,
+    root: Optional[Path] = None,
+    directory: Optional[Path] = None,
+) -> Path:
+    """Write a self-contained reproducer directory; returns its path.
+
+    ``directory`` pins the exact output directory; otherwise the
+    reproducer lands under ``root`` (default :data:`REPRO_ROOT`) in a
+    directory named by the program digest, so identical reproducers
+    overwrite rather than accumulate.
+    """
+    if directory is None:
+        base = REPRO_ROOT if root is None else Path(root)
+        directory = base / f"lockstep-{program_digest(source)}"
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / "program.asm").write_text(source, encoding="utf-8")
+    payload = {
+        "version": REPRO_VERSION,
+        "kind": "lockstep",
+        "tiers": list(tiers),
+        "max_instructions": max_instructions,
+        "arguments": list(arguments) if arguments is not None else None,
+        "fault": {
+            "function": fault.function,
+            "block": fault.block,
+            "index": fault.index,
+            "mutation": fault.mutation,
+        }
+        if fault is not None
+        else None,
+        "divergence": divergence.to_json_dict(),
+        "program": "program.asm",
+    }
+    (directory / "repro.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return directory
+
+
+def load_reproducer(path: Path) -> dict:
+    """Parse a reproducer directory into its JSON payload (+ source).
+
+    Raises ``ValueError`` for unknown versions or kinds rather than
+    misreplaying a future format.
+    """
+    path = Path(path)
+    payload = json.loads((path / "repro.json").read_text(encoding="utf-8"))
+    if payload.get("version") != REPRO_VERSION:
+        raise ValueError(f"unsupported reproducer version {payload.get('version')!r}")
+    if payload.get("kind") != "lockstep":
+        raise ValueError(f"unsupported reproducer kind {payload.get('kind')!r}")
+    payload["source"] = (path / payload["program"]).read_text(encoding="utf-8")
+    return payload
+
+
+def replay_reproducer(path: Path) -> tuple[Optional[Divergence], Divergence]:
+    """Re-run a reproducer; returns ``(replayed, recorded)`` divergences.
+
+    The reproducer is faithful when ``replayed`` is not None and
+    ``replayed.signature() == recorded.signature()``.
+    """
+    payload = load_reproducer(path)
+    recorded = Divergence.from_json_dict(payload["divergence"])
+    fault = None
+    if payload["fault"] is not None:
+        spec = payload["fault"]
+        fault = Fault(spec["function"], spec["block"], spec["index"], spec["mutation"])
+    program = assemble_program(payload["source"])
+    replayed = Lockstep(
+        program,
+        tiers=tuple(payload["tiers"]),
+        max_instructions=payload["max_instructions"],
+        arguments=payload["arguments"],
+        fault=fault,
+    ).run()
+    return replayed, recorded

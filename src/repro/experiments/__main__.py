@@ -11,6 +11,11 @@ Usage::
                                       [--json]
     python -m repro.experiments profile [--workload NAME] [--mechanism M]
                                         [--dispatch TIER] [--top N]
+    python -m repro.experiments diverge [--workload NAME | --program FILE]
+                                        [--tiers A B] [--mode sim|timing|energy]
+                                        [--kernels A B] [--inject SPEC|auto]
+                                        [--max-instructions N] [--shrink]
+                                        [--out DIR] [--replay DIR] [--json]
     python -m repro.experiments ls
     python -m repro.experiments clear [--yes]
 
@@ -29,6 +34,13 @@ cache/predictor shape group, one fused accounting walk per trace.  From a
 warm store the whole matrix completes with zero simulator calls.  The
 default matrix (8 configs × 6 policies × 8 workloads = 384 points)
 reproduces the paper's ED² comparisons (Figures 11/15) across machines.
+
+``diverge`` is the correctness side of the tooling: it co-executes two
+simulator tiers in lockstep (or bisects two analysis kernels) over one
+program and reports the *first* diverging step instead of an end-of-run
+summary mismatch — optionally seeding a single-instruction fault,
+shrinking the failing program, and writing a self-contained reproducer
+under ``.repro-failures/`` (see ``docs/coexec.md``).
 
 ``profile`` runs one workload's full build → transform → simulate →
 account pipeline under ``cProfile`` (bypassing every cache layer) and
@@ -351,6 +363,169 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# diverge
+# ----------------------------------------------------------------------
+def _diverge_program(args: argparse.Namespace) -> tuple[str, object] | int:
+    """Resolve the program under test to ``(source text, Program)``."""
+    from pathlib import Path
+
+    from ..asm import assemble_program
+    from ..ir.printer import format_program
+    from ..workloads import workload_by_name
+
+    if args.program is not None:
+        source = Path(args.program).read_text(encoding="utf-8")
+        return source, assemble_program(source)
+    name = args.workload or "li"
+    status = _check_workloads([name])
+    if status:
+        return status
+    workload = workload_by_name(name)
+    program = workload.build()
+    workload.apply_input(program, "ref")
+    # Round-trip through the printer so the program under test and the
+    # reproducer's program.asm are the same text.
+    source = format_program(program)
+    return source, assemble_program(source)
+
+
+def _diverge_report(divergence, args: argparse.Namespace, extra: dict | None = None) -> int:
+    if args.json:
+        payload = {"divergence": None if divergence is None else divergence.to_json_dict()}
+        if extra:
+            payload.update(extra)
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+    elif divergence is None:
+        print("no divergence: both sides agree")
+    else:
+        print(divergence.describe())
+        if extra:
+            for key, value in extra.items():
+                print(f"{key}: {value}")
+    return 0 if divergence is None else 1
+
+
+def _cmd_diverge(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from ..asm import assemble_program
+    from ..coexec import (
+        Fault,
+        Lockstep,
+        compare_accounting,
+        compare_timing,
+        eligible_faults,
+        replay_reproducer,
+        resolve_fault_uid,
+        shrink_source,
+        write_reproducer,
+    )
+    from ..sim.machine import Machine
+
+    if args.replay is not None:
+        replayed, recorded = replay_reproducer(Path(args.replay))
+        faithful = replayed is not None and replayed.signature() == recorded.signature()
+        if args.json:
+            payload = {
+                "faithful": faithful,
+                "recorded": recorded.to_json_dict(),
+                "replayed": None if replayed is None else replayed.to_json_dict(),
+            }
+            json.dump(payload, sys.stdout, indent=2)
+            print()
+        elif faithful:
+            print(f"reproducer replays faithfully:\n{recorded.describe()}")
+        elif replayed is None:
+            print("reproducer no longer diverges (recorded divergence below)")
+            print(recorded.describe())
+        else:
+            print("reproducer diverges DIFFERENTLY than recorded:")
+            print(f"recorded:\n{recorded.describe()}\nreplayed:\n{replayed.describe()}")
+        return 0 if faithful else 1
+
+    resolved = _diverge_program(args)
+    if isinstance(resolved, int):
+        return resolved
+    source, program = resolved
+
+    if args.mode in ("timing", "energy"):
+        trace = Machine(program, max_instructions=args.max_instructions).run(
+            collect_trace=True
+        ).trace
+        if args.mode == "timing":
+            divergence = compare_timing(trace, kernels=tuple(args.kernels))
+        else:
+            divergence = compare_accounting(trace)
+        return _diverge_report(divergence, args)
+
+    fault = None
+    if args.inject is not None:
+        if args.inject == "auto":
+            machine = Machine(program, max_instructions=args.max_instructions)
+            executed = set(machine.run(collect_trace=True).trace.uid_counts())
+            candidates = eligible_faults(program, executed_uids=executed)
+            if not candidates:
+                print("no executed mutable instruction to inject into", file=sys.stderr)
+                return 2
+            fault = candidates[0]
+        else:
+            fault = Fault.parse(args.inject)
+            if resolve_fault_uid(fault, program) is None:
+                print(f"fault site {args.inject!r} not found or not mutable", file=sys.stderr)
+                return 2
+
+    tiers = tuple(args.tiers)
+    divergence = Lockstep(
+        program, tiers=tiers, max_instructions=args.max_instructions, fault=fault
+    ).run()
+    extra: dict = {}
+    if fault is not None:
+        extra["fault"] = fault.spec()
+
+    if divergence is not None and args.shrink:
+        # Deleting lines can turn a terminating program into a spinner, so
+        # candidate runs get a budget scaled to where the original run
+        # diverged: a candidate that would only diverge far beyond that is
+        # rejected (both tiers hit the limit identically = agreement)
+        # instead of burning the full --max-instructions budget.
+        shrink_limit = min(args.max_instructions, max(10_000, 4 * divergence.step + 1_000))
+
+        def check(candidate: str):
+            try:
+                candidate_program = assemble_program(candidate)
+            except Exception:
+                return None
+            if fault is not None and resolve_fault_uid(fault, candidate_program) is None:
+                return None
+            try:
+                return Lockstep(
+                    candidate_program,
+                    tiers=tiers,
+                    max_instructions=shrink_limit,
+                    fault=fault,
+                ).run()
+            except Exception:
+                return None
+
+        source, divergence, checks = shrink_source(source, check)
+        # The reproducer records the limit the shrunk divergence was
+        # found under, so a replay re-runs the identical comparison.
+        directory = write_reproducer(
+            source,
+            divergence,
+            tiers=tiers,
+            max_instructions=shrink_limit,
+            fault=fault,
+            directory=Path(args.out) if args.out is not None else None,
+        )
+        extra["shrunk_lines"] = len(source.splitlines())
+        extra["checks"] = checks
+        extra["reproducer"] = str(directory)
+    return _diverge_report(divergence, args, extra)
+
+
 def _cmd_ls(_args: argparse.Namespace) -> int:
     store = ResultStore()
     if not store.enabled:
@@ -477,6 +652,83 @@ def main(argv: list[str] | None = None) -> int:
         help="number of functions to print, sorted by cumulative time (default: 25)",
     )
     profile_parser.set_defaults(func=_cmd_profile)
+
+    diverge_parser = subparsers.add_parser(
+        "diverge",
+        help="co-execute two simulator tiers (or analysis kernels) and report the first divergence",
+    )
+    target = diverge_parser.add_mutually_exclusive_group()
+    target.add_argument(
+        "--workload",
+        metavar="NAME",
+        help="suite workload to co-execute (default: li)",
+    )
+    target.add_argument(
+        "--program",
+        metavar="FILE",
+        help="assembler source file to co-execute instead of a workload",
+    )
+    diverge_parser.add_argument(
+        "--tiers",
+        nargs=2,
+        choices=("reference", "fast", "block"),
+        default=("reference", "block"),
+        metavar=("A", "B"),
+        help="simulator tier pair to compare (default: reference block)",
+    )
+    diverge_parser.add_argument(
+        "--mode",
+        choices=("sim", "timing", "energy"),
+        default="sim",
+        help=(
+            "what to compare: simulator tiers in lockstep, timing kernels over "
+            "one trace, or per-policy vs fused energy accounting (default: sim)"
+        ),
+    )
+    diverge_parser.add_argument(
+        "--kernels",
+        nargs=2,
+        choices=("reference", "compiled", "compiled-lane"),
+        default=("reference", "compiled"),
+        metavar=("A", "B"),
+        help="timing-kernel pair for --mode timing (default: reference compiled)",
+    )
+    diverge_parser.add_argument(
+        "--inject",
+        metavar="FUNC:BLOCK:INDEX",
+        help=(
+            "seed a flip-low-bit fault at one instruction of the second (block) "
+            "tier, or 'auto' for the first executed mutable site"
+        ),
+    )
+    diverge_parser.add_argument(
+        "--max-instructions",
+        type=int,
+        default=20_000_000,
+        metavar="N",
+        help="dynamic instruction limit per run (default: 20,000,000)",
+    )
+    diverge_parser.add_argument(
+        "--shrink",
+        action="store_true",
+        help="on divergence, minimize the program and write a reproducer",
+    )
+    diverge_parser.add_argument(
+        "--out",
+        metavar="DIR",
+        help="reproducer output directory (default: .repro-failures/lockstep-<digest>)",
+    )
+    diverge_parser.add_argument(
+        "--replay",
+        metavar="DIR",
+        help="replay a previously written reproducer instead of running anew",
+    )
+    diverge_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of text",
+    )
+    diverge_parser.set_defaults(func=_cmd_diverge)
 
     ls_parser = subparsers.add_parser("ls", help="list persisted results")
     ls_parser.set_defaults(func=_cmd_ls)

@@ -25,6 +25,7 @@ table of the paper.
 
 from __future__ import annotations
 
+import logging
 import os
 from dataclasses import dataclass
 from typing import Optional, Sequence
@@ -53,6 +54,8 @@ __all__ = [
     "default_engine",
     "reset_default_engine",
 ]
+
+_log = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -148,17 +151,32 @@ def _replay_from_snapshot(
     """
     if store is None or not store.trace_enabled:
         return None
-    artifact = store.load_trace(_snapshot_key(config, workload))
+    key = _snapshot_key(config, workload)
+    artifact = store.load_trace(key)
     if artifact is None:
         return None
-    return replay_summary(
-        workload,
-        artifact,
-        mechanism=config.mechanism,
-        threshold_nj=config.threshold_nj,
-        conventional_vrp=config.conventional_vrp,
-        machine_config=config.machine_config,
-    )
+    try:
+        return replay_summary(
+            workload,
+            artifact,
+            mechanism=config.mechanism,
+            threshold_nj=config.threshold_nj,
+            conventional_vrp=config.conventional_vrp,
+            machine_config=config.machine_config,
+        )
+    except Exception as exc:
+        # The snapshot decoded but its contents don't replay — e.g. a
+        # truncated-then-padded file whose trace is internally
+        # inconsistent.  A broken cache entry must never fail an
+        # evaluate(): drop it and fall back to simulation.
+        _log.warning(
+            "evicting unreplayable trace snapshot %s (%s: %s)",
+            store.trace_path_for(key),
+            type(exc).__name__,
+            exc,
+        )
+        ResultStore._evict(store.trace_path_for(key))
+        return None
 
 
 def _save_snapshot(

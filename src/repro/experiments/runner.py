@@ -298,15 +298,24 @@ def policy_for(name: str) -> GatingPolicy:
     return gating.get(name)
 
 
-def _deprecated(name: str, replacement: str) -> None:
-    """Emit the standard deprecation warning for a legacy free function."""
+def _deprecated(name: str, replacement: str, stacklevel: int = 3) -> None:
+    """Emit the standard deprecation warning for a legacy free function.
+
+    ``stacklevel`` counts frames from the ``warnings.warn`` call: 1 is
+    this helper, 2 the deprecated shim, 3 the shim's caller — the frame
+    the warning should be attributed to when the shim calls this helper
+    directly.  A shim that interposes extra frames (or re-exports
+    through a wrapper) must pass the matching depth, otherwise the
+    warning points inside ``repro`` and ``-W error::DeprecationWarning``
+    filters keyed on the caller's module stop matching.
+    """
     import warnings
 
     warnings.warn(
         f"repro.experiments.{name} is deprecated; use {replacement} instead "
         "(see docs/experiments.md)",
         DeprecationWarning,
-        stacklevel=3,
+        stacklevel=stacklevel,
     )
 
 
@@ -329,6 +338,7 @@ def evaluate_program(
     _deprecated(
         "evaluate_program",
         "Machine/OutOfOrderModel/EnergyAccountant directly (or ExperimentEngine for workload points)",
+        stacklevel=3,  # helper → this shim → caller
     )
     if trace is None or run is None:
         machine = Machine(program, max_instructions=max_instructions)
@@ -485,7 +495,7 @@ def compute_evaluation(
         Use :meth:`ExperimentEngine.compute` (the uncached live path) on
         :func:`~repro.experiments.engine.default_engine`.
     """
-    _deprecated("compute_evaluation", "ExperimentEngine.compute")
+    _deprecated("compute_evaluation", "ExperimentEngine.compute", stacklevel=3)
     return _compute_evaluation(
         workload,
         mechanism=mechanism,
@@ -526,7 +536,7 @@ def evaluate_workload(
     """
     from .engine import ExperimentConfig, default_engine
 
-    _deprecated("evaluate_workload", "ExperimentEngine.evaluate")
+    _deprecated("evaluate_workload", "ExperimentEngine.evaluate", stacklevel=3)
     config = ExperimentConfig(
         workload=workload.name,
         mechanism=mechanism,
@@ -552,7 +562,7 @@ def evaluate_suite(
     """
     from .engine import default_engine
 
-    _deprecated("evaluate_suite", "ExperimentEngine.map_suite")
+    _deprecated("evaluate_suite", "ExperimentEngine.map_suite", stacklevel=3)
     return default_engine().map_suite(
         mechanism=mechanism,
         threshold_nj=threshold_nj,

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import re
 import shutil
@@ -57,6 +58,8 @@ __all__ = [
 ]
 
 _DISABLED_VALUES = ("off", "0", "disabled", "none", "false")
+
+_log = logging.getLogger(__name__)
 
 #: Shape of a generation directory name (12-hex source-fingerprint prefix).
 _GENERATION_DIR_RE = re.compile(r"^[0-9a-f]{12}$")
@@ -304,11 +307,18 @@ class ResultStore:
         except OSError:
             return None
         except ValueError:
+            _log.warning("evicting corrupt result entry %s (invalid JSON)", path)
             self._evict(path)
             return None
         try:
             return EvaluationSummary.from_json_dict(payload["summary"])
-        except (ValueError, KeyError, TypeError):
+        except Exception as exc:
+            # A decodable file with a broken summary payload — wrong
+            # shape, missing fields, a half-migrated format.  Whatever
+            # the decoder tripped on, the entry is unusable: evict it and
+            # treat the lookup as a miss so evaluation falls back to
+            # simulation instead of failing.
+            _log.warning("evicting corrupt result entry %s (%s: %s)", path, type(exc).__name__, exc)
             self._evict(path)
             return None
 
@@ -402,7 +412,14 @@ class ResultStore:
             return None
         try:
             return decode_artifact(blob)
-        except (ValueError, KeyError, TypeError, IndexError):
+        except Exception as exc:
+            # Truncated write, bit rot, or a stale format the decoder
+            # chokes on — any failure to decode means the snapshot is
+            # unusable, so log, evict and report a miss (the caller
+            # falls back to simulating).
+            _log.warning(
+                "evicting corrupt trace snapshot %s (%s: %s)", path, type(exc).__name__, exc
+            )
             self._evict(path)
             return None
 

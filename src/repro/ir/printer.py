@@ -6,7 +6,7 @@ program can be round-tripped program → text → program.
 
 from __future__ import annotations
 
-from ..isa import Imm, Instruction, Reg, Width
+from ..isa import Imm, Instruction, Opcode, Reg, Width
 from .function import Function
 from .program import Program
 
@@ -19,7 +19,10 @@ def format_instruction(inst: Instruction) -> str:
     if inst.width is not Width.QUAD and not inst.is_memory and not inst.is_control:
         mnemonic = f"{mnemonic}.{inst.width.bits}"
     operands: list[str] = []
-    if inst.dest is not None:
+    # The assembler's jsr form is ``jsr target`` — the return-address
+    # destination is implicit — so printing the dest here would make the
+    # text reassemble as a call to a function named after the register.
+    if inst.dest is not None and inst.op is not Opcode.JSR:
         operands.append(str(inst.dest))
     for src in inst.srcs:
         if isinstance(src, Imm):

@@ -148,6 +148,28 @@ class EnergyBreakdown:
             return 0.0
         return 1.0 - self.energy_delay_squared() / base
 
+    def diff(self, other: "EnergyBreakdown") -> dict[str, tuple]:
+        """Exact field-level differences against ``other``.
+
+        Returns ``{field: (self value, other value)}`` over the scalar
+        fields and each differing structure (``by_structure.<name>``);
+        empty when the breakdowns are identical.  This is the
+        bit-exactness diff the divergence tooling reports — floats are
+        compared with ``!=``, not a tolerance, because the per-policy and
+        fused accounting paths promise identical float accumulation.
+        """
+        differences: dict[str, tuple] = {}
+        for name in ("cycles", "instructions", "policy"):
+            mine, theirs = getattr(self, name), getattr(other, name)
+            if mine != theirs:
+                differences[name] = (mine, theirs)
+        for name in sorted(set(self.by_structure) | set(other.by_structure)):
+            mine = self.by_structure.get(name)
+            theirs = other.by_structure.get(name)
+            if mine != theirs:
+                differences[f"by_structure.{name}"] = (mine, theirs)
+        return differences
+
 
 class _PolicyLane:
     """Per-policy accumulation state of one fused accounting walk."""

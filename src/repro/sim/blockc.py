@@ -231,12 +231,27 @@ class _UnitWriter:
         return lines
 
 
-def _gen_straightline(unit: _UnitWriter, inst: Instruction, trace: bool) -> None:
+def _gen_straightline(
+    unit: _UnitWriter,
+    inst: Instruction,
+    trace: bool,
+    mutate: Callable[[Instruction, str], str] | None = None,
+) -> None:
     """Emit one non-control instruction into the unit.
 
     Mirrors the fast tier's per-kind handlers instruction for instruction:
     the same operand resolution, the same result normalization, the same
     per-record meta and value tuple.
+
+    ``mutate`` is the fault-injection seam used by the lockstep
+    co-execution harness (:mod:`repro.coexec`): it receives each
+    result-producing instruction together with the generated result
+    expression and returns the expression to compile — normally
+    unchanged, corrupted for one seeded instruction.  It applies to the
+    single-expression kinds (ALU/MUL/LOGICAL/SHIFT, COMPARE, CMOV,
+    MASK/EXTEND and LDA); the mutated value flows into the register
+    writeback, the trace record and every later use inside the unit,
+    exactly as a miscompiled semantics bug would.
     """
     op = inst.op
     kind = inst.kind
@@ -246,7 +261,10 @@ def _gen_straightline(unit: _UnitWriter, inst: Instruction, trace: bool) -> None
     if kind in (OpKind.ALU, OpKind.MUL, OpKind.LOGICAL, OpKind.SHIFT):
         a = unit.operand(inst.srcs[0])
         b = unit.operand(inst.srcs[1])
-        result = unit.assign(_ARITH_EXPR[op](a, b, width))
+        expr = _ARITH_EXPR[op](a, b, width)
+        if mutate is not None:
+            expr = mutate(inst, expr)
+        result = unit.assign(expr)
         unit.write(inst.dest, result)
         if trace:
             unit.values += [a, b, result]
@@ -256,7 +274,10 @@ def _gen_straightline(unit: _UnitWriter, inst: Instruction, trace: bool) -> None
     if kind is OpKind.COMPARE:
         a = unit.operand(inst.srcs[0])
         b = unit.operand(inst.srcs[1])
-        result = unit.assign(_COMPARE_EXPR[op](a, b))
+        expr = _COMPARE_EXPR[op](a, b)
+        if mutate is not None:
+            expr = mutate(inst, expr)
+        result = unit.assign(expr)
         unit.write(inst.dest, result)
         if trace:
             unit.values += [a, b, result]
@@ -268,7 +289,10 @@ def _gen_straightline(unit: _UnitWriter, inst: Instruction, trace: bool) -> None
         value = unit.operand(inst.srcs[1])
         old = unit.read(inst.dest.index) if inst.dest is not None else "0"
         test = "==" if op is Opcode.CMOVEQ else "!="
-        result = unit.assign(f"({_wrap_expr(value, width)} if {cond} {test} 0 else {old})")
+        expr = f"({_wrap_expr(value, width)} if {cond} {test} 0 else {old})"
+        if mutate is not None:
+            expr = mutate(inst, expr)
+        result = unit.assign(expr)
         unit.write(inst.dest, result)
         if trace:
             unit.values += [cond, value, old, result]
@@ -277,7 +301,10 @@ def _gen_straightline(unit: _UnitWriter, inst: Instruction, trace: bool) -> None
 
     if kind in (OpKind.MASK, OpKind.EXTEND):
         a = unit.operand(inst.srcs[0])
-        result = unit.assign(_MASK_EXPR[op](a))
+        expr = _MASK_EXPR[op](a)
+        if mutate is not None:
+            expr = mutate(inst, expr)
+        result = unit.assign(expr)
         unit.write(inst.dest, result)
         if trace:
             unit.values += [a, result]
@@ -319,7 +346,10 @@ def _gen_straightline(unit: _UnitWriter, inst: Instruction, trace: bool) -> None
         # LDA
         a = unit.operand(inst.srcs[0])
         offset = unit.operand(inst.srcs[1])
-        result = unit.assign(_wrap_expr(f"{a} + {offset}", Width.QUAD))
+        expr = _wrap_expr(f"{a} + {offset}", Width.QUAD)
+        if mutate is not None:
+            expr = mutate(inst, expr)
+        result = unit.assign(expr)
         unit.write(inst.dest, result)
         if trace:
             unit.values += [a, result]
@@ -405,12 +435,22 @@ def _gen_straightline(unit: _UnitWriter, inst: Instruction, trace: bool) -> None
     raise ValueError(f"cannot block-compile {inst}")  # pragma: no cover
 
 
-def compile_blocks(machine: "Machine", collect_trace: bool) -> BlockProgram:
+def compile_blocks(
+    machine: "Machine",
+    collect_trace: bool,
+    mutate_result: Callable[[Instruction, str], str] | None = None,
+) -> BlockProgram:
     """Compile ``machine.program`` into a :class:`BlockProgram`.
 
     Pure function of the (flattened) program and ``collect_trace`` — no
     per-run state is consulted, so the result is cached on the machine
     and reused by every subsequent :meth:`Machine.run`.
+
+    ``mutate_result`` is the fault-injection seam for the lockstep
+    co-execution harness (see :func:`_gen_straightline`).  Programs
+    compiled with a mutator are **never** cached on the machine — the
+    caller (``repro.coexec``) holds them privately and binds them to its
+    own run state.
     """
     flat = machine._flat
     total = len(flat)
@@ -459,7 +499,7 @@ def compile_blocks(machine: "Machine", collect_trace: bool) -> BlockProgram:
             unit.lines.append(f"block_counts[{block_key!r}] = _bc({block_key!r}, 0) + 1")
 
         for pc in range(entry, stop - 1 if has_control else stop):
-            _gen_straightline(unit, flat[pc][2], collect_trace)
+            _gen_straightline(unit, flat[pc][2], collect_trace, mutate_result)
 
         tail: list[str] = []
         if not has_control:

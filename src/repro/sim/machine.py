@@ -317,15 +317,51 @@ class Machine:
     ) -> RunResult:
         """The original decode-every-step interpreter loop."""
         regs, memory, pc = self._init_run_state(arguments)
-        stop_address = self._stop_address
-
         block_counts: dict[tuple[str, str], int] = {}
         call_counts: dict[str, int] = {}
         trace = self._new_trace() if collect_trace else None
+        output: list[int] = []
+
+        executed = 0
+        for _ in self._reference_steps(
+            regs, memory, pc, trace, output, block_counts, call_counts, value_observer
+        ):
+            executed += 1
+
+        return RunResult(
+            instructions=executed,
+            output=output,
+            block_counts=block_counts,
+            halted=True,
+            trace=trace,
+            call_counts=call_counts,
+        )
+
+    def _reference_steps(
+        self,
+        regs: list[int],
+        memory: Memory,
+        pc: int,
+        trace: Optional[Trace],
+        output: list[int],
+        block_counts: dict[tuple[str, str], int],
+        call_counts: dict[str, int],
+        value_observer: Optional[ValueObserver] = None,
+    ):
+        """Single-step generator form of the reference interpreter.
+
+        Yields the next program counter after every executed instruction
+        (``_HALT_PC`` after the halting one) and returns when the program
+        halts; errors (limit exceeded, invalid jumps) propagate out of
+        ``next()`` exactly as they propagate out of a full run.
+        ``_run_reference`` drains it to completion; the lockstep
+        co-execution harness (:mod:`repro.coexec`) advances it one
+        instruction at a time against another tier that shares no state.
+        """
+        stop_address = self._stop_address
         emit = emit_mem = None
         if trace is not None:
             emit, emit_mem = trace.emitters()
-        output: list[int] = []
         watched = value_observer.watched_uids if value_observer is not None else frozenset()
 
         executed = 0
@@ -456,17 +492,10 @@ class Machine:
                     emit_mem(meta, values, mem_address)
 
             if halted:
-                break
+                yield _HALT_PC
+                return
             pc = next_pc
-
-        return RunResult(
-            instructions=executed,
-            output=output,
-            block_counts=block_counts,
-            halted=halted,
-            trace=trace,
-            call_counts=call_counts,
-        )
+            yield pc
 
     # ------------------------------------------------------------------
     # Fast dispatch

@@ -1,4 +1,4 @@
-"""Test-suite isolation for the experiment engine.
+"""Test-suite isolation for the experiment engine, plus divergence fixtures.
 
 The engine persists results to a per-user store by default
 (``~/.cache/repro/results``).  Tests must be hermetic — a warm store from a
@@ -6,11 +6,55 @@ previous run would hand back *restored* evaluations (no trace, no program)
 and silently change what the tests exercise — so the whole session is
 pointed at a throwaway store under pytest's tmp directory.  Tests that
 specifically exercise store persistence create their own stores.
+
+The ``assert_tiers_agree`` / ``assert_kernels_agree`` fixtures are the
+differential suites' failure path: instead of a summary mismatch after
+thousands of instructions, a bit-exactness failure reports the *first*
+diverging step with a per-field diff (see ``docs/coexec.md``).
 """
 
 from __future__ import annotations
 
 import pytest
+
+
+@pytest.fixture
+def assert_tiers_agree():
+    """Fail with a first-divergence report if two simulator tiers disagree.
+
+    ``assert_tiers_agree(program, tiers=("reference", "block"), ...)``
+    co-executes the tiers in lockstep; on divergence the test fails with
+    the exact step, instruction uid, basic block and field diff.
+    """
+    from repro.coexec import first_divergence
+
+    def _assert(program, tiers=("reference", "block"), max_instructions=20_000_000, arguments=None):
+        divergence = first_divergence(
+            program, tiers=tiers, max_instructions=max_instructions, arguments=arguments
+        )
+        if divergence is not None:
+            pytest.fail(f"simulator tiers diverged:\n{divergence.describe()}")
+
+    return _assert
+
+
+@pytest.fixture
+def assert_kernels_agree():
+    """Fail with a bisected first-divergence report if two timing kernels
+    (or the per-policy vs fused accountants) disagree over a trace."""
+    from repro.coexec import compare_accounting, compare_timing
+
+    def _assert(trace, config=None, kernels=("reference", "compiled"), accounting=False):
+        if accounting:
+            divergence = compare_accounting(trace, config)
+            label = "energy accountants"
+        else:
+            divergence = compare_timing(trace, config, kernels=kernels)
+            label = "timing kernels"
+        if divergence is not None:
+            pytest.fail(f"{label} diverged:\n{divergence.describe()}")
+
+    return _assert
 
 
 @pytest.fixture(scope="session", autouse=True)

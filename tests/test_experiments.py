@@ -143,6 +143,171 @@ class TestTable1:
             assert set(row) == set(Width.all_widths())
 
 
+class TestDeprecationShims:
+    """The legacy free functions must attribute their DeprecationWarning to
+    the *caller's* frame (stacklevel=3: helper → shim → caller).  A wrong
+    stacklevel points the warning inside ``repro``, where the CI filter
+    ``-W error::DeprecationWarning:repro`` would turn every legitimate
+    shim call into a hard error."""
+
+    @staticmethod
+    def _shim_warning(record):
+        matches = [
+            warning
+            for warning in record.list
+            if issubclass(warning.category, DeprecationWarning)
+            and "is deprecated" in str(warning.message)
+        ]
+        assert matches, "shim did not emit its DeprecationWarning"
+        return matches[0]
+
+    def test_evaluate_program_warns_at_caller(self):
+        from repro.asm import assemble_program
+        from repro.experiments import evaluate_program
+
+        program = assemble_program(
+            ".func main 0\nentry:\n    li r1, 1\n    print r1\n    halt\n.endfunc\n"
+        )
+        with pytest.warns(DeprecationWarning) as record:
+            outcome = evaluate_program(program, policy_for("baseline"))
+        warning = self._shim_warning(record)
+        assert warning.filename == __file__
+        assert "evaluate_program" in str(warning.message)
+        assert outcome.energy.total > 0
+
+    def test_compute_evaluation_warns_at_caller(self, monkeypatch):
+        sentinel = object()
+        monkeypatch.setattr(
+            "repro.experiments.runner._compute_evaluation", lambda *a, **k: sentinel
+        )
+        with pytest.warns(DeprecationWarning) as record:
+            result = compute_evaluation(workload_by_name("li"))
+        warning = self._shim_warning(record)
+        assert warning.filename == __file__
+        assert "compute_evaluation" in str(warning.message)
+        assert result is sentinel
+
+    def test_evaluate_workload_warns_at_caller(self, monkeypatch):
+        sentinel = object()
+
+        class _StubEngine:
+            def evaluate(self, config, workload=None):
+                return sentinel
+
+        monkeypatch.setattr("repro.experiments.engine.default_engine", _StubEngine)
+        with pytest.warns(DeprecationWarning) as record:
+            result = evaluate_workload(workload_by_name("li"))
+        warning = self._shim_warning(record)
+        assert warning.filename == __file__
+        assert "evaluate_workload" in str(warning.message)
+        assert result is sentinel
+
+    def test_evaluate_suite_warns_at_caller(self, monkeypatch):
+        from repro.experiments import evaluate_suite
+
+        class _StubEngine:
+            def map_suite(self, **kwargs):
+                return {}
+
+        monkeypatch.setattr("repro.experiments.engine.default_engine", _StubEngine)
+        with pytest.warns(DeprecationWarning) as record:
+            assert evaluate_suite() == {}
+        warning = self._shim_warning(record)
+        assert warning.filename == __file__
+        assert "evaluate_suite" in str(warning.message)
+
+
+class TestStoreCorruptionRecovery:
+    """Corrupted on-disk entries must read as misses — logged, evicted,
+    and recomputed — never as crashes."""
+
+    @staticmethod
+    def _fresh(tmp_path):
+        from repro.experiments.engine import ExperimentConfig, ExperimentEngine
+        from repro.experiments.store import ResultStore
+
+        store = ResultStore(tmp_path / "store")
+        engine = ExperimentEngine(store=store, jobs=1)
+        return engine, ExperimentConfig(workload="li"), store
+
+    def test_corrupt_summary_entry_is_evicted(self, tmp_path, caplog):
+        engine, config, store = self._fresh(tmp_path)
+        engine.evaluate(config)
+        key = engine.key_for(config)
+        path = store.path_for(key)
+        assert path.is_file()
+        path.write_text("{ this is not json", encoding="utf-8")
+        with caplog.at_level("WARNING", logger="repro.experiments.store"):
+            assert store.load(key) is None
+        assert not path.exists()
+        assert any("evicting corrupt result entry" in line for line in caplog.messages)
+
+    def test_decodable_entry_with_broken_summary_is_evicted(self, tmp_path, caplog):
+        engine, config, store = self._fresh(tmp_path)
+        engine.evaluate(config)
+        key = engine.key_for(config)
+        path = store.path_for(key)
+        path.write_text(json.dumps({"summary": {"bogus": 1}}), encoding="utf-8")
+        with caplog.at_level("WARNING", logger="repro.experiments.store"):
+            assert store.load(key) is None
+        assert not path.exists()
+        assert any("evicting corrupt result entry" in line for line in caplog.messages)
+
+    def test_truncated_trace_snapshot_falls_back_to_simulation(self, tmp_path, caplog):
+        from repro.experiments.engine import _snapshot_key
+        from repro.sim.machine import Machine
+        from repro.workloads import workload_by_name as by_name
+
+        engine, config, store = self._fresh(tmp_path)
+        engine.evaluate(config)
+        snapshot = store.trace_path_for(_snapshot_key(config, by_name("li")))
+        assert snapshot.is_file()
+        # Truncate the snapshot in place: the decoder must reject it, the
+        # store must evict it, and evaluation must re-simulate.
+        blob = snapshot.read_bytes()
+        snapshot.write_bytes(blob[: len(blob) // 2])
+        # Drop the summary entry so resolution reaches the snapshot layer.
+        store.path_for(engine.key_for(config)).unlink()
+
+        simulations = []
+        original_run = Machine.run
+
+        def counting_run(self, *args, **kwargs):
+            simulations.append(1)
+            return original_run(self, *args, **kwargs)
+
+        engine2, config2, _ = self._fresh(tmp_path)
+        Machine.run = counting_run
+        try:
+            with caplog.at_level("WARNING", logger="repro.experiments.store"):
+                evaluation = engine2.evaluate(config2)
+        finally:
+            Machine.run = original_run
+        assert simulations, "corrupt snapshot did not fall back to simulation"
+        assert not evaluation.is_restored
+        assert any("evicting corrupt trace snapshot" in line for line in caplog.messages)
+        # The recompute replaced the truncated snapshot with a fresh,
+        # decodable one at the same path.
+        from repro.sim.snapshot import decode_artifact
+
+        assert snapshot.read_bytes() != blob[: len(blob) // 2]
+        assert decode_artifact(snapshot.read_bytes()) is not None
+
+    def test_garbage_trace_snapshot_reads_as_miss(self, tmp_path, caplog):
+        engine, config, store = self._fresh(tmp_path)
+        engine.evaluate(config)
+        from repro.experiments.engine import _snapshot_key
+        from repro.workloads import workload_by_name as by_name
+
+        key = _snapshot_key(config, by_name("li"))
+        snapshot = store.trace_path_for(key)
+        snapshot.write_bytes(b"\x00garbage\xff" * 64)
+        with caplog.at_level("WARNING", logger="repro.experiments.store"):
+            assert store.load_trace(key) is None
+        assert not snapshot.exists()
+        assert any("evicting corrupt trace snapshot" in line for line in caplog.messages)
+
+
 @pytest.mark.suite
 @pytest.mark.slow
 def test_second_suite_evaluation_runs_zero_simulations(tmp_path):

@@ -167,10 +167,13 @@ class TestFastDispatch:
     reference decode-every-step loop — down to the individual trace records."""
 
     @pytest.mark.parametrize("name", ("ijpeg", "li"))
-    def test_traces_are_bit_identical_on_workloads(self, name):
+    def test_traces_are_bit_identical_on_workloads(self, name, assert_tiers_agree):
         workload = workload_by_name(name)
         program = workload.build()
         workload.apply_input(program, "ref")
+        # Lockstep first: a bit-exactness failure reports the exact first
+        # diverging step/uid instead of a summary mismatch.
+        assert_tiers_agree(program, tiers=("reference", "fast"))
         machine = Machine(program)
         reference = machine.run(collect_trace=True, fast_dispatch=False)
         fast = machine.run(collect_trace=True, fast_dispatch=True)
@@ -348,10 +351,14 @@ class TestBlockDispatch:
         }
 
     @pytest.mark.parametrize("name", ("ijpeg", "li"))
-    def test_traces_are_bit_identical_on_workloads(self, name):
+    def test_traces_are_bit_identical_on_workloads(self, name, assert_tiers_agree):
         workload = workload_by_name(name)
         program = workload.build()
         workload.apply_input(program, "ref")
+        # Lockstep first: a bit-exactness failure reports the exact first
+        # diverging step/uid instead of a summary mismatch.
+        assert_tiers_agree(program, tiers=("reference", "block"))
+        assert_tiers_agree(program, tiers=("fast", "block"))
         runs = self._run_all_tiers(program)
         reference = runs["reference"]
         for tier in ("fast", "block"):

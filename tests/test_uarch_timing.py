@@ -54,15 +54,28 @@ from repro.workloads import SUITE_NAMES, workload_by_name
 
 
 def _assert_kernels_agree(trace, config=None):
-    """Compiled ≡ reference on every TimingResult field, both address modes."""
+    """Compiled ≡ reference on every TimingResult field, both address modes.
+
+    A mismatch is re-diagnosed through the coexec comparator so the
+    failure names the first diverging record, not just the end-of-run
+    summary fields.
+    """
     model = OutOfOrderModel(config)
     reference = asdict(model.run(trace, kernel="reference"))
-    assert asdict(model.run(trace, kernel="compiled")) == reference
+    if asdict(model.run(trace, kernel="compiled")) != reference:
+        from repro.coexec import compare_timing
+
+        divergence = compare_timing(trace, config)
+        pytest.fail(f"timing kernels diverged:\n{divergence.describe()}")
     # The record-rebuilt trace carries explicit address columns, forcing
     # the compiled kernel's explicit-address variant.
     rebuilt = Trace(records=list(trace), static=trace.static)
     assert not rebuilt.has_derived_addresses
-    assert asdict(model.run(rebuilt, kernel="compiled")) == reference
+    if asdict(model.run(rebuilt, kernel="compiled")) != reference:
+        from repro.coexec import compare_timing
+
+        divergence = compare_timing(rebuilt, config)
+        pytest.fail(f"timing kernels diverged (explicit-address mode):\n{divergence.describe()}")
     return reference
 
 
