@@ -15,7 +15,13 @@ from .inject import (
     eligible_faults,
     resolve_fault_uid,
 )
-from .kernels import TIMING_COMPARATORS, compare_accounting, compare_timing, run_timing
+from .kernels import (
+    TIMING_COMPARATORS,
+    compare_accounting,
+    compare_fused,
+    compare_timing,
+    run_timing,
+)
 from .lockstep import Divergence, Lockstep, first_divergence
 from .shrink import (
     REPRO_ROOT,
@@ -38,6 +44,7 @@ __all__ = [
     "run_timing",
     "compare_timing",
     "compare_accounting",
+    "compare_fused",
     "REPRO_ROOT",
     "shrink_source",
     "write_reproducer",

@@ -17,6 +17,13 @@ differ.
 Prefix traces are rebuilt with ``Trace(records=trace.records[:k],
 static=trace.static)`` — the explicit-column ingestion path — so the
 kernels under test see an ordinary trace, not a special replay mode.
+
+:func:`compare_fused` extends the same idea to the streaming fused
+pipeline (``repro.sim.fusedc``), which never materializes a trace: a
+probe run snapshots the fused timing state after every record, each
+snapshot projects onto the prefix :class:`TimingResult` the compiled
+kernel would report for the materialized prefix, and the standard
+bisection pins the first record where the projections split.
 """
 
 from __future__ import annotations
@@ -35,6 +42,7 @@ __all__ = [
     "run_timing",
     "compare_timing",
     "compare_accounting",
+    "compare_fused",
 ]
 
 #: The timing-kernel implementations the comparator can pit against each
@@ -208,3 +216,128 @@ def compare_accounting(
         return _energy_fields(prefix_separate, prefix_fused)
 
     return _localize(trace, "energy", ("per-policy", "fused"), differs, fields_at)
+
+
+def _record_shape_key(record) -> tuple:
+    """The accounting-shape key of one trace record.
+
+    Mirrors the per-record grouping of :meth:`Trace.shape_counts` —
+    ``(uid, bytes of per-source significant-byte counts, result
+    significant-byte count or -1)`` — so an aggregate-count mismatch can
+    be walked back to the first dynamic record carrying an affected key.
+    """
+    from ..isa.widths import significant_bytes
+
+    result = -1 if record.result is None else significant_bytes(record.result)
+    return (
+        record.uid,
+        bytes(significant_bytes(value) for value in record.srcs),
+        result,
+    )
+
+
+def compare_fused(
+    program,
+    config: Optional[MachineConfig] = None,
+    max_instructions: int = 20_000_000,
+) -> Optional[Divergence]:
+    """First record where the fused pipeline splits from the materialized
+    oracle, or None.
+
+    Runs the program twice: once materialized (trace + compiled timing
+    kernel — the oracle) and once through the fused streaming tier with
+    the per-record probe enabled, which snapshots the timing-kernel state
+    after every record.  On a timing mismatch the probe stream lets a
+    prefix bisection find the exact record where the fused state first
+    projects onto a different prefix :class:`TimingResult` than the
+    compiled kernel computes over the materialized prefix — without ever
+    re-running the fused simulation.  On a shape-aggregate mismatch the
+    differing shape keys are walked back to the first dynamic record
+    carrying one.  The differential suite routes its failures through
+    this function so a red assertion names a record, not two summaries.
+    """
+    from ..sim.fusedc import timing_from_probe
+    from ..sim.machine import Machine
+
+    if config is None:
+        config = MachineConfig()
+    machine = Machine(program, max_instructions=max_instructions)
+    reference = machine.run(collect_trace=True)
+    trace = reference.trace
+    oracle_timing = run_compiled(trace, config)
+
+    probes: list[tuple] = []
+    fused_run = machine._run_fused(config, None, "block", probe_sink=probes)
+    fused = fused_run.fused
+
+    names = ("materialized", "fused")
+
+    # Architectural divergence would mean the fused codegen broke the
+    # block tier's own semantics; surface it before any analysis diff.
+    if fused_run.instructions != reference.instructions or fused_run.output != reference.output:
+        fields: dict = {}
+        if fused_run.instructions != reference.instructions:
+            fields["instructions"] = [reference.instructions, fused_run.instructions]
+        if fused_run.output != reference.output:
+            fields["output"] = [_jsonify(tuple(reference.output)), _jsonify(tuple(fused_run.output))]
+        return Divergence(kind="fused-arch", step=0, tiers=names, fields=fields)
+
+    if fused.timing != oracle_timing and len(probes) == len(trace):
+
+        def differs(length: int) -> bool:
+            return timing_from_probe(probes[length - 1], length) != run_compiled(
+                _prefix(trace, length), config
+            )
+
+        def fields_at(length: int) -> dict:
+            return _timing_fields(
+                run_compiled(_prefix(trace, length), config),
+                timing_from_probe(probes[length - 1], length),
+            )
+
+        return _localize(trace, "fused-timing", names, differs, fields_at)
+    if fused.timing != oracle_timing:
+        # The probe stream is incomplete (shorter/longer than the trace),
+        # so prefix projection is meaningless; report the summary diff.
+        return Divergence(
+            kind="fused-timing",
+            step=len(trace) - 1,
+            tiers=names,
+            fields=_timing_fields(oracle_timing, fused.timing),
+        )
+
+    oracle_shapes = dict(trace.shape_counts())
+    fused_shapes = fused.shapes.shape_counts()
+    if fused_shapes != oracle_shapes:
+        differing = {
+            key
+            for key in set(oracle_shapes) | set(fused_shapes)
+            if oracle_shapes.get(key) != fused_shapes.get(key)
+        }
+        for step, record in enumerate(trace.records):
+            key = _record_shape_key(record)
+            if key in differing:
+                static = trace.static.get(record.uid)
+                return Divergence(
+                    kind="fused-shapes",
+                    step=step,
+                    tiers=names,
+                    uid=record.uid,
+                    block=(static.function, static.block) if static is not None else None,
+                    fields={
+                        str(key): [oracle_shapes.get(key), fused_shapes.get(key)]
+                        for key in sorted(differing)
+                    },
+                )
+        # Counts differ but no materialized record carries an affected
+        # key (fused invented a shape): no step is attributable.
+        return Divergence(
+            kind="fused-shapes",
+            step=len(trace) - 1,
+            tiers=names,
+            fields={
+                str(key): [oracle_shapes.get(key), fused_shapes.get(key)]
+                for key in sorted(differing)
+            },
+        )
+    return None

@@ -4,11 +4,12 @@ Usage::
 
     python -m repro.experiments run [--workload NAME ...] [--mechanism M]
                                     [--threshold NJ] [--conventional-vrp]
-                                    [--policy P] [--jobs N] [--json]
+                                    [--policy P] [--jobs N]
+                                    [--pipeline auto|fused|materialized] [--json]
     python -m repro.experiments sweep [--workload NAME ...] [--config NAME ...]
                                       [--policy P ...] [--mechanism M]
                                       [--threshold NJ] [--conventional-vrp]
-                                      [--json]
+                                      [--pipeline auto|fused|materialized] [--json]
     python -m repro.experiments profile [--workload NAME] [--mechanism M]
                                         [--dispatch TIER] [--top N]
     python -m repro.experiments diverge [--workload NAME | --program FILE]
@@ -25,6 +26,12 @@ parallel compute fan-out — and prints one row per workload.  ``--policy
 all`` prints one energy column per registered gating policy
 (``gating.registry()``); every summary carries all of them because cold
 evaluations account the whole policy set in a single fused trace walk.
+``--pipeline`` selects the cold-compute path (``docs/fused.md``):
+``fused`` streams simulate→time→account per record without materializing
+a trace, ``materialized`` builds the classic trace, and ``auto`` (the
+default) streams whenever no trace snapshot would be persisted anyway.
+The report's footer names the pipeline that cold rows ran through; the
+choice is bit-exact either way.
 
 ``sweep`` evaluates a design-space *matrix* — machine configs × gating
 policies × workloads — through the batched sweep path
@@ -58,7 +65,7 @@ import time
 
 from ..hardware import gating
 from ..workloads import SUITE_NAMES
-from .engine import ExperimentConfig, default_engine
+from .engine import ExperimentConfig, _resolve_pipeline, default_engine
 from .report import format_percent, format_table
 from .runner import POLICY_NAMES
 from .store import ResultStore
@@ -140,8 +147,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if status:
         return status
     configs = _experiment_configs(args, workloads)
+    # Resolve up front so the report can say which pipeline cold rows ran
+    # through (warm rows come from the store and never touch either).
+    pipeline = _resolve_pipeline(args.pipeline, engine.store)
     start = time.perf_counter()
-    evaluations = engine.map(configs, jobs=args.jobs)
+    evaluations = engine.map(configs, jobs=args.jobs, pipeline=pipeline)
     elapsed = time.perf_counter() - start
 
     if args.json:
@@ -150,6 +160,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "mechanism": args.mechanism,
             "threshold_nj": args.threshold,
             "conventional_vrp": args.conventional_vrp,
+            "pipeline": pipeline,
             "seconds": elapsed,
             "rows": [
                 {
@@ -203,7 +214,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 ]
             )
     print(format_table(headers, rows, title=title))
-    print(f"{len(evaluations)} configuration(s) in {elapsed:.2f}s")
+    cold = sum(1 for evaluation in evaluations if evaluation.freshly_computed)
+    print(
+        f"{len(evaluations)} configuration(s) in {elapsed:.2f}s "
+        f"({cold} cold via the {pipeline} pipeline)"
+    )
     return 0
 
 
@@ -245,7 +260,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         conventional_vrp=args.conventional_vrp,
     )
     start = time.perf_counter()
-    result = SweepResult.collect(engine.sweep(spec))
+    result = SweepResult.collect(engine.sweep(spec, pipeline=args.pipeline))
     elapsed = time.perf_counter() - start
     result.seconds = elapsed
 
@@ -297,9 +312,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
     )
     rate = len(result) / elapsed * 60.0 if elapsed > 0 else float("inf")
+    # Per-row provenance: how each trace signature was resolved ("fused"
+    # rows streamed through the fused pipeline, no trace ever existed).
+    sources: dict[str, int] = {}
+    for row in result:
+        sources[row.source] = sources.get(row.source, 0) + 1
+    provenance = ", ".join(f"{name}={count}" for name, count in sorted(sources.items()))
     print(
         f"{len(result)} points in {elapsed:.2f}s ({rate:,.0f} points/minute), "
-        f"{result.simulations} cold simulation(s)"
+        f"{result.simulations} cold simulation(s); row sources: {provenance}"
     )
     return 0
 
@@ -603,6 +624,17 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for cold configurations (default: REPRO_JOBS or CPU count)",
     )
     run_parser.add_argument(
+        "--pipeline",
+        choices=("auto", "fused", "materialized"),
+        default="auto",
+        help=(
+            "cold-compute path: 'fused' streams simulate->time->account without "
+            "materializing a trace, 'materialized' builds the classic trace, "
+            "'auto' streams whenever no trace snapshot would be persisted "
+            "(default: auto; both are bit-exact)"
+        ),
+    )
+    run_parser.add_argument(
         "--json",
         action="store_true",
         help="emit machine-readable JSON instead of tables",
@@ -626,6 +658,17 @@ def main(argv: list[str] | None = None) -> int:
         choices=POLICY_NAMES + ("all",),
         metavar="NAME",
         help="gating policy for the sweep axis (repeatable; default: all registered)",
+    )
+    sweep_parser.add_argument(
+        "--pipeline",
+        choices=("auto", "fused", "materialized"),
+        default="auto",
+        help=(
+            "cold-group path: 'fused' streams every cold trace signature, "
+            "'materialized' simulates and snapshots, 'auto' streams cold "
+            "single-config groups and materializes multi-config groups "
+            "(default: auto; warm snapshots always replay first)"
+        ),
     )
     sweep_parser.add_argument(
         "--json",

@@ -32,6 +32,7 @@ from typing import Optional, Sequence
 
 from typing import TYPE_CHECKING
 
+from ..sim.fusedc import PIPELINES, default_pipeline
 from ..uarch import MachineConfig
 from ..workloads import Workload, load_suite, workload_by_name
 from .runner import (
@@ -82,8 +83,33 @@ def _resolve_jobs(jobs: Optional[int]) -> int:
     return max(1, os.cpu_count() or 1)
 
 
+def _resolve_pipeline(pipeline: str, store: Optional[ResultStore]) -> str:
+    """Resolve a pipeline request to ``"fused"`` or ``"materialized"``.
+
+    Explicit requests win; ``"auto"`` consults ``REPRO_PIPELINE`` (via
+    :func:`repro.sim.fusedc.default_pipeline`) and, when that is also
+    ``auto``, picks by what the evaluation needs: trace snapshots can only
+    be persisted from a materialized trace, so the materialized pipeline
+    runs when the store's snapshot layer is enabled — and the fused
+    pipeline (one streaming pass, **no trace ever built**) runs for
+    summary-only evaluations (store disabled or ``REPRO_TRACE_STORE=off``).
+    """
+    if pipeline == "auto":
+        pipeline = default_pipeline()
+    if pipeline == "auto":
+        snapshots = store is not None and store.enabled and store.trace_enabled
+        return "materialized" if snapshots else "fused"
+    if pipeline not in PIPELINES:
+        raise ValueError(
+            f"unknown pipeline {pipeline!r}; expected one of {', '.join(PIPELINES)}"
+        )
+    return pipeline
+
+
 def _compute_summary_for(
-    config: ExperimentConfig, store_root: Optional[str] = None
+    config: ExperimentConfig,
+    store_root: Optional[str] = None,
+    pipeline: str = "auto",
 ) -> tuple[str, dict, bool]:
     """Worker entry point: resolve one configuration, return its summary.
 
@@ -125,6 +151,7 @@ def _compute_summary_for(
         threshold_nj=config.threshold_nj,
         conventional_vrp=config.conventional_vrp,
         machine_config=config.machine_config,
+        pipeline=_resolve_pipeline(pipeline, store),
     )
     _save_snapshot(store, config, workload, evaluation)
     return key, evaluation.summarize().to_json_dict(), False
@@ -185,7 +212,14 @@ def _save_snapshot(
     workload: Workload,
     evaluation: WorkloadEvaluation,
 ) -> None:
-    if store is not None and store.trace_enabled and evaluation.trace is not None:
+    # A fused evaluation has no trace to snapshot — its ``trace`` slot
+    # holds the streaming shape aggregate (see docs/fused.md).
+    if (
+        store is not None
+        and store.trace_enabled
+        and evaluation.trace is not None
+        and evaluation.pipeline != "fused"
+    ):
         store.save_trace(
             _snapshot_key(config, workload), artifact_from_evaluation(evaluation)
         )
@@ -234,13 +268,23 @@ class ExperimentEngine:
     # Evaluation
     # ------------------------------------------------------------------
     def evaluate(
-        self, config: ExperimentConfig, workload: Optional[Workload] = None
+        self,
+        config: ExperimentConfig,
+        workload: Optional[Workload] = None,
+        pipeline: str = "auto",
     ) -> WorkloadEvaluation:
         """Resolve one configuration: memo → store → replay → compute.
 
         ``workload`` lets callers evaluate a hand-modified workload object;
         its content hash (not just its name) keys the result, so a modified
         workload never aliases the registry entry.
+
+        ``pipeline`` selects the live path for a cold compute (see
+        :func:`_resolve_pipeline`): ``"auto"`` runs the fused streaming
+        pipeline whenever the evaluation is summary-only (no trace
+        snapshot will be persisted), so the trace is never even built.
+        The choice cannot affect results — the pipelines are bit-exact —
+        and is deliberately not part of the store key.
 
         The returned evaluation is *live* (trace/program attached) only when
         this call actually simulated; memo, store and snapshot-replay hits
@@ -269,6 +313,7 @@ class ExperimentEngine:
                     threshold_nj=config.threshold_nj,
                     conventional_vrp=config.conventional_vrp,
                     machine_config=config.machine_config,
+                    pipeline=_resolve_pipeline(pipeline, self.store),
                 )
                 if self.store.enabled:
                     self.store.save(key, evaluation.summarize())
@@ -278,15 +323,21 @@ class ExperimentEngine:
         return evaluation
 
     def compute(
-        self, config: ExperimentConfig, workload: Optional[Workload] = None
+        self,
+        config: ExperimentConfig,
+        workload: Optional[Workload] = None,
+        pipeline: str = "materialized",
     ) -> WorkloadEvaluation:
         """Run the live pipeline for one point, bypassing every cache layer.
 
         Always builds, transforms and simulates, and always returns a
-        *live* evaluation (program, trace and run attached) — the one
-        entry point for callers that genuinely need the trace.  Nothing
-        is memoized or persisted; use :meth:`evaluate` for cached,
-        store-backed resolution.
+        *live* evaluation — the one entry point for callers that genuinely
+        need the trace, so the pipeline defaults to ``"materialized"``
+        (the environment is not consulted).  An explicit
+        ``pipeline="fused"`` returns a live evaluation whose ``trace``
+        slot holds the streaming shape aggregate instead of a trace.
+        Nothing is memoized or persisted; use :meth:`evaluate` for
+        cached, store-backed resolution.
         """
         if workload is None:
             workload = workload_by_name(config.workload)
@@ -296,17 +347,24 @@ class ExperimentEngine:
             threshold_nj=config.threshold_nj,
             conventional_vrp=config.conventional_vrp,
             machine_config=config.machine_config,
+            pipeline="fused" if pipeline == "fused" else "materialized",
         )
 
     def map(
-        self, configs: Sequence[ExperimentConfig], jobs: Optional[int] = None
+        self,
+        configs: Sequence[ExperimentConfig],
+        jobs: Optional[int] = None,
+        pipeline: str = "auto",
     ) -> list[WorkloadEvaluation]:
         """Evaluate many independent configurations, in parallel when possible.
 
         Memo/store hits are resolved inline; the remaining configurations
         are computed by a process pool (or serially as a fallback) and their
         summaries persisted, so a crashed or interrupted sweep loses at most
-        the configurations still in flight.
+        the configurations still in flight.  ``pipeline`` is resolved once
+        against this engine's store (see :func:`_resolve_pipeline`) and
+        applied to every cold compute, in the pool and in the serial
+        fallback alike.
 
         Cold configurations always come back *restored* (summary-backed,
         ``trace is None``) — regardless of whether the pool or the serial
@@ -345,10 +403,15 @@ class ExperimentEngine:
             missing_indices[key] = [index]
 
         if missing:
+            resolved_pipeline = _resolve_pipeline(pipeline, self.store)
             order = list(missing.items())
             worker_count = min(_resolve_jobs(jobs) if jobs is not None else self.jobs, len(order))
             produced = (
-                self._map_parallel([config for _, (config, _) in order], worker_count)
+                self._map_parallel(
+                    [config for _, (config, _) in order],
+                    worker_count,
+                    resolved_pipeline,
+                )
                 if worker_count > 1
                 else None
             )
@@ -372,6 +435,7 @@ class ExperimentEngine:
                         threshold_nj=config.threshold_nj,
                         conventional_vrp=config.conventional_vrp,
                         machine_config=config.machine_config,
+                        pipeline=resolved_pipeline,
                     )
                     summary = live.summarize()
                     self.store.save(key, summary)
@@ -395,6 +459,7 @@ class ExperimentEngine:
         conventional_vrp: bool = False,
         machine_config: Optional[MachineConfig] = None,
         jobs: Optional[int] = None,
+        pipeline: str = "auto",
     ) -> dict[str, WorkloadEvaluation]:
         """Evaluate every workload of the SpecInt95-analogue suite.
 
@@ -412,13 +477,14 @@ class ExperimentEngine:
             )
             for workload in load_suite()
         ]
-        evaluations = self.map(configs, jobs=jobs)
+        evaluations = self.map(configs, jobs=jobs, pipeline=pipeline)
         return {evaluation.workload.name: evaluation for evaluation in evaluations}
 
     def sweep(
         self,
         spec: "SweepSpec",
         workloads: Optional["Mapping[str, Workload]"] = None,
+        pipeline: str = "auto",
     ) -> "Iterator[SweepRow]":
         """Stream one :class:`~repro.experiments.sweep.SweepRow` per spec point.
 
@@ -433,12 +499,13 @@ class ExperimentEngine:
         """
         from .sweep import run_sweep
 
-        return run_sweep(self, spec, workloads=workloads)
+        return run_sweep(self, spec, workloads=workloads, pipeline=pipeline)
 
     def _map_parallel(
         self,
         configs: Sequence[ExperimentConfig],
         worker_count: int,
+        pipeline: str = "auto",
     ) -> Optional[list[tuple[str, "EvaluationSummary", bool, bool]]]:
         """Fan the missing configurations out across a process pool.
 
@@ -469,7 +536,9 @@ class ExperimentEngine:
         try:
             with executor:
                 futures = {
-                    executor.submit(_compute_summary_for, config, store_root): position
+                    executor.submit(
+                        _compute_summary_for, config, store_root, pipeline
+                    ): position
                     for position, config in enumerate(configs)
                 }
                 produced: list[Optional[tuple[str, EvaluationSummary, bool, bool]]] = [

@@ -96,6 +96,11 @@ class WorkloadEvaluation:
 
     workload: Workload
     program: Optional[Program]
+    #: Live evaluations carry either a full :class:`Trace` (materialized
+    #: pipeline) or a :class:`~repro.sim.fusedc.ShapeAggregate` (fused
+    #: pipeline) — every accessor below (energy accounting, the four
+    #: dynamic distributions) consumes both identically.  Restored
+    #: evaluations carry ``None``.
     trace: Optional[Trace]
     run: Optional[RunResult]
     timing: TimingResult
@@ -111,6 +116,11 @@ class WorkloadEvaluation:
     #: True when this evaluation was rebuilt by replaying a stored binary
     #: trace snapshot (timing + accounting ran, the simulator did not).
     replayed_from_store: bool = False
+    #: Which live pipeline produced this evaluation: ``"materialized"``
+    #: (simulate → trace → timing walk) or ``"fused"`` (one streaming
+    #: pass, no trace; see ``docs/fused.md``).  Restored evaluations keep
+    #: the default — no pipeline ran in this process.
+    pipeline: str = "materialized"
     _aggregates: Optional[tuple] = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
@@ -358,11 +368,20 @@ def _compute_evaluation(
     threshold_nj: float = 50.0,
     conventional_vrp: bool = False,
     machine_config: Optional[MachineConfig] = None,
+    pipeline: str = "materialized",
 ) -> WorkloadEvaluation:
     """Build, transform and simulate one workload configuration (uncached).
 
     This is the live pipeline behind :meth:`ExperimentEngine.compute`;
     the deprecated :func:`compute_evaluation` shim delegates here.
+
+    ``pipeline`` selects how the simulation outputs are produced:
+    ``"materialized"`` simulates with a full columnar trace and walks it
+    for timing; ``"fused"`` simulates, times and aggregates accounting
+    shapes in one streaming pass without ever materializing the trace
+    (``Machine.run(pipeline="fused")``; see ``docs/fused.md``).  Both are
+    bit-identical in every figure the evaluation can answer; only a fused
+    evaluation cannot feed the binary trace-snapshot store.
 
     The simulator runs under the dispatch tier selected by
     ``REPRO_SIM_DISPATCH`` (block-compiled by default) and the timing
@@ -373,6 +392,10 @@ def _compute_evaluation(
     *after* the VRP/VRS transformation mutated the program, because
     machines snapshot the program into their compiled artifacts.
     """
+    if pipeline not in ("materialized", "fused"):
+        raise ValueError(
+            f"unknown pipeline {pipeline!r}; expected 'materialized' or 'fused'"
+        )
     program = workload.build()
     vrp_result = None
     vrs_result = None
@@ -389,12 +412,18 @@ def _compute_evaluation(
         raise ValueError(f"unknown mechanism {mechanism!r}; expected 'none', 'vrp' or 'vrs'")
     workload.apply_input(program, "ref")
     machine = Machine(program)
-    run = machine.run(collect_trace=True)
-    timing = OutOfOrderModel(machine_config).run(run.trace)
+    if pipeline == "fused":
+        run = machine.run(pipeline="fused", machine_config=machine_config)
+        trace = run.fused.shapes
+        timing = run.fused.timing
+    else:
+        run = machine.run(collect_trace=True)
+        trace = run.trace
+        timing = OutOfOrderModel(machine_config).run(trace)
     return WorkloadEvaluation(
         workload=workload,
         program=program,
-        trace=run.trace,
+        trace=trace,
         run=run,
         timing=timing,
         vrp_result=vrp_result,
@@ -402,6 +431,7 @@ def _compute_evaluation(
         mechanism=mechanism,
         threshold_nj=threshold_nj,
         conventional_vrp=conventional_vrp,
+        pipeline=pipeline,
     )
 
 

@@ -249,8 +249,11 @@ class SweepRow:
     """One scored sweep point.
 
     ``source`` records trace provenance: ``"replayed"`` (rebuilt from a
-    stored binary snapshot, zero simulator steps) or ``"computed"`` (this
-    sweep ran the simulator and warmed the store).
+    stored binary snapshot, zero simulator steps), ``"computed"`` (this
+    sweep ran the materialized simulator and warmed the store) or
+    ``"fused"`` (this sweep ran the streaming fused pipeline — no trace
+    was ever built, so nothing could be snapshotted).  All three score
+    bit-identically.
     """
 
     workload: str
@@ -321,11 +324,15 @@ class SweepResult:
 
     @property
     def simulations(self) -> int:
-        """Distinct trace signatures this sweep had to simulate cold."""
+        """Distinct trace signatures this sweep had to simulate cold.
+
+        Counts both materialized (``"computed"``) and streaming
+        (``"fused"``) cold runs; only snapshot replays are free.
+        """
         signatures = {
             (row.workload, row.mechanism, row.threshold_nj, row.conventional_vrp)
             for row in self.rows
-            if row.source == "computed"
+            if row.source in ("computed", "fused")
         }
         return len(signatures)
 
@@ -414,20 +421,42 @@ def _sweep_timings(
     return run_compiled_many(trace, list(configs))
 
 
-def _resolve_artifact(
+def _load_snapshot_artifact(
     engine: "ExperimentEngine",
     workload: Workload,
     mechanism: str,
     threshold_nj: float,
     conventional_vrp: bool,
-) -> tuple["SimulationArtifact", str]:
-    """One trace per signature: snapshot replay when warm, simulate when not.
+) -> Optional["SimulationArtifact"]:
+    """The stored binary snapshot for one trace signature, if warm."""
+    from .engine import ExperimentConfig, _snapshot_key
 
-    A cold simulation persists both the summary and the binary snapshot
-    (exactly like ``engine.evaluate`` would), so the next sweep over the
-    same signature is a zero-simulation replay.
+    store = engine.store
+    if not store.trace_enabled:
+        return None
+    config = ExperimentConfig(
+        workload=workload.name,
+        mechanism=mechanism,
+        threshold_nj=threshold_nj,
+        conventional_vrp=conventional_vrp,
+    )
+    return store.load_trace(_snapshot_key(config, workload))
+
+
+def _compute_artifact(
+    engine: "ExperimentEngine",
+    workload: Workload,
+    mechanism: str,
+    threshold_nj: float,
+    conventional_vrp: bool,
+) -> "SimulationArtifact":
+    """Cold materialized simulation for one trace signature.
+
+    Persists both the summary and the binary snapshot (exactly like
+    ``engine.evaluate`` would), so the next sweep over the same signature
+    is a zero-simulation replay.
     """
-    from .engine import ExperimentConfig, _save_snapshot, _snapshot_key
+    from .engine import ExperimentConfig, _save_snapshot
     from .runner import _compute_evaluation, artifact_from_evaluation
 
     config = ExperimentConfig(
@@ -437,10 +466,6 @@ def _resolve_artifact(
         conventional_vrp=conventional_vrp,
     )
     store = engine.store
-    if store.trace_enabled:
-        artifact = store.load_trace(_snapshot_key(config, workload))
-        if artifact is not None:
-            return artifact, "replayed"
     evaluation = _compute_evaluation(
         workload,
         mechanism=mechanism,
@@ -450,25 +475,47 @@ def _resolve_artifact(
     if store.enabled:
         store.save(engine.key_for(config, workload), evaluation.summarize())
         _save_snapshot(store, config, workload, evaluation)
-    return artifact_from_evaluation(evaluation), "computed"
+    return artifact_from_evaluation(evaluation)
 
 
 def run_sweep(
     engine: "ExperimentEngine",
     spec: SweepSpec,
     workloads: Optional[Mapping[str, Workload]] = None,
+    pipeline: str = "auto",
 ) -> Iterator[SweepRow]:
     """Stream one :class:`SweepRow` per point of ``spec``.
 
     Points are grouped by trace signature ``(workload, mechanism,
-    threshold, conventional_vrp)``; each group costs one artifact
+    threshold, conventional_vrp)``; each group costs one trace
     resolution, one batched multi-config timing pass over the group's
     distinct machine configs, and one fused accounting walk branched per
     config — regardless of how many (config, policy) cells it scores.
     ``workloads`` optionally maps names to hand-built workload objects
     (tests, custom programs); unnamed workloads resolve through the suite
     registry.
+
+    ``pipeline`` selects the *cold* path per group; a warm snapshot
+    always replays first regardless (a replay is cheaper than any
+    simulation, and bit-identical).  ``"fused"`` streams every cold
+    group: one fused simulation per distinct machine config, shape
+    aggregation taken from the first (shapes are config-independent),
+    and nothing is persisted because no trace ever exists.
+    ``"materialized"`` forces the classic simulate-then-snapshot path.
+    ``"auto"`` (after consulting ``REPRO_PIPELINE``) streams cold
+    *single-config* groups — where fused is a strict win — and
+    materializes multi-config groups, where one simulation plus a
+    batched timing walk beats one fused simulation per config.
     """
+    from ..sim.fusedc import PIPELINES, default_pipeline
+
+    if pipeline == "auto":
+        pipeline = default_pipeline()
+    if pipeline != "auto" and pipeline not in PIPELINES:
+        raise ValueError(
+            f"unknown pipeline {pipeline!r}; expected one of {', '.join(PIPELINES)}"
+        )
+
     points = list(spec.iter_points())
     config_map = spec.config_map()
     groups: dict[tuple, list[int]] = {}
@@ -486,10 +533,6 @@ def run_sweep(
             workload = workloads[name]
         else:
             workload = workload_by_name(name)
-        artifact, source = _resolve_artifact(
-            engine, workload, mechanism, threshold_nj, conventional_vrp
-        )
-        trace = artifact.trace
 
         config_names: list[str] = []
         policy_names: list[str] = []
@@ -508,10 +551,32 @@ def run_sweep(
                 f"({', '.join(config_map) or 'empty'})"
             ) from None
 
-        timings = _sweep_timings(trace, configs)
         accountant = MultiPolicyEnergyAccountant(
             {policy_name: gating.get(policy_name) for policy_name in policy_names}
         )
+
+        artifact = _load_snapshot_artifact(
+            engine, workload, mechanism, threshold_nj, conventional_vrp
+        )
+        if artifact is None and (
+            pipeline == "fused" or (pipeline == "auto" and len(configs) == 1)
+        ):
+            source = "fused"
+            trace, timings, instructions = _fused_group(
+                workload, mechanism, threshold_nj, conventional_vrp, configs
+            )
+        else:
+            if artifact is not None:
+                source = "replayed"
+            else:
+                source = "computed"
+                artifact = _compute_artifact(
+                    engine, workload, mechanism, threshold_nj, conventional_vrp
+                )
+            trace = artifact.trace
+            instructions = artifact.instructions
+            timings = _sweep_timings(trace, configs)
+
         energies = accountant.account_many(trace, timings)
         position = {config_name: i for i, config_name in enumerate(config_names)}
 
@@ -527,8 +592,45 @@ def run_sweep(
                 threshold_nj=point.threshold_nj,
                 conventional_vrp=point.conventional_vrp,
                 cycles=timings[at].cycles,
-                instructions=artifact.instructions,
+                instructions=instructions,
                 energy_nj=breakdown.total,
                 ed2=breakdown.energy_delay_squared(),
                 source=source,
             )
+
+
+def _fused_group(
+    workload: Workload,
+    mechanism: str,
+    threshold_nj: float,
+    conventional_vrp: bool,
+    configs: Sequence[MachineConfig],
+):
+    """Score one cold trace-signature group through the fused pipeline.
+
+    One fused simulation per machine config — no trace is ever
+    materialized, so memory stays flat in the instruction count.  The
+    shape aggregate is config-independent (widths come from the
+    architectural execution, not the timing model), so the first run's
+    aggregate stands in for the trace in the shared accounting walk.
+    Nothing is persisted: there is no trace to snapshot, and a fused
+    summary under a *sweep* key would alias the default machine config.
+    """
+    from ..sim.machine import Machine
+    from .runner import _compute_evaluation
+
+    evaluation = _compute_evaluation(
+        workload,
+        mechanism=mechanism,
+        threshold_nj=threshold_nj,
+        conventional_vrp=conventional_vrp,
+        machine_config=configs[0],
+        pipeline="fused",
+    )
+    timings = [evaluation.timing]
+    if len(configs) > 1:
+        machine = Machine(evaluation.program)
+        for config in configs[1:]:
+            outcome = machine.run(pipeline="fused", machine_config=config)
+            timings.append(outcome.fused.timing)
+    return evaluation.trace, timings, evaluation.run.instructions

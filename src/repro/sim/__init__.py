@@ -1,5 +1,11 @@
 """Functional simulation: interpreter, memory, traces and value profiling."""
 
+from .fusedc import (
+    PIPELINES,
+    FusedOutcome,
+    ShapeAggregate,
+    default_pipeline,
+)
 from .machine import (
     CODE_BASE_ADDRESS,
     DISPATCH_TIERS,
@@ -15,10 +21,14 @@ from .trace import StaticEntry, StaticInfo, Trace, TraceRecord
 __all__ = [
     "CODE_BASE_ADDRESS",
     "DISPATCH_TIERS",
+    "PIPELINES",
     "Machine",
     "RunResult",
     "SimulationError",
     "SimulationLimitExceeded",
+    "FusedOutcome",
+    "ShapeAggregate",
+    "default_pipeline",
     "Memory",
     "load_program_data",
     "ValueProfiler",

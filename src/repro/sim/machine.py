@@ -55,7 +55,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Protocol
+from typing import TYPE_CHECKING, Callable, Optional, Protocol
 
 from ..isa import Imm, Instruction, Opcode, OpKind, Reg, Width, to_signed
 from ..isa.semantics import (
@@ -77,6 +77,10 @@ from .trace import (
     Trace,
     pack_record,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..uarch.config import MachineConfig
+    from .fusedc import FusedOutcome, FusedProgram
 
 __all__ = [
     "DISPATCH_TIERS",
@@ -156,6 +160,10 @@ class RunResult:
     halted: bool
     trace: Optional[Trace] = None
     call_counts: dict[str, int] = field(default_factory=dict)
+    #: Set by the fused pipeline (``run(pipeline="fused")``): the timing
+    #: result and shape aggregate a materialized run would need a trace
+    #: plus two analysis walks to produce.  ``trace`` is None then.
+    fused: Optional["FusedOutcome"] = None
 
     def instruction_counts(self, program: Program) -> dict[int, int]:
         """Per-static-instruction execution counts, derived from block counts."""
@@ -222,6 +230,9 @@ class Machine:
         # tier's compiled programs (one per collect_trace flavour).
         self._fast_makers: Optional[list] = None
         self._block_programs: dict[bool, BlockProgram] = {}
+        # Fused simulate→time→account programs, one per (machine config,
+        # probe flavour) — see repro.sim.fusedc.
+        self._fused_programs: dict[tuple, "FusedProgram"] = {}
         # Flatten the program into an address-indexed instruction sequence.
         self._flat: list[tuple[str, str, Instruction]] = []
         self._block_start: dict[tuple[str, str], int] = {}
@@ -273,6 +284,8 @@ class Machine:
         arguments: Optional[list[int]] = None,
         fast_dispatch: Optional[bool] = None,
         dispatch: Optional[str] = None,
+        pipeline: Optional[str] = None,
+        machine_config: Optional["MachineConfig"] = None,
     ) -> RunResult:
         """Execute the program from its entry function until HALT.
 
@@ -286,8 +299,30 @@ class Machine:
                 fast per-instruction tier, ``False`` the reference loop).
             dispatch: per-run tier override (``"block"``, ``"fast"`` or
                 ``"reference"``); wins over ``fast_dispatch``.
+            pipeline: ``"fused"`` runs the streaming simulate→time→account
+                tier (:mod:`repro.sim.fusedc`): no trace is materialized
+                and the result carries a :class:`FusedOutcome` instead.
+                ``"materialized"``/None is the classic trace pipeline.
+            machine_config: the :class:`~repro.uarch.MachineConfig` the
+                fused tier times against (default config when omitted);
+                only meaningful with ``pipeline="fused"``.
         """
         tier = _resolve_tier(fast_dispatch, dispatch, self.dispatch)
+        if pipeline not in (None, "materialized", "fused"):
+            raise ValueError(
+                f"unknown pipeline {pipeline!r}; expected 'fused' or 'materialized'"
+            )
+        if pipeline == "fused":
+            if collect_trace:
+                raise ValueError(
+                    "pipeline='fused' never materializes a trace; "
+                    "use the materialized pipeline with collect_trace"
+                )
+            if value_observer is not None:
+                raise ValueError("pipeline='fused' does not support value observers")
+            return self._run_fused(machine_config, arguments, tier)
+        if machine_config is not None:
+            raise ValueError("machine_config is only meaningful with pipeline='fused'")
         if tier == "block":
             return self._run_block(collect_trace, value_observer, arguments)
         if tier == "fast":
@@ -659,6 +694,118 @@ class Machine:
             trace=trace,
             call_counts=call_counts,
         )
+
+    # ------------------------------------------------------------------
+    # Fused pipeline (simulate + time + account in one streaming pass)
+    # ------------------------------------------------------------------
+    def _run_fused(
+        self,
+        machine_config: Optional["MachineConfig"] = None,
+        arguments: Optional[list[int]] = None,
+        tier: str = "block",
+        probe_sink: Optional[list] = None,
+    ) -> RunResult:
+        """Drive the fused tier (see :mod:`repro.sim.fusedc`).
+
+        The hot loop is the block tier's, but the compiled units update
+        the timing-kernel state and per-unit width-signature counts
+        inline instead of emitting trace rows.  Non-``block`` tiers and
+        mid-unit landings fall back to :meth:`_fused_fallback`, which is
+        bit-identical by construction (compiled timing kernel + trace
+        shape aggregation over a materialized run).  ``probe_sink``
+        additionally collects one timing-counter snapshot per record —
+        the hook ``repro.coexec.compare_fused`` bisects with.
+        """
+        from ..uarch.config import MachineConfig
+        from .fusedc import FusedOutcome, fused_program_for, timing_from_counters
+
+        config = machine_config if machine_config is not None else MachineConfig()
+        if tier != "block":
+            if probe_sink is not None:
+                raise RuntimeError("the fused per-record probe requires the block tier")
+            return self._fused_fallback(config, arguments, tier)
+        probe = probe_sink is not None
+        program = self._fused_programs.get((config, probe))
+        if program is None:
+            program = fused_program_for(self, config, probe=probe)
+            self._fused_programs[(config, probe)] = program
+
+        regs, memory, pc = self._init_run_state(arguments)
+        block_counts: dict[tuple[str, str], int] = {}
+        call_counts: dict[str, int] = {}
+        output: list[int] = []
+        funcs, collect, finalize = program.bind(
+            regs,
+            memory.load,
+            memory.store,
+            memory._pages.get,
+            memory._page,
+            output.append,
+            block_counts,
+            call_counts,
+            program.consts,
+            program.sig_cache.__getitem__,
+            probe_sink.append if probe_sink is not None else None,
+        )
+        lengths = program.lengths
+
+        executed = 0
+        limit = self.max_instructions
+        try:
+            # Mid-unit landings surface as calling the ``None`` slot —
+            # keeping the per-iteration ``is None`` test out of the hot
+            # loop — and are told apart from unit-internal TypeErrors by
+            # inspecting the slot afterwards.
+            while pc >= 0:
+                executed += lengths[pc]
+                if executed > limit:
+                    raise SimulationLimitExceeded(
+                        f"exceeded the limit of {self.max_instructions} dynamic instructions"
+                    )
+                pc = funcs[pc]()
+        except TypeError:
+            if not (0 <= pc < len(funcs)) or funcs[pc] is not None:
+                raise
+            if probe:
+                raise RuntimeError(
+                    "fused probe run landed mid-unit; no per-record stream exists"
+                ) from None
+            # A computed control transfer landed mid-block.  The run is
+            # deterministic, so rerunning it materialized from scratch
+            # produces the identical outcome.
+            return self._fused_fallback(config, arguments, tier)
+        except IndexError:
+            if 0 <= pc < len(funcs):
+                raise
+            raise SimulationError("program counter ran past the end of the program") from None
+
+        timing = timing_from_counters(finalize(), executed)
+        shapes = program.expand(
+            collect(), executed, self.static_info, self.static_info.uid_base
+        )
+        return RunResult(
+            instructions=executed,
+            output=output,
+            block_counts=block_counts,
+            halted=True,
+            trace=None,
+            call_counts=call_counts,
+            fused=FusedOutcome(timing=timing, shapes=shapes),
+        )
+
+    def _fused_fallback(
+        self,
+        config: "MachineConfig",
+        arguments: Optional[list[int]],
+        tier: str,
+    ) -> RunResult:
+        """Materialized-oracle rerun presenting a fused result surface."""
+        from .fusedc import outcome_from_trace
+
+        run = self.run(collect_trace=True, arguments=arguments, dispatch=tier)
+        run.fused = outcome_from_trace(run.trace, config)
+        run.trace = None
+        return run
 
     def _compile_handlers(
         self,

@@ -57,6 +57,23 @@ def assert_kernels_agree():
     return _assert
 
 
+@pytest.fixture
+def assert_fused_agrees():
+    """Fail with a bisected first-divergence report if the streaming fused
+    pipeline splits from the materialized oracle over one program."""
+    from repro.coexec import compare_fused
+
+    def _assert(program, config=None, max_instructions=20_000_000):
+        divergence = compare_fused(program, config, max_instructions=max_instructions)
+        if divergence is not None:
+            pytest.fail(
+                f"fused pipeline diverged from the materialized oracle:\n"
+                f"{divergence.describe()}"
+            )
+
+    return _assert
+
+
 @pytest.fixture(scope="session", autouse=True)
 def _hermetic_result_store(tmp_path_factory):
     """Point the default engine at a fresh store for the whole session."""
