@@ -1,0 +1,165 @@
+"""Supervision overhead on the happy path: fault-tolerant sweep vs direct.
+
+The resilience runtime threads several seams through the hot evaluation
+paths: a chaos probe and a classify-wrapping ``try`` around every sweep
+group, checksummed store publishes, stale-temp reaping at store open,
+and amortized budget probes in the simulator loops.  All of that must be
+(near) free when nothing fails — fault tolerance is bought for the
+unhappy path, not paid on every healthy sweep.
+
+Both sides run the identical warm design-space sweep (every group served
+by snapshot replay, zero simulator steps): the supervised side through
+the public ``engine.sweep`` (chaos probe + failure classification +
+error-row machinery armed), the direct side calling the group scorer
+with none of the supervision seams.  The supervised side must stay
+within ``_OVERHEAD_BAR`` of direct — the CI-enforced ceiling behind the
+"supervision is free until it isn't" claim in ``docs/resilience.md``.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+
+import pytest
+
+from repro.experiments.engine import ExperimentConfig, ExperimentEngine
+from repro.experiments.store import ResultStore
+from repro.experiments.sweep import SweepSpec, _score_group
+from repro.hardware import gating
+from repro.workloads import workload_by_name
+
+#: Suite workloads the warm sweep runs over.
+_WORKLOADS = ("li", "ijpeg")
+
+#: Supervised warm sweep may cost at most this multiple of the direct
+#: unsupervised scoring loop (CI-enforced ceiling).
+_OVERHEAD_BAR = 1.05
+
+
+@pytest.fixture(scope="module")
+def warm_sweep(tmp_path_factory):
+    """A store warmed with snapshots plus the sweep spec to score."""
+    root = tmp_path_factory.mktemp("resilience-store")
+    engine = ExperimentEngine(store=ResultStore(root), jobs=1)
+    spec = SweepSpec.cartesian(workloads=list(_WORKLOADS))
+    # Warm the snapshot layer: one materialized evaluation per workload.
+    for name in _WORKLOADS:
+        engine.evaluate(ExperimentConfig(workload=name), pipeline="materialized")
+    # Verify equivalence outside the timed region: both sides must
+    # produce identical row cells from the same warm snapshots.
+    supervised = {
+        (row.workload, row.config, row.policy): (row.cycles, row.energy_nj)
+        for row in engine.sweep(spec)
+    }
+    direct = {
+        (workload, config, policy): cell
+        for workload, config, policy, cell in _direct_cells(engine, spec)
+    }
+    assert supervised == direct
+    return engine, spec
+
+
+def _direct_cells(engine, spec):
+    """The sweep's per-group scoring with no supervision seams at all."""
+    points = list(spec.iter_points())
+    config_map = spec.config_map()
+    groups: dict[tuple, list[int]] = {}
+    for index, point in enumerate(points):
+        signature = (
+            point.workload,
+            point.mechanism,
+            point.threshold_nj,
+            point.conventional_vrp,
+        )
+        groups.setdefault(signature, []).append(index)
+    cells = []
+    for (name, mechanism, threshold_nj, conventional_vrp), indices in groups.items():
+        workload = workload_by_name(name)
+        config_names: list[str] = []
+        policy_names: list[str] = []
+        for index in indices:
+            point = points[index]
+            if point.config not in config_names:
+                config_names.append(point.config)
+            if point.policy not in policy_names:
+                policy_names.append(point.policy)
+        configs = [config_map[config_name] for config_name in config_names]
+        policies = {policy: gating.get(policy) for policy in policy_names}
+        _, timings, _, energies = _score_group(
+            engine,
+            workload,
+            mechanism,
+            threshold_nj,
+            conventional_vrp,
+            configs,
+            policies,
+            "auto",
+        )
+        position = {config_name: i for i, config_name in enumerate(config_names)}
+        for index in indices:
+            point = points[index]
+            at = position[point.config]
+            cells.append(
+                (
+                    point.workload,
+                    point.config,
+                    point.policy,
+                    (timings[at].cycles, energies[at][point.policy].total),
+                )
+            )
+    return cells
+
+
+def _timed(fn, *args) -> float:
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        fn(*args)
+        return time.perf_counter() - start
+    finally:
+        gc.enable()
+
+
+def _supervised_pass(engine, spec):
+    for _ in engine.sweep(spec):
+        pass
+
+
+def _direct_pass(engine, spec):
+    _direct_cells(engine, spec)
+
+
+def _measure(engine, spec, rounds: int = 5) -> dict[str, float]:
+    """Interleaved best-of-``rounds`` seconds per side, so one background
+    hiccup cannot skew a single side."""
+    best = {"supervised": float("inf"), "direct": float("inf")}
+    for _ in range(rounds):
+        best["direct"] = min(best["direct"], _timed(_direct_pass, engine, spec))
+        best["supervised"] = min(
+            best["supervised"], _timed(_supervised_pass, engine, spec)
+        )
+    return best
+
+
+def test_supervision_overhead_on_warm_sweep(benchmark, warm_sweep):
+    engine, spec = warm_sweep
+    best = benchmark.pedantic(_measure, args=(engine, spec), rounds=1, iterations=1)
+    ratio = best["supervised"] / best["direct"]
+    if ratio > _OVERHEAD_BAR:
+        # One remeasure before failing: a loaded shared runner can skew a
+        # single sample set; the bar guards a property of the code, not
+        # of the scheduler.
+        best = _measure(engine, spec)
+        ratio = min(ratio, best["supervised"] / best["direct"])
+
+    benchmark.extra_info["rows"] = len(spec)
+    benchmark.extra_info["direct_ms"] = round(best["direct"] * 1e3, 2)
+    benchmark.extra_info["supervised_ms"] = round(best["supervised"] * 1e3, 2)
+    benchmark.extra_info["overhead_ratio"] = round(ratio, 4)
+
+    assert ratio <= _OVERHEAD_BAR, (
+        f"supervised warm sweep costs {ratio:.3f}x the direct scoring loop "
+        f"(ceiling: {_OVERHEAD_BAR}x over {len(spec)} rows)"
+    )

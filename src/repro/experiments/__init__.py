@@ -12,6 +12,14 @@ API on :func:`default_engine`:
   ``docs/sweeps.md``),
 * ``engine.compute(point)`` — the uncached live pipeline (trace attached).
 
+Evaluation is fault tolerant (see ``docs/resilience.md``): the pool
+fan-out runs under :func:`supervised_map` with retries and staged
+degradation, ``on_error="keep"`` turns per-point failures into
+error-carrying summaries/rows instead of aborted sweeps,
+:meth:`ResultStore.fsck` verifies and quarantines corrupt store files,
+and the :mod:`~repro.experiments.chaos` harness injects deterministic
+faults for testing (``REPRO_CHAOS``).
+
 The legacy free functions (``evaluate_program``, ``evaluate_workload``,
 ``evaluate_suite``, ``compute_evaluation``) are deprecated shims over the
 default engine, kept for compatibility.
@@ -55,8 +63,20 @@ from .energy import (
     figure14_hardware_energy_by_structure,
     table1_alu_energy_matrix,
 )
+from .chaos import ChaosInjectedError, chaos_probe, parse_chaos_spec, reset_chaos
 from .engine import ExperimentConfig, ExperimentEngine, default_engine, reset_default_engine
 from .report import format_percent, format_table
+from .resilience import (
+    CorruptEntry,
+    EvaluationError,
+    ResourceExhausted,
+    RetryPolicy,
+    SimulationFault,
+    TaskTimeout,
+    WorkerCrash,
+    classify_failure,
+    supervised_map,
+)
 from .runner import (
     POLICY_NAMES,
     SimulationOutcome,
@@ -68,7 +88,7 @@ from .runner import (
     evaluate_workload,
     policy_for,
 )
-from .store import ResultStore, StoreEntry, config_key, default_store_root
+from .store import FsckReport, ResultStore, StoreEntry, config_key, default_store_root
 from .summary import EvaluationSummary
 from .sweep import (
     SweepPoint,
@@ -118,9 +138,23 @@ __all__ = [
     "default_sweep_configs",
     "ResultStore",
     "StoreEntry",
+    "FsckReport",
     "config_key",
     "default_store_root",
     "EvaluationSummary",
+    "ChaosInjectedError",
+    "chaos_probe",
+    "parse_chaos_spec",
+    "reset_chaos",
+    "CorruptEntry",
+    "EvaluationError",
+    "ResourceExhausted",
+    "RetryPolicy",
+    "SimulationFault",
+    "TaskTimeout",
+    "WorkerCrash",
+    "classify_failure",
+    "supervised_map",
     "POLICY_NAMES",
     "SimulationOutcome",
     "WorkloadEvaluation",

@@ -579,6 +579,31 @@ def _cmd_ls(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    store = ResultStore()
+    if not store.enabled:
+        print("result store is disabled (REPRO_RESULT_STORE=off)")
+        return 0
+    report = store.fsck(repair=not args.no_repair)
+    if args.json:
+        print(json.dumps(report.to_json_dict(), indent=2, sort_keys=True))
+        return 0 if report.clean else 1
+    print(f"store root: {store.root}")
+    print(
+        f"entries: {report.ok_entries}/{report.scanned_entries} ok, "
+        f"traces: {report.ok_traces}/{report.scanned_traces} ok, "
+        f"stale temp files reaped: {report.reaped_tmp}"
+    )
+    if report.clean:
+        print("store is clean")
+        return 0
+    verb = "quarantined" if report.repaired else "found (run without --no-repair to quarantine)"
+    print(f"{len(report.quarantined)} corrupt file(s) {verb}:")
+    for path, reason in report.quarantined:
+        print(f"  {path}: {reason}")
+    return 1
+
+
 def _cmd_clear(args: argparse.Namespace) -> int:
     store = ResultStore()
     if not store.enabled:
@@ -775,6 +800,20 @@ def main(argv: list[str] | None = None) -> int:
 
     ls_parser = subparsers.add_parser("ls", help="list persisted results")
     ls_parser.set_defaults(func=_cmd_ls)
+
+    fsck_parser = subparsers.add_parser(
+        "fsck",
+        help="verify every store entry and trace snapshot, quarantining corrupt files",
+    )
+    fsck_parser.add_argument(
+        "--no-repair",
+        action="store_true",
+        help="report corruption without quarantining anything",
+    )
+    fsck_parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    fsck_parser.set_defaults(func=_cmd_fsck)
 
     clear_parser = subparsers.add_parser("clear", help="empty the result store")
     clear_parser.add_argument("--yes", action="store_true", help="skip the confirmation prompt")

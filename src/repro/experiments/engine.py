@@ -35,6 +35,13 @@ from typing import TYPE_CHECKING
 from ..sim.fusedc import PIPELINES, default_pipeline
 from ..uarch import MachineConfig
 from ..workloads import Workload, load_suite, workload_by_name
+from .chaos import chaos_probe
+from .resilience import (
+    EvaluationError,
+    RetryPolicy,
+    classify_failure,
+    supervised_map,
+)
 from .runner import (
     WorkloadEvaluation,
     _compute_evaluation,
@@ -106,6 +113,38 @@ def _resolve_pipeline(pipeline: str, store: Optional[ResultStore]) -> str:
     return pipeline
 
 
+def _task_timeout_s() -> Optional[float]:
+    """Per-task deadline for the pool fan-out (``REPRO_TASK_TIMEOUT_S``)."""
+    value = os.environ.get("REPRO_TASK_TIMEOUT_S", "")
+    if not value:
+        return None
+    try:
+        parsed = float(value)
+    except ValueError:
+        return None
+    return parsed if parsed > 0 else None
+
+
+def _failure_evaluation(
+    config: ExperimentConfig, workload: Workload, error: EvaluationError
+) -> WorkloadEvaluation:
+    """An error-carrying evaluation for ``on_error="keep"`` degradation.
+
+    Never memoized and never persisted: the zero-filled summary exists so
+    a partially failed sweep can report *which* points failed and why
+    instead of aborting wholesale.
+    """
+    summary = EvaluationSummary.from_failure(
+        workload=config.workload,
+        mechanism=config.mechanism,
+        threshold_nj=config.threshold_nj,
+        conventional_vrp=config.conventional_vrp,
+        kind=error.kind,
+        message=str(error),
+    )
+    return WorkloadEvaluation.from_summary(workload, summary)
+
+
 def _compute_summary_for(
     config: ExperimentConfig,
     store_root: Optional[str] = None,
@@ -133,6 +172,7 @@ def _compute_summary_for(
     summaries (enforced by the differential tests), so results computed
     under different tiers are interchangeable.
     """
+    chaos_probe("worker-task")
     workload = workload_by_name(config.workload)
     key = config_key(
         workload,
@@ -202,7 +242,9 @@ def _replay_from_snapshot(
             type(exc).__name__,
             exc,
         )
-        ResultStore._evict(store.trace_path_for(key))
+        store.quarantine(
+            store.trace_path_for(key), f"unreplayable: {type(exc).__name__}: {exc}"
+        )
         return None
 
 
@@ -272,12 +314,20 @@ class ExperimentEngine:
         config: ExperimentConfig,
         workload: Optional[Workload] = None,
         pipeline: str = "auto",
+        on_error: str = "raise",
     ) -> WorkloadEvaluation:
         """Resolve one configuration: memo → store → replay → compute.
 
         ``workload`` lets callers evaluate a hand-modified workload object;
         its content hash (not just its name) keys the result, so a modified
         workload never aliases the registry entry.
+
+        ``on_error`` selects the partial-failure semantics: ``"raise"``
+        (the default) propagates the classified
+        :class:`~repro.experiments.resilience.EvaluationError`;
+        ``"keep"`` returns an error-carrying evaluation instead (its
+        ``summary.failure`` holds the kind and message; nothing is
+        memoized or persisted for the failed point).
 
         ``pipeline`` selects the live path for a cold compute (see
         :func:`_resolve_pipeline`): ``"auto"`` runs the fused streaming
@@ -291,6 +341,8 @@ class ExperimentEngine:
         are restored, summary-only objects.  Callers that require a live
         trace should use :meth:`compute`.
         """
+        if on_error not in ("raise", "keep"):
+            raise ValueError(f"unknown on_error mode {on_error!r}; expected 'raise' or 'keep'")
         if workload is None:
             workload = workload_by_name(config.workload)
         key = self.key_for(config, workload)
@@ -307,14 +359,26 @@ class ExperimentEngine:
                 evaluation = WorkloadEvaluation.from_summary(workload, replayed)
                 evaluation.replayed_from_store = True
             else:
-                evaluation = _compute_evaluation(
-                    workload,
-                    mechanism=config.mechanism,
-                    threshold_nj=config.threshold_nj,
-                    conventional_vrp=config.conventional_vrp,
-                    machine_config=config.machine_config,
-                    pipeline=_resolve_pipeline(pipeline, self.store),
-                )
+                try:
+                    evaluation = _compute_evaluation(
+                        workload,
+                        mechanism=config.mechanism,
+                        threshold_nj=config.threshold_nj,
+                        conventional_vrp=config.conventional_vrp,
+                        machine_config=config.machine_config,
+                        pipeline=_resolve_pipeline(pipeline, self.store),
+                    )
+                except Exception as exc:
+                    failure = classify_failure(exc)
+                    if on_error == "raise":
+                        raise failure from exc
+                    _log.warning(
+                        "evaluate(%s/%s): keeping failure %s",
+                        config.workload,
+                        config.mechanism,
+                        failure.describe(),
+                    )
+                    return _failure_evaluation(config, workload, failure)
                 if self.store.enabled:
                     self.store.save(key, evaluation.summarize())
                     self._save_snapshot(config, workload, evaluation)
@@ -355,6 +419,7 @@ class ExperimentEngine:
         configs: Sequence[ExperimentConfig],
         jobs: Optional[int] = None,
         pipeline: str = "auto",
+        on_error: str = "raise",
     ) -> list[WorkloadEvaluation]:
         """Evaluate many independent configurations, in parallel when possible.
 
@@ -372,7 +437,21 @@ class ExperimentEngine:
         machine's CPU count.  Use :meth:`compute` when a live trace is
         genuinely required (:meth:`evaluate` returns a live object only
         when it computes; store hits are restored there too).
+
+        The fan-out runs under :func:`~repro.experiments.resilience.supervised_map`:
+        transient worker failures are retried with backoff, hung workers
+        are reaped when ``REPRO_TASK_TIMEOUT_S`` is set, and pool
+        collapses degrade in stages down to in-process serial evaluation
+        — each stage logged.  ``on_error`` picks the partial-failure
+        semantics for *permanent* per-task failures: ``"raise"`` (the
+        default) propagates the first classified
+        :class:`~repro.experiments.resilience.EvaluationError`; ``"keep"``
+        returns error-carrying evaluations (``summary.failure`` set,
+        nothing persisted) in the failed slots so the healthy points
+        survive.
         """
+        if on_error not in ("raise", "keep"):
+            raise ValueError(f"unknown on_error mode {on_error!r}; expected 'raise' or 'keep'")
         results: list[Optional[WorkloadEvaluation]] = [None] * len(configs)
         # Deduplicate misses by key: the same configuration requested twice
         # in one call must be simulated once.
@@ -422,28 +501,47 @@ class ExperimentEngine:
                     # before dying; serve those instead of recomputing.
                     summary = self.store.load(key)
                     if summary is not None:
-                        produced.append((key, summary, False, False))
+                        produced.append((key, summary, False, False, None))
                         continue
                     replayed = self._replay_summary(config, workload)
                     if replayed is not None:
                         self.store.save(key, replayed)
-                        produced.append((key, replayed, False, True))
+                        produced.append((key, replayed, False, True, None))
                         continue
-                    live = _compute_evaluation(
-                        workload,
-                        mechanism=config.mechanism,
-                        threshold_nj=config.threshold_nj,
-                        conventional_vrp=config.conventional_vrp,
-                        machine_config=config.machine_config,
-                        pipeline=resolved_pipeline,
-                    )
+                    try:
+                        live = _compute_evaluation(
+                            workload,
+                            mechanism=config.mechanism,
+                            threshold_nj=config.threshold_nj,
+                            conventional_vrp=config.conventional_vrp,
+                            machine_config=config.machine_config,
+                            pipeline=resolved_pipeline,
+                        )
+                    except Exception as exc:
+                        produced.append((key, None, False, False, classify_failure(exc)))
+                        continue
                     summary = live.summarize()
                     self.store.save(key, summary)
                     self._save_snapshot(config, workload, live)
-                    produced.append((key, summary, True, False))
-            for (key, (_, workload)), (worker_key, summary, fresh, replayed) in zip(
+                    produced.append((key, summary, True, False, None))
+            for (key, (config, workload)), (worker_key, summary, fresh, replayed, error) in zip(
                 order, produced
             ):
+                if error is not None:
+                    if on_error == "raise":
+                        raise error
+                    _log.warning(
+                        "map(%s/%s): keeping failure %s",
+                        config.workload,
+                        config.mechanism,
+                        error.describe(),
+                    )
+                    evaluation = _failure_evaluation(config, workload, error)
+                    # Failed points are never memoized: a later request
+                    # must get a fresh chance at a healthy evaluation.
+                    for index in missing_indices[key]:
+                        results[index] = evaluation
+                    continue
                 evaluation = WorkloadEvaluation.from_summary(workload, summary)
                 evaluation.freshly_computed = fresh
                 evaluation.replayed_from_store = replayed
@@ -460,6 +558,7 @@ class ExperimentEngine:
         machine_config: Optional[MachineConfig] = None,
         jobs: Optional[int] = None,
         pipeline: str = "auto",
+        on_error: str = "raise",
     ) -> dict[str, WorkloadEvaluation]:
         """Evaluate every workload of the SpecInt95-analogue suite.
 
@@ -477,7 +576,7 @@ class ExperimentEngine:
             )
             for workload in load_suite()
         ]
-        evaluations = self.map(configs, jobs=jobs, pipeline=pipeline)
+        evaluations = self.map(configs, jobs=jobs, pipeline=pipeline, on_error=on_error)
         return {evaluation.workload.name: evaluation for evaluation in evaluations}
 
     def sweep(
@@ -485,6 +584,7 @@ class ExperimentEngine:
         spec: "SweepSpec",
         workloads: Optional["Mapping[str, Workload]"] = None,
         pipeline: str = "auto",
+        on_error: str = "keep",
     ) -> "Iterator[SweepRow]":
         """Stream one :class:`~repro.experiments.sweep.SweepRow` per spec point.
 
@@ -499,62 +599,81 @@ class ExperimentEngine:
         """
         from .sweep import run_sweep
 
-        return run_sweep(self, spec, workloads=workloads, pipeline=pipeline)
+        return run_sweep(
+            self, spec, workloads=workloads, pipeline=pipeline, on_error=on_error
+        )
 
     def _map_parallel(
         self,
         configs: Sequence[ExperimentConfig],
         worker_count: int,
         pipeline: str = "auto",
-    ) -> Optional[list[tuple[str, "EvaluationSummary", bool, bool]]]:
-        """Fan the missing configurations out across a process pool.
+    ) -> Optional[
+        list[tuple[str, Optional["EvaluationSummary"], bool, bool, Optional[EvaluationError]]]
+    ]:
+        """Fan the missing configurations out under supervision.
 
-        Results are persisted to the store *as they arrive*, so an
-        interrupted sweep loses at most the configurations still in flight.
-        Returns None only when the pool *infrastructure* is unavailable or
-        dies — including a worker killed abruptly (OOM, segfault), which
-        ``ProcessPoolExecutor`` surfaces as ``BrokenProcessPool`` where a
-        raw ``multiprocessing.Pool`` would hang forever; the caller then
-        falls back to in-process serial evaluation, which picks up any
-        partial progress from the store.  A genuine simulation error raised
-        by a worker propagates to the caller — re-running a deterministic
-        failure serially would only double the latency and hide the
-        traceback.
+        Results are persisted to the store *as they arrive* (the
+        supervisor's ``on_result`` hook), so an interrupted sweep loses at
+        most the configurations still in flight.  Transient worker
+        failures are retried with deterministic backoff; a hung worker is
+        reaped when ``REPRO_TASK_TIMEOUT_S`` is set; pool collapses
+        escalate through the degradation stages (replace-worker →
+        fresh-pool → serial), each logged — see
+        :func:`repro.experiments.resilience.supervised_map`.
+
+        Returns None only when the pool infrastructure cannot be created
+        at all (restricted sandboxes); the caller's serial fallback then
+        picks up any partial progress from the store.  Permanent per-task
+        failures come back as the fifth tuple element instead of raising,
+        so ``map`` can apply its ``on_error`` semantics.
         """
-        import multiprocessing
-        from concurrent.futures import ProcessPoolExecutor, as_completed
-        from concurrent.futures.process import BrokenProcessPool
+        store_root = str(self.store.root) if self.store.enabled else None
+        tasks = [(config, store_root, pipeline) for config in configs]
+        arrived: dict[int, tuple[str, EvaluationSummary, bool]] = {}
+
+        def persist(position: int, value) -> None:
+            worker_key, summary_dict, replayed = value
+            summary = EvaluationSummary.from_json_dict(summary_dict)
+            self.store.save(worker_key, summary)
+            arrived[position] = (worker_key, summary, replayed)
 
         try:
-            context = multiprocessing.get_context(
-                "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+            outcomes = supervised_map(
+                _compute_summary_for,
+                tasks,
+                worker_count,
+                task_timeout_s=_task_timeout_s(),
+                retry=RetryPolicy(),
+                on_result=persist,
+                logger=_log,
             )
-            executor = ProcessPoolExecutor(max_workers=worker_count, mp_context=context)
-        except (OSError, ValueError, RuntimeError, ImportError):
+        except (OSError, ValueError, RuntimeError, ImportError) as exc:
+            # The silent `return None` this replaces hid real environment
+            # problems; name the failure and the degradation stage so a
+            # slow sandboxed run is explainable from its logs.
+            _log.warning(
+                "experiment engine: process-pool fan-out unavailable (%s: %s); "
+                "degradation stage 'serial': evaluating %d configuration(s) in-process",
+                type(exc).__name__,
+                exc,
+                len(configs),
+            )
             return None
-        store_root = str(self.store.root) if self.store.enabled else None
-        try:
-            with executor:
-                futures = {
-                    executor.submit(
-                        _compute_summary_for, config, store_root, pipeline
-                    ): position
-                    for position, config in enumerate(configs)
-                }
-                produced: list[Optional[tuple[str, EvaluationSummary, bool, bool]]] = [
-                    None
-                ] * len(configs)
-                # Persist in *arrival* order: if the sweep dies while the
-                # slowest worker is still running, everything already
-                # finished has hit the disk.
-                for future in as_completed(futures):
-                    worker_key, summary_dict, replayed = future.result()
-                    summary = EvaluationSummary.from_json_dict(summary_dict)
-                    self.store.save(worker_key, summary)
-                    produced[futures[future]] = (worker_key, summary, not replayed, replayed)
-                return produced  # type: ignore[return-value]
-        except (BrokenProcessPool, OSError, EOFError, BrokenPipeError):
-            return None
+
+        produced: list[
+            tuple[str, Optional[EvaluationSummary], bool, bool, Optional[EvaluationError]]
+        ] = []
+        for position, (config, outcome) in enumerate(zip(configs, outcomes)):
+            if outcome.ok:
+                worker_key, summary, replayed = arrived[position]
+                produced.append((worker_key, summary, not replayed, replayed, None))
+            else:
+                workload = workload_by_name(config.workload)
+                produced.append(
+                    (self.key_for(config, workload), None, False, False, outcome.error)
+                )
+        return produced
 
     # ------------------------------------------------------------------
     # Maintenance

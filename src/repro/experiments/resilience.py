@@ -1,0 +1,451 @@
+"""Supervised execution: error taxonomy, retry policy, staged degradation.
+
+The fault-tolerance substrate under the experiment engine's process-pool
+fan-out (and, for :class:`ResourceExhausted`, under the simulator's
+resource budgets).  Three pieces:
+
+* a structured :class:`EvaluationError` taxonomy that classifies every
+  failure as *transient* (worth retrying: a killed worker, a corrupt
+  store entry that was evicted, a task deadline) or *permanent* (a
+  deterministic simulation fault, an exhausted resource budget —
+  retrying would reproduce it exactly),
+* :class:`RetryPolicy`: bounded retries with exponential backoff and
+  *deterministic* jitter (SHA-256 over a caller token, never a PRNG —
+  two runs of the same scenario back off identically),
+* :func:`supervised_map`: the ``ProcessPoolExecutor`` fan-out with
+  per-task deadlines, hung-worker reaping, and staged degradation —
+  ``retry-task`` → ``replace-worker`` → ``fresh-pool`` → ``serial`` —
+  each stage logged with a structured warning instead of the silent
+  fallback it replaces.
+
+This module deliberately imports nothing from the rest of the package
+(stdlib only): the simulator raises :class:`ResourceExhausted` through a
+lazy import, so no ``sim`` ↔ ``experiments`` cycle can form.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import logging
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+__all__ = [
+    "CorruptEntry",
+    "DEGRADATION_STAGES",
+    "EvaluationError",
+    "ResourceExhausted",
+    "RetryPolicy",
+    "SimulationFault",
+    "TaskOutcome",
+    "TaskTimeout",
+    "WorkerCrash",
+    "classify_failure",
+    "supervised_map",
+]
+
+_log = logging.getLogger(__name__)
+
+#: Degradation stages of :func:`supervised_map`, in escalation order.
+DEGRADATION_STAGES = ("retry-task", "replace-worker", "fresh-pool", "serial")
+
+
+# ----------------------------------------------------------------------
+# Failure taxonomy
+# ----------------------------------------------------------------------
+class EvaluationError(Exception):
+    """Base of the structured failure taxonomy.
+
+    ``transient`` says whether retrying the same task can succeed:
+    a crashed worker or an evicted corrupt entry can, a deterministic
+    simulation fault or an exhausted resource budget cannot.
+    """
+
+    transient = False
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+    def describe(self) -> str:
+        return f"{self.kind}: {self}"
+
+
+class WorkerCrash(EvaluationError):
+    """A worker process died abruptly (OOM kill, segfault, SIGKILL)."""
+
+    transient = True
+
+
+class TaskTimeout(EvaluationError):
+    """A task exceeded its deadline and its worker was reaped."""
+
+    transient = True
+
+
+class ResourceExhausted(EvaluationError):
+    """A resource budget (wall time, instructions, arena bytes) was hit.
+
+    Permanent: the simulation is deterministic, so a retry burns the
+    same budget to the same cliff.  Raised by ``Machine.run`` when
+    budgets are configured (see ``docs/resilience.md``).
+    """
+
+    transient = False
+
+
+class CorruptEntry(EvaluationError):
+    """A store entry or snapshot failed verification and was quarantined.
+
+    Transient: the corrupt bytes are out of the way, so recomputing (and
+    re-persisting) the entry succeeds.
+    """
+
+    transient = True
+
+
+class SimulationFault(EvaluationError):
+    """The simulated program itself failed (illegal op, bad address, limit).
+
+    Permanent: deterministic programs fail deterministically.
+    """
+
+    transient = False
+
+
+def classify_failure(error: BaseException) -> EvaluationError:
+    """Wrap an arbitrary exception into the taxonomy (idempotent).
+
+    Pool-infrastructure failures become :class:`WorkerCrash`; simulator
+    errors become :class:`SimulationFault`; anything unrecognized is a
+    permanent :class:`SimulationFault` too — guessing "transient" for an
+    unknown failure turns one bug into ``max_attempts`` bugs.
+    """
+    if isinstance(error, EvaluationError):
+        return error
+    name = type(error).__name__
+    if name in ("BrokenProcessPool", "BrokenExecutor") or isinstance(
+        error, (EOFError, BrokenPipeError, ConnectionError)
+    ):
+        wrapped: EvaluationError = WorkerCrash(f"{name}: {error}")
+    elif name == "SimulationLimitExceeded":
+        wrapped = ResourceExhausted(f"{name}: {error}")
+    elif isinstance(error, (TimeoutError, OSError)):
+        wrapped = WorkerCrash(f"{name}: {error}")
+    elif name == "ChaosInjectedError":
+        wrapped = WorkerCrash(f"{name}: {error}")
+    else:
+        wrapped = SimulationFault(f"{name}: {error}")
+    wrapped.__cause__ = error
+    return wrapped
+
+
+# ----------------------------------------------------------------------
+# Retry policy
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic jitter.
+
+    ``delay_for(attempt, token)`` grows ``base_delay_s * 2**attempt``
+    capped at ``max_delay_s``, then spreads it by up to ``jitter``
+    (fractional) using a SHA-256 hash of ``(token, attempt)`` — fully
+    deterministic for a given token, so chaos tests replay the exact
+    schedule while distinct tasks still de-synchronize.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    jitter: float = 0.25
+
+    def delay_for(self, attempt: int, token: str = "") -> float:
+        delay = min(self.base_delay_s * (2.0 ** max(0, attempt - 1)), self.max_delay_s)
+        if self.jitter > 0.0:
+            digest = hashlib.sha256(f"{token}:{attempt}".encode()).digest()
+            unit = int.from_bytes(digest[:8], "big") / float(1 << 64)
+            delay *= 1.0 + self.jitter * (2.0 * unit - 1.0)
+        return max(0.0, delay)
+
+    def should_retry(self, attempt: int, error: EvaluationError) -> bool:
+        """True when ``error`` is transient and attempts remain."""
+        return error.transient and attempt < self.max_attempts
+
+    def sleep(self, attempt: int, token: str = "") -> float:
+        delay = self.delay_for(attempt, token)
+        if delay > 0.0:
+            time.sleep(delay)
+        return delay
+
+
+# ----------------------------------------------------------------------
+# Supervised fan-out
+# ----------------------------------------------------------------------
+@dataclass
+class TaskOutcome:
+    """Terminal state of one supervised task."""
+
+    index: int
+    value: object = None
+    error: Optional[EvaluationError] = None
+    attempts: int = 1
+    stage: str = "pool"  # where the terminal attempt ran: "pool" | "serial"
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class _Pending:
+    index: int
+    attempts: int = 0
+    started: float = field(default_factory=time.monotonic)
+
+
+def _kill_pool_processes(executor) -> None:
+    """SIGKILL every worker of ``executor`` (hung-worker reaping).
+
+    The resulting ``BrokenProcessPool`` is the *intended* signal: the
+    supervisor catches it and escalates one degradation stage.
+    """
+    import os
+    import signal
+
+    processes = getattr(executor, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            os.kill(process.pid, signal.SIGKILL)
+        except (OSError, AttributeError):
+            pass
+
+
+def supervised_map(
+    fn: Callable,
+    tasks: Sequence[tuple],
+    worker_count: int,
+    *,
+    task_timeout_s: Optional[float] = None,
+    retry: Optional[RetryPolicy] = None,
+    max_pool_failures: int = 2,
+    on_result: Optional[Callable[[int, object], None]] = None,
+    logger: Optional[logging.Logger] = None,
+) -> list[TaskOutcome]:
+    """Run ``fn(*task)`` for every task under supervision.
+
+    Per-task deadlines (``task_timeout_s``: if no task completes within
+    the window and some are running, their workers are reaped), bounded
+    retries for transient failures (``retry``), and staged degradation:
+    the first pool collapse is answered by rebuilding the pool
+    (``replace-worker``), the second by a fresh pool (``fresh-pool``),
+    the third by finishing in-process (``serial``).  Every escalation is
+    logged as a structured warning.  ``on_result`` runs in the parent on
+    each success *in arrival order* (persist-as-they-arrive semantics).
+
+    Permanent failures never raise from here: each lands in its task's
+    :class:`TaskOutcome.error` and the caller decides whether to raise or
+    degrade gracefully.  Returns one outcome per task, in task order.
+
+    Raises :class:`OSError`/:class:`RuntimeError` subclasses only if the
+    *initial* pool cannot even be created; callers treat that exactly
+    like the final ``serial`` stage.
+    """
+    log = logger if logger is not None else _log
+    policy = retry if retry is not None else RetryPolicy()
+    outcomes: list[Optional[TaskOutcome]] = [None] * len(tasks)
+
+    def run_serial(indices: Sequence[int], attempts: dict[int, int]) -> None:
+        for index in indices:
+            attempt = attempts.get(index, 0) + 1
+            try:
+                value = fn(*tasks[index])
+            except BaseException as error:  # noqa: BLE001 - classified below
+                outcomes[index] = TaskOutcome(
+                    index=index,
+                    error=classify_failure(error),
+                    attempts=attempt,
+                    stage="serial",
+                )
+                continue
+            if on_result is not None:
+                on_result(index, value)
+            outcomes[index] = TaskOutcome(
+                index=index, value=value, attempts=attempt, stage="serial"
+            )
+
+    if worker_count <= 1 or len(tasks) <= 1:
+        run_serial(range(len(tasks)), {})
+        return [outcome for outcome in outcomes if outcome is not None]
+
+    import multiprocessing
+    from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+    from concurrent.futures.process import BrokenProcessPool
+
+    def make_pool() -> ProcessPoolExecutor:
+        context = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+        )
+        return ProcessPoolExecutor(max_workers=worker_count, mp_context=context)
+
+    executor = make_pool()  # initial creation failure propagates (see docstring)
+    attempts: dict[int, int] = {}
+    unfinished: set[int] = set(range(len(tasks)))
+    pool_failures = 0
+
+    def submit_all(indices) -> dict:
+        futures = {}
+        for index in indices:
+            attempts[index] = attempts.get(index, 0) + 1
+            futures[executor.submit(fn, *tasks[index])] = _Pending(
+                index=index, attempts=attempts[index]
+            )
+        return futures
+
+    futures = submit_all(sorted(unfinished))
+    try:
+        while futures:
+            done, _ = wait(
+                set(futures), timeout=task_timeout_s, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                # Deadline: nothing finished inside the window.  Reap the
+                # pool — SIGKILL models the hung/hogging worker being torn
+                # down — and let the BrokenProcessPool surface below on
+                # the next result fetch.
+                running = sorted(
+                    pending.index
+                    for future, pending in futures.items()
+                    if future.running()
+                )
+                log.warning(
+                    "supervised map: no task completed within %.1fs deadline; "
+                    "reaping worker(s) running task(s) %s",
+                    task_timeout_s,
+                    running or "unknown",
+                )
+                for index in running:
+                    # A reaped task consumed an attempt; charge a timeout
+                    # if its budget is gone so it does not retry forever.
+                    if attempts.get(index, 0) >= policy.max_attempts:
+                        outcomes[index] = TaskOutcome(
+                            index=index,
+                            error=TaskTimeout(
+                                f"task {index} exceeded its {task_timeout_s:.1f}s deadline "
+                                f"{attempts[index]} time(s)"
+                            ),
+                            attempts=attempts[index],
+                        )
+                        unfinished.discard(index)
+                _kill_pool_processes(executor)
+                done, _ = wait(set(futures), timeout=30.0, return_when=FIRST_COMPLETED)
+                if not done:
+                    raise BrokenProcessPool("reaped workers did not surface")
+            retry_later: list[int] = []
+            try:
+                for future in done:
+                    pending = futures.pop(future)
+                    index = pending.index
+                    if outcomes[index] is not None:  # already charged a timeout
+                        continue
+                    try:
+                        value = future.result()
+                    except BrokenProcessPool:
+                        raise
+                    except BaseException as error:  # noqa: BLE001 - classified
+                        failure = classify_failure(error)
+                        if policy.should_retry(pending.attempts, failure):
+                            delay = policy.sleep(pending.attempts, token=f"task-{index}")
+                            log.warning(
+                                "supervised map degradation stage 'retry-task': "
+                                "task %d failed (%s), retry %d/%d after %.3fs backoff",
+                                index,
+                                failure.describe(),
+                                pending.attempts,
+                                policy.max_attempts - 1,
+                                delay,
+                            )
+                            retry_later.append(index)
+                        else:
+                            outcomes[index] = TaskOutcome(
+                                index=index,
+                                error=failure,
+                                attempts=pending.attempts,
+                            )
+                            unfinished.discard(index)
+                        continue
+                    if on_result is not None:
+                        on_result(index, value)
+                    outcomes[index] = TaskOutcome(
+                        index=index, value=value, attempts=pending.attempts
+                    )
+                    unfinished.discard(index)
+            except (BrokenProcessPool, OSError, EOFError, BrokenPipeError) as error:
+                pool_failures += 1
+                crash = classify_failure(error)
+                # Cancel bookkeeping for in-flight futures; unfinished
+                # tasks are resubmitted (or run serially) below.
+                for future in list(futures):
+                    futures.pop(future)
+                try:
+                    executor.shutdown(wait=False, cancel_futures=True)
+                except Exception:
+                    pass
+                # Charge the crash against every unfinished task so a
+                # poison task that kills its worker cannot loop forever.
+                exhausted = [
+                    index
+                    for index in sorted(unfinished)
+                    if not policy.should_retry(attempts.get(index, 0), crash)
+                ]
+                for index in exhausted:
+                    outcomes[index] = TaskOutcome(
+                        index=index,
+                        error=WorkerCrash(
+                            f"worker died {attempts.get(index, 0)} time(s) running "
+                            f"task {index} ({crash})"
+                        ),
+                        attempts=attempts.get(index, 0),
+                    )
+                    unfinished.discard(index)
+                if not unfinished:
+                    break
+                stage = (
+                    "replace-worker"
+                    if pool_failures == 1
+                    else "fresh-pool"
+                    if pool_failures <= max_pool_failures
+                    else "serial"
+                )
+                log.warning(
+                    "supervised map degradation stage %r: pool failure #%d "
+                    "(%s); %d task(s) unfinished",
+                    stage,
+                    pool_failures,
+                    crash.describe(),
+                    len(unfinished),
+                )
+                if stage == "serial":
+                    run_serial(sorted(unfinished), attempts)
+                    unfinished.clear()
+                    break
+                policy.sleep(pool_failures, token="pool")
+                executor = make_pool()
+                futures = submit_all(sorted(unfinished))
+                continue
+            if retry_later:
+                futures.update(submit_all(retry_later))
+    finally:
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+
+    for index in range(len(tasks)):
+        if outcomes[index] is None:  # defensive: never drop a task silently
+            outcomes[index] = TaskOutcome(
+                index=index,
+                error=WorkerCrash(f"task {index} was lost by the pool"),
+                attempts=attempts.get(index, 0),
+            )
+    return [outcome for outcome in outcomes if outcome is not None]

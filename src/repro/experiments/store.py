@@ -32,7 +32,7 @@ import re
 import shutil
 import tempfile
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from functools import lru_cache
 from pathlib import Path
 from typing import Optional
@@ -47,9 +47,11 @@ from ..sim.snapshot import (
 )
 from ..uarch import MachineConfig
 from ..workloads import Workload
+from .chaos import chaos_blob
 from .summary import SUMMARY_FORMAT_VERSION, EvaluationSummary
 
 __all__ = [
+    "FsckReport",
     "ResultStore",
     "StoreEntry",
     "config_key",
@@ -63,6 +65,45 @@ _log = logging.getLogger(__name__)
 
 #: Shape of a generation directory name (12-hex source-fingerprint prefix).
 _GENERATION_DIR_RE = re.compile(r"^[0-9a-f]{12}$")
+
+#: Temp files older than this are considered orphans of a dead writer and
+#: reaped at store open (override in seconds via ``REPRO_STORE_TMP_TTL``;
+#: a live concurrent writer finishes in milliseconds, not an hour).
+_TMP_TTL_S = 3600.0
+
+
+def _tmp_ttl() -> float:
+    configured = os.environ.get("REPRO_STORE_TMP_TTL", "")
+    if configured:
+        try:
+            return max(0.0, float(configured))
+        except ValueError:
+            pass
+    return _TMP_TTL_S
+
+
+def _fsync_enabled() -> bool:
+    """True when ``REPRO_STORE_FSYNC`` requests durable publishes.
+
+    Off by default: the store is a cache, and a lost entry after a power
+    cut is recomputed — but a *service* deployment can opt into
+    fsync-before-rename so a published entry is never torn.
+    """
+    configured = os.environ.get("REPRO_STORE_FSYNC", "").lower()
+    return bool(configured) and configured not in _DISABLED_VALUES
+
+
+def _summary_checksum(summary_dict: dict) -> str:
+    """Content hash of the summary payload (verified by :meth:`fsck`).
+
+    The dict is round-tripped through JSON first so the hash is computed
+    over the exact form a reader decodes — int dict keys (histograms)
+    become strings on disk, and ``sort_keys`` orders ``10`` after ``1``
+    as a string but after ``9`` as an int.
+    """
+    canonical = json.loads(json.dumps(summary_dict, default=str))
+    blob = json.dumps(canonical, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
 
 
 def default_store_root() -> Optional[Path]:
@@ -226,6 +267,37 @@ def trace_key(
     return hashlib.sha256(blob).hexdigest()
 
 
+@dataclass
+class FsckReport:
+    """Outcome of one :meth:`ResultStore.fsck` scan."""
+
+    scanned_entries: int = 0
+    scanned_traces: int = 0
+    ok_entries: int = 0
+    ok_traces: int = 0
+    quarantined: list = field(default_factory=list)  # (path str, reason)
+    reaped_tmp: int = 0
+    repaired: bool = True
+
+    @property
+    def clean(self) -> bool:
+        return not self.quarantined
+
+    def to_json_dict(self) -> dict:
+        return {
+            "scanned_entries": self.scanned_entries,
+            "scanned_traces": self.scanned_traces,
+            "ok_entries": self.ok_entries,
+            "ok_traces": self.ok_traces,
+            "quarantined": [
+                {"path": path, "reason": reason} for path, reason in self.quarantined
+            ],
+            "reaped_tmp": self.reaped_tmp,
+            "repaired": self.repaired,
+            "clean": self.clean,
+        }
+
+
 @dataclass(frozen=True)
 class StoreEntry:
     """Metadata of one persisted result."""
@@ -256,6 +328,40 @@ class ResultStore:
         self.root = resolved
         self._pruned_stale_generations = False
         self._pruned_stale_trace_generations = False
+        # Crash consistency: a writer killed between creating its temp
+        # file and os.replace leaks the temp forever; reap orphans at
+        # open so the store never accretes dead bytes.
+        self.reap_stale_tmp()
+
+    def reap_stale_tmp(self, max_age_s: Optional[float] = None) -> int:
+        """Delete orphaned ``*.tmp`` files older than the TTL; returns count.
+
+        Only files past the age threshold are touched: a young temp file
+        may belong to a live concurrent writer about to ``os.replace`` it.
+        Best-effort (shared caches can race), and cheap enough to run at
+        every open — the glob only walks the store's own directories.
+        """
+        if self.root is None:
+            return 0
+        ttl = max_age_s if max_age_s is not None else _tmp_ttl()
+        cutoff = time.time() - ttl
+        reaped = 0
+        try:
+            candidates = list(self.root.glob("*/*/*.tmp")) + list(
+                self.root.glob("traces/*/*/*.tmp")
+            )
+        except OSError:
+            return 0
+        for path in candidates:
+            try:
+                if path.stat().st_mtime <= cutoff:
+                    path.unlink()
+                    reaped += 1
+            except OSError:
+                continue
+        if reaped:
+            _log.warning("reaped %d stale temp file(s) under %s", reaped, self.root)
+        return reaped
 
     @property
     def enabled(self) -> bool:
@@ -308,7 +414,7 @@ class ResultStore:
             return None
         except ValueError:
             _log.warning("evicting corrupt result entry %s (invalid JSON)", path)
-            self._evict(path)
+            self.quarantine(path, "invalid JSON")
             return None
         try:
             return EvaluationSummary.from_json_dict(payload["summary"])
@@ -319,7 +425,7 @@ class ResultStore:
             # treat the lookup as a miss so evaluation falls back to
             # simulation instead of failing.
             _log.warning("evicting corrupt result entry %s (%s: %s)", path, type(exc).__name__, exc)
-            self._evict(path)
+            self.quarantine(path, f"{type(exc).__name__}: {exc}")
             return None
 
     @staticmethod
@@ -328,6 +434,68 @@ class ResultStore:
             path.unlink()
         except OSError:
             pass
+
+    # ------------------------------------------------------------------
+    # Quarantine (corrupt entries are preserved as evidence, not unlinked)
+    # ------------------------------------------------------------------
+    @property
+    def quarantine_root(self) -> Path:
+        if self.root is None:
+            raise RuntimeError("result store is disabled (REPRO_RESULT_STORE=off)")
+        return self.root / "quarantine"
+
+    def quarantine(self, path: Path, reason: str) -> Optional[Path]:
+        """Move a corrupt entry out of the resolution path, keeping its bytes.
+
+        The entry stops being servable (the original path is gone, so
+        every lookup is a miss and the caller recomputes), but the
+        corrupt bytes survive under ``<root>/quarantine/`` next to a
+        ``<name>.reason.json`` manifest recording why and when — the
+        evidence a postmortem (or ``fsck --report``) needs, which plain
+        unlinking used to destroy.  Falls back to unlinking when the move
+        itself fails (read-only root mid-flight, cross-device surprise).
+        """
+        if self.root is None:
+            self._evict(path)
+            return None
+        stamp = time.time()
+        target = self.quarantine_root / f"{int(stamp * 1000):013d}-{path.name}"
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            self._evict(path)
+            return None
+        manifest = {
+            "original_path": str(path),
+            "reason": reason,
+            "quarantined_at": stamp,
+            "size_bytes": target.stat().st_size if target.exists() else 0,
+            "version": __version__,
+        }
+        try:
+            target.with_name(target.name + ".reason.json").write_text(
+                json.dumps(manifest, indent=2), encoding="utf-8"
+            )
+        except OSError:
+            pass
+        return target
+
+    def quarantined(self) -> list[tuple[Path, dict]]:
+        """Every quarantined entry with its reason manifest, oldest first."""
+        if self.root is None or not self.quarantine_root.exists():
+            return []
+        found = []
+        for path in sorted(self.quarantine_root.iterdir()):
+            if path.name.endswith(".reason.json"):
+                continue
+            manifest_path = path.with_name(path.name + ".reason.json")
+            try:
+                manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                manifest = {}
+            found.append((path, manifest))
+        return found
 
     def save(self, key: str, summary: EvaluationSummary) -> Optional[Path]:
         """Persist ``summary`` under ``key``; returns the entry path.
@@ -346,6 +514,7 @@ class ResultStore:
     def _save(self, key: str, summary: EvaluationSummary) -> Path:
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        summary_dict = summary.to_json_dict()
         payload = {
             "key": key,
             "meta": {
@@ -356,28 +525,50 @@ class ResultStore:
                 "created": time.time(),
                 "version": __version__,
             },
-            "summary": summary.to_json_dict(),
+            "checksum": _summary_checksum(summary_dict),
+            "summary": summary_dict,
         }
+        blob = chaos_blob("store-save", json.dumps(payload).encode("utf-8"))
+        self._publish(path, blob, prefix=f".{key[:8]}-")
+        self._prune_stale_generations()
+        return path
+
+    def _publish(self, path: Path, blob: bytes, prefix: str) -> None:
+        """Atomic temp-write + rename, optionally fsynced (crash-durable).
+
+        The temp file lands in the target's own directory so the rename
+        never crosses filesystems; any failure cleans the temp up (the
+        open-time reaper catches the SIGKILL-between-write-and-rename
+        window the handler cannot).
+        """
         handle = tempfile.NamedTemporaryFile(
-            mode="w",
-            encoding="utf-8",
+            mode="wb",
             dir=path.parent,
-            prefix=f".{key[:8]}-",
+            prefix=prefix,
             suffix=".tmp",
             delete=False,
         )
+        fsync = _fsync_enabled()
         try:
             with handle:
-                json.dump(payload, handle)
+                handle.write(blob)
+                if fsync:
+                    handle.flush()
+                    os.fsync(handle.fileno())
             os.replace(handle.name, path)
+            if fsync:
+                # Durability of the *name* needs the directory synced too.
+                fd = os.open(path.parent, os.O_RDONLY)
+                try:
+                    os.fsync(fd)
+                finally:
+                    os.close(fd)
         except BaseException:
             try:
                 os.unlink(handle.name)
             except OSError:
                 pass
             raise
-        self._prune_stale_generations()
-        return path
 
     # ------------------------------------------------------------------
     # Binary trace snapshots
@@ -420,7 +611,7 @@ class ResultStore:
             _log.warning(
                 "evicting corrupt trace snapshot %s (%s: %s)", path, type(exc).__name__, exc
             )
-            self._evict(path)
+            self.quarantine(path, f"{type(exc).__name__}: {exc}")
             return None
 
     def save_trace(self, key: str, artifact: SimulationArtifact) -> Optional[Path]:
@@ -435,24 +626,8 @@ class ResultStore:
     def _save_trace(self, key: str, artifact: SimulationArtifact) -> Path:
         path = self.trace_path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        blob = encode_artifact(artifact)
-        handle = tempfile.NamedTemporaryFile(
-            mode="wb",
-            dir=path.parent,
-            prefix=f".{key[:8]}-",
-            suffix=".tmp",
-            delete=False,
-        )
-        try:
-            with handle:
-                handle.write(blob)
-            os.replace(handle.name, path)
-        except BaseException:
-            try:
-                os.unlink(handle.name)
-            except OSError:
-                pass
-            raise
+        blob = chaos_blob("store-save-trace", encode_artifact(artifact))
+        self._publish(path, blob, prefix=f".{key[:8]}-")
         self._prune_stale_trace_generations()
         return path
 
@@ -538,6 +713,69 @@ class ResultStore:
                 continue
         found.sort(key=lambda entry: entry.created, reverse=True)
         return found
+
+    def fsck(self, repair: bool = True) -> FsckReport:
+        """Scan, verify and (optionally) repair the current generation.
+
+        Three passes, mirroring what the lazy read path would eventually
+        discover — but eagerly and exhaustively, so a service operator
+        can trust a green ``fsck`` instead of waiting for corruption to
+        surface mid-sweep:
+
+        1. every summary entry must parse as JSON, decode as an
+           :class:`EvaluationSummary`, and (when the entry carries a
+           ``checksum``) hash back to its recorded content hash,
+        2. every trace snapshot must decode as a simulation artifact,
+        3. orphaned temp files are reaped regardless of age.
+
+        With ``repair=True`` (default) bad files are quarantined with a
+        reason manifest; with ``repair=False`` the report only lists
+        them.  Entries written before checksums existed verify by decode
+        only.
+        """
+        report = FsckReport(repaired=repair)
+        if self.root is None:
+            return report
+
+        def condemn(path: Path, reason: str) -> None:
+            report.quarantined.append((str(path), reason))
+            if repair:
+                _log.warning("fsck: quarantining %s (%s)", path, reason)
+                self.quarantine(path, f"fsck: {reason}")
+
+        if self.generation_root.exists():
+            for path in sorted(self.generation_root.glob("*/*.json")):
+                report.scanned_entries += 1
+                try:
+                    payload = json.loads(path.read_text(encoding="utf-8"))
+                except (OSError, ValueError) as exc:
+                    condemn(path, f"invalid JSON ({type(exc).__name__}: {exc})")
+                    continue
+                try:
+                    summary_dict = payload["summary"]
+                    EvaluationSummary.from_json_dict(summary_dict)
+                except Exception as exc:
+                    condemn(path, f"undecodable summary ({type(exc).__name__}: {exc})")
+                    continue
+                recorded = payload.get("checksum")
+                if recorded is not None and recorded != _summary_checksum(summary_dict):
+                    condemn(path, "checksum mismatch (content does not hash to its record)")
+                    continue
+                report.ok_entries += 1
+
+        if self.trace_enabled and self.trace_generation_root.exists():
+            for path in sorted(self.trace_generation_root.glob("*/*.trace")):
+                report.scanned_traces += 1
+                try:
+                    decode_artifact(path.read_bytes())
+                except Exception as exc:
+                    condemn(path, f"undecodable snapshot ({type(exc).__name__}: {exc})")
+                    continue
+                report.ok_traces += 1
+
+        if repair:
+            report.reaped_tmp = self.reap_stale_tmp(max_age_s=0.0)
+        return report
 
     def clear(self) -> int:
         """Delete every entry; returns the number of summary entries and

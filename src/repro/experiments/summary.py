@@ -224,6 +224,65 @@ class EvaluationSummary:
     runtime_specialization: Optional[dict] = None
     format_version: int = SUMMARY_FORMAT_VERSION
     extra: dict = field(default_factory=dict)
+    #: Partial-failure record (``{"kind": ..., "message": ...}``) for an
+    #: evaluation that could not complete — see ``docs/resilience.md``.
+    #: ``None`` on every successful evaluation; added via ``data.get`` so
+    #: existing stored entries keep their format version.
+    failure: Optional[dict] = None
+
+    @property
+    def failed(self) -> bool:
+        """True when this summary records a failed evaluation."""
+        return self.failure is not None
+
+    @classmethod
+    def from_failure(
+        cls,
+        workload: str,
+        mechanism: str,
+        threshold_nj: float,
+        conventional_vrp: bool,
+        kind: str,
+        message: str,
+    ) -> "EvaluationSummary":
+        """An error-carrying summary for a point that could not be evaluated.
+
+        Timing/energy/distribution fields are zero-filled placeholders; the
+        truth lives in ``failure`` (``kind`` names the
+        :class:`~repro.experiments.resilience.EvaluationError` class).
+        Failed summaries are never persisted to the result store — they
+        exist so ``map(on_error="keep")`` and sweeps can degrade
+        gracefully instead of aborting.
+        """
+        zero_timing = TimingResult(
+            cycles=0,
+            instructions=0,
+            branch_lookups=0,
+            branch_mispredictions=0,
+            icache_accesses=0,
+            icache_misses=0,
+            dcache_accesses=0,
+            dcache_misses=0,
+            l2_accesses=0,
+            l2_misses=0,
+            loads=0,
+            stores=0,
+        )
+        return cls(
+            workload=workload,
+            mechanism=mechanism,
+            threshold_nj=threshold_nj,
+            conventional_vrp=conventional_vrp,
+            instructions=0,
+            output=[],
+            timing=zero_timing,
+            energies={},
+            width_distribution={w: 0 for w in Width.all_widths()},
+            counted_widths={w: 0 for w in Width.all_widths()},
+            result_sizes={size: 0 for size in range(1, 9)},
+            operation_types={},
+            failure={"kind": kind, "message": message},
+        )
 
     # ------------------------------------------------------------------
     # JSON round trip
@@ -250,6 +309,7 @@ class EvaluationSummary:
             "vrs": self.vrs,
             "runtime_specialization": self.runtime_specialization,
             "extra": self.extra,
+            "failure": self.failure,
         }
 
     @classmethod
@@ -281,6 +341,7 @@ class EvaluationSummary:
             runtime_specialization=data.get("runtime_specialization"),
             format_version=data["format_version"],
             extra=data.get("extra", {}),
+            failure=data.get("failure"),
         )
 
 

@@ -29,6 +29,7 @@ arithmetic.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Optional, Sequence
 
@@ -50,6 +51,8 @@ __all__ = [
     "SweepResult",
     "default_sweep_configs",
 ]
+
+_log = logging.getLogger(__name__)
 
 
 # ----------------------------------------------------------------------
@@ -250,10 +253,12 @@ class SweepRow:
 
     ``source`` records trace provenance: ``"replayed"`` (rebuilt from a
     stored binary snapshot, zero simulator steps), ``"computed"`` (this
-    sweep ran the materialized simulator and warmed the store) or
+    sweep ran the materialized simulator and warmed the store),
     ``"fused"`` (this sweep ran the streaming fused pipeline — no trace
-    was ever built, so nothing could be snapshotted).  All three score
-    bit-identically.
+    was ever built, so nothing could be snapshotted) or ``"error"`` (the
+    point's trace-signature group failed; the numeric fields are
+    zero-filled and ``error`` names the classified failure).  The three
+    healthy sources score bit-identically.
     """
 
     workload: str
@@ -267,6 +272,11 @@ class SweepRow:
     energy_nj: float
     ed2: float
     source: str
+    error: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
 
     def to_json_dict(self) -> dict:
         return {
@@ -281,6 +291,7 @@ class SweepRow:
             "energy_nj": self.energy_nj,
             "ed2": self.ed2,
             "source": self.source,
+            "error": self.error,
         }
 
 
@@ -323,6 +334,11 @@ class SweepResult:
         return tuple(seen)
 
     @property
+    def failures(self) -> list[SweepRow]:
+        """Error-carrying rows (``on_error="keep"`` degradation)."""
+        return [row for row in self.rows if row.failed]
+
+    @property
     def simulations(self) -> int:
         """Distinct trace signatures this sweep had to simulate cold.
 
@@ -351,10 +367,12 @@ class SweepResult:
         """
         baselines: dict[tuple[str, str], float] = {}
         for row in self.rows:
-            if row.policy == baseline_policy:
+            if row.policy == baseline_policy and not row.failed:
                 baselines[(row.workload, row.config)] = row.ed2
         savings: dict[tuple[str, str], dict[str, float]] = {}
         for row in self.rows:
+            if row.failed:  # error rows carry no arithmetic
+                continue
             reference_config = baseline_config if baseline_config is not None else row.config
             base = baselines.get((row.workload, reference_config))
             if base is None:
@@ -382,7 +400,7 @@ class SweepResult:
             for name in self.workloads:
                 frontier.extend(self.pareto_frontier(name))
             return frontier
-        rows = [row for row in self.rows if row.workload == workload]
+        rows = [row for row in self.rows if row.workload == workload and not row.failed]
         frontier = []
         for row in rows:
             dominated = any(
@@ -478,11 +496,59 @@ def _compute_artifact(
     return artifact_from_evaluation(evaluation)
 
 
+def _score_group(
+    engine: "ExperimentEngine",
+    workload: Workload,
+    mechanism: str,
+    threshold_nj: float,
+    conventional_vrp: bool,
+    configs: Sequence[MachineConfig],
+    policies: Mapping[str, object],
+    pipeline: str,
+):
+    """Resolve and score one trace-signature group.
+
+    Returns ``(source, timings, instructions, energies)`` — the shared
+    per-group work that :func:`run_sweep` fans out into rows.  Isolated
+    in a helper so a fault anywhere in the resolution (simulate, replay,
+    time, account) is attributable to exactly one group.  ``policies``
+    is pre-resolved by the caller: an unknown policy name is a spec
+    error and must raise rather than degrade into error rows.
+    """
+    accountant = MultiPolicyEnergyAccountant(dict(policies))
+
+    artifact = _load_snapshot_artifact(
+        engine, workload, mechanism, threshold_nj, conventional_vrp
+    )
+    if artifact is None and (
+        pipeline == "fused" or (pipeline == "auto" and len(configs) == 1)
+    ):
+        source = "fused"
+        trace, timings, instructions = _fused_group(
+            workload, mechanism, threshold_nj, conventional_vrp, configs
+        )
+    else:
+        if artifact is not None:
+            source = "replayed"
+        else:
+            source = "computed"
+            artifact = _compute_artifact(
+                engine, workload, mechanism, threshold_nj, conventional_vrp
+            )
+        trace = artifact.trace
+        instructions = artifact.instructions
+        timings = _sweep_timings(trace, configs)
+
+    energies = accountant.account_many(trace, timings)
+    return source, timings, instructions, energies
+
+
 def run_sweep(
     engine: "ExperimentEngine",
     spec: SweepSpec,
     workloads: Optional[Mapping[str, Workload]] = None,
     pipeline: str = "auto",
+    on_error: str = "keep",
 ) -> Iterator[SweepRow]:
     """Stream one :class:`SweepRow` per point of ``spec``.
 
@@ -506,8 +572,18 @@ def run_sweep(
     *single-config* groups — where fused is a strict win — and
     materializes multi-config groups, where one simulation plus a
     batched timing walk beats one fused simulation per config.
+
+    ``on_error`` selects the partial-failure semantics per trace-signature
+    group: ``"keep"`` (the default) yields one error-carrying row
+    (``source="error"``, zero-filled numbers) per affected point and
+    continues to the next group, so one broken workload cannot abort a
+    whole design-space sweep; ``"raise"`` propagates the classified
+    failure.  Spec errors (an unknown machine-config name) always raise —
+    they are caller bugs, not runtime faults.
     """
     from ..sim.fusedc import PIPELINES, default_pipeline
+    from .chaos import chaos_probe
+    from .resilience import classify_failure
 
     if pipeline == "auto":
         pipeline = default_pipeline()
@@ -515,6 +591,8 @@ def run_sweep(
         raise ValueError(
             f"unknown pipeline {pipeline!r}; expected one of {', '.join(PIPELINES)}"
         )
+    if on_error not in ("raise", "keep"):
+        raise ValueError(f"unknown on_error mode {on_error!r}; expected 'raise' or 'keep'")
 
     points = list(spec.iter_points())
     config_map = spec.config_map()
@@ -551,33 +629,50 @@ def run_sweep(
                 f"({', '.join(config_map) or 'empty'})"
             ) from None
 
-        accountant = MultiPolicyEnergyAccountant(
-            {policy_name: gating.get(policy_name) for policy_name in policy_names}
-        )
-
-        artifact = _load_snapshot_artifact(
-            engine, workload, mechanism, threshold_nj, conventional_vrp
-        )
-        if artifact is None and (
-            pipeline == "fused" or (pipeline == "auto" and len(configs) == 1)
-        ):
-            source = "fused"
-            trace, timings, instructions = _fused_group(
-                workload, mechanism, threshold_nj, conventional_vrp, configs
+        policies = {policy_name: gating.get(policy_name) for policy_name in policy_names}
+        try:
+            chaos_probe("sweep-group")
+            source, timings, instructions, energies = _score_group(
+                engine,
+                workload,
+                mechanism,
+                threshold_nj,
+                conventional_vrp,
+                configs,
+                policies,
+                pipeline,
             )
-        else:
-            if artifact is not None:
-                source = "replayed"
-            else:
-                source = "computed"
-                artifact = _compute_artifact(
-                    engine, workload, mechanism, threshold_nj, conventional_vrp
+        except Exception as exc:
+            failure = classify_failure(exc)
+            if on_error == "raise":
+                raise failure from exc
+            _log.warning(
+                "sweep group (%s/%s/%g/%s) failed, yielding %d error row(s): %s",
+                name,
+                mechanism,
+                threshold_nj,
+                conventional_vrp,
+                len(indices),
+                failure.describe(),
+            )
+            for index in indices:
+                point = points[index]
+                yield SweepRow(
+                    workload=point.workload,
+                    config=point.config,
+                    policy=point.policy,
+                    mechanism=point.mechanism,
+                    threshold_nj=point.threshold_nj,
+                    conventional_vrp=point.conventional_vrp,
+                    cycles=0,
+                    instructions=0,
+                    energy_nj=0.0,
+                    ed2=0.0,
+                    source="error",
+                    error=failure.describe(),
                 )
-            trace = artifact.trace
-            instructions = artifact.instructions
-            timings = _sweep_timings(trace, configs)
+            continue
 
-        energies = accountant.account_many(trace, timings)
         position = {config_name: i for i, config_name in enumerate(config_names)}
 
         for index in indices:

@@ -54,6 +54,7 @@ and cannot drift (see ``repro/sim/trace.py``).
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional, Protocol
 
@@ -131,6 +132,50 @@ def _count_block_entry(
         return inner()
 
     return handler
+
+
+#: Budget probes run every this many dynamic instructions (amortized to
+#: block granularity, like the instruction-limit check itself).  Small
+#: enough that the suite workloads (tens of thousands of dynamic
+#: instructions) are probed several times per run; a budgeted run pays
+#: one ``time.monotonic()`` call per stride and an unbudgeted run pays a
+#: single comparison per block.
+_BUDGET_CHECK_STRIDE = 8192
+
+
+def _env_budget_float(name: str) -> Optional[float]:
+    value = os.environ.get(name, "")
+    if not value:
+        return None
+    try:
+        parsed = float(value)
+    except ValueError:
+        return None
+    return parsed if parsed > 0 else None
+
+
+def _env_budget_int(name: str) -> Optional[int]:
+    value = os.environ.get(name, "")
+    if not value:
+        return None
+    try:
+        parsed = int(value)
+    except ValueError:
+        return None
+    return parsed if parsed > 0 else None
+
+
+def _resource_exhausted(message: str) -> Exception:
+    """Build a ResourceExhausted from the experiments taxonomy.
+
+    Imported lazily at the raise site: ``repro.experiments.resilience``
+    is stdlib-only, so no ``sim`` ↔ ``experiments`` import cycle can
+    form, and simulator users that never configure budgets never load
+    it.
+    """
+    from ..experiments.resilience import ResourceExhausted
+
+    return ResourceExhausted(message)
 
 
 class SimulationError(Exception):
@@ -221,9 +266,24 @@ class Machine:
         max_instructions: int = 20_000_000,
         fast_dispatch: Optional[bool] = None,
         dispatch: Optional[str] = None,
+        wall_time_s: Optional[float] = None,
+        max_trace_bytes: Optional[int] = None,
     ) -> None:
         self.program = program
         self.max_instructions = max_instructions
+        # Resource budgets (see docs/resilience.md): adversarial programs
+        # — a fuzz corpus, a user submission — must fail fast with
+        # ResourceExhausted instead of hanging a worker (wall time) or
+        # OOM-ing it (trace arena bytes).  None disables a budget; the
+        # environment supplies service-wide defaults.
+        self.wall_time_s = wall_time_s if wall_time_s is not None else _env_budget_float(
+            "REPRO_SIM_WALL_TIME_S"
+        )
+        self.max_trace_bytes = (
+            max_trace_bytes
+            if max_trace_bytes is not None
+            else _env_budget_int("REPRO_SIM_MAX_TRACE_BYTES")
+        )
         self.dispatch = _resolve_tier(fast_dispatch, dispatch, _default_dispatch())
         # Compiled artifacts, cached per Machine and shared across runs:
         # the fast tier's per-instruction handler makers and the block
@@ -343,6 +403,37 @@ class Machine:
             raise SimulationError(f"entry function {entry!r} not found")
         regs[26] = self._stop_address
         return regs, memory, self._function_entry[entry]
+
+    # ------------------------------------------------------------------
+    # Resource budgets (wall time, trace bytes; see docs/resilience.md)
+    # ------------------------------------------------------------------
+    def _budget_deadline(self) -> Optional[float]:
+        """Monotonic deadline for this run, or None when unbudgeted."""
+        if self.wall_time_s is None:
+            return None
+        return time.monotonic() + self.wall_time_s
+
+    def _check_budgets(
+        self, deadline: Optional[float], trace: Optional[Trace], executed: int
+    ) -> None:
+        """Raise ResourceExhausted when a configured budget is blown.
+
+        Called every ``_BUDGET_CHECK_STRIDE`` dynamic instructions from
+        the hot loops — amortized like the instruction-limit check, so an
+        unbudgeted run pays one boolean test per block and nothing else.
+        """
+        if deadline is not None and time.monotonic() > deadline:
+            raise _resource_exhausted(
+                f"wall-time budget of {self.wall_time_s:g}s exceeded "
+                f"after {executed} dynamic instructions"
+            )
+        if trace is not None and self.max_trace_bytes is not None:
+            held = trace.memory_bytes()
+            if held > self.max_trace_bytes:
+                raise _resource_exhausted(
+                    f"trace budget of {self.max_trace_bytes} bytes exceeded "
+                    f"({held} bytes held after {executed} dynamic instructions)"
+                )
 
     def _run_reference(
         self,
@@ -589,6 +680,8 @@ class Machine:
     def _drive_handlers(self, handlers: list[Callable[[], int]], pc: int, executed: int) -> int:
         """The fast tier's hot loop, resumable from any (pc, count) point."""
         limit = self.max_instructions
+        deadline = self._budget_deadline()
+        next_check = executed + _BUDGET_CHECK_STRIDE if deadline is not None else None
         try:
             while pc >= 0:
                 executed += 1
@@ -596,6 +689,9 @@ class Machine:
                     raise SimulationLimitExceeded(
                         f"exceeded the limit of {self.max_instructions} dynamic instructions"
                     )
+                if next_check is not None and executed >= next_check:
+                    next_check = executed + _BUDGET_CHECK_STRIDE
+                    self._check_budgets(deadline, None, executed)
                 pc = handlers[pc]()
         except IndexError:
             if 0 <= pc < len(handlers):
@@ -664,6 +760,13 @@ class Machine:
 
         executed = 0
         limit = self.max_instructions
+        deadline = self._budget_deadline()
+        trace_cap = trace if self.max_trace_bytes is not None else None
+        next_check = (
+            _BUDGET_CHECK_STRIDE
+            if deadline is not None or trace_cap is not None
+            else None
+        )
         try:
             while pc >= 0:
                 unit = funcs[pc]
@@ -680,6 +783,9 @@ class Machine:
                     raise SimulationLimitExceeded(
                         f"exceeded the limit of {self.max_instructions} dynamic instructions"
                     )
+                if next_check is not None and executed >= next_check:
+                    next_check = executed + _BUDGET_CHECK_STRIDE
+                    self._check_budgets(deadline, trace_cap, executed)
                 pc = unit()
         except IndexError:
             if 0 <= pc < len(funcs):
@@ -751,6 +857,8 @@ class Machine:
 
         executed = 0
         limit = self.max_instructions
+        deadline = self._budget_deadline()
+        next_check = _BUDGET_CHECK_STRIDE if deadline is not None else None
         try:
             # Mid-unit landings surface as calling the ``None`` slot —
             # keeping the per-iteration ``is None`` test out of the hot
@@ -762,6 +870,9 @@ class Machine:
                     raise SimulationLimitExceeded(
                         f"exceeded the limit of {self.max_instructions} dynamic instructions"
                     )
+                if next_check is not None and executed >= next_check:
+                    next_check = executed + _BUDGET_CHECK_STRIDE
+                    self._check_budgets(deadline, None, executed)
                 pc = funcs[pc]()
         except TypeError:
             if not (0 <= pc < len(funcs)) or funcs[pc] is not None:

@@ -253,7 +253,17 @@ class TestStoreCorruptionRecovery:
         assert not path.exists()
         assert any("evicting corrupt result entry" in line for line in caplog.messages)
 
-    def test_truncated_trace_snapshot_falls_back_to_simulation(self, tmp_path, caplog):
+    @pytest.mark.parametrize(
+        "cut",
+        [
+            pytest.param(lambda blob: blob[:16], id="header"),
+            pytest.param(lambda blob: blob[: len(blob) // 2], id="middle"),
+            pytest.param(lambda blob: blob[: len(blob) - 8], id="tail"),
+        ],
+    )
+    def test_truncated_trace_snapshot_falls_back_to_simulation(
+        self, tmp_path, caplog, cut
+    ):
         from repro.experiments.engine import _snapshot_key
         from repro.sim.machine import Machine
         from repro.workloads import workload_by_name as by_name
@@ -263,9 +273,11 @@ class TestStoreCorruptionRecovery:
         snapshot = store.trace_path_for(_snapshot_key(config, by_name("li")))
         assert snapshot.is_file()
         # Truncate the snapshot in place: the decoder must reject it, the
-        # store must evict it, and evaluation must re-simulate.
+        # store must quarantine it, and evaluation must re-simulate.
         blob = snapshot.read_bytes()
-        snapshot.write_bytes(blob[: len(blob) // 2])
+        corrupt = cut(blob)
+        assert corrupt != blob
+        snapshot.write_bytes(corrupt)
         # Drop the summary entry so resolution reaches the snapshot layer.
         store.path_for(engine.key_for(config)).unlink()
 
@@ -285,13 +297,31 @@ class TestStoreCorruptionRecovery:
             Machine.run = original_run
         assert simulations, "corrupt snapshot did not fall back to simulation"
         assert not evaluation.is_restored
-        assert any("evicting corrupt trace snapshot" in line for line in caplog.messages)
+        assert any(
+            "evicting corrupt trace snapshot" in line
+            or "evicting unreplayable trace snapshot" in line
+            for line in caplog.messages
+        )
         # The recompute replaced the truncated snapshot with a fresh,
         # decodable one at the same path.
         from repro.sim.snapshot import decode_artifact
 
-        assert snapshot.read_bytes() != blob[: len(blob) // 2]
+        assert snapshot.read_bytes() != corrupt
         assert decode_artifact(snapshot.read_bytes()) is not None
+        # The corrupt bytes were quarantined, not destroyed: a reason
+        # manifest names the original path and the corrupt payload is
+        # preserved verbatim for post-mortem analysis.
+        quarantined = store.quarantined()
+        assert quarantined, "truncated snapshot was not quarantined"
+        matches = [
+            (path, manifest)
+            for path, manifest in quarantined
+            if manifest.get("original_path") == str(snapshot)
+        ]
+        assert matches, f"no quarantine manifest names {snapshot}"
+        qpath, manifest = matches[0]
+        assert qpath.read_bytes() == corrupt
+        assert manifest["reason"]
 
     def test_garbage_trace_snapshot_reads_as_miss(self, tmp_path, caplog):
         engine, config, store = self._fresh(tmp_path)
