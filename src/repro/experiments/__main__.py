@@ -60,6 +60,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 import time
 
@@ -604,6 +605,23 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from ..service import EvaluationService
+
+    service = EvaluationService(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        jobs=args.jobs,
+    )
+    try:
+        return asyncio.run(service.serve())
+    except KeyboardInterrupt:
+        return 0
+
+
 def _cmd_clear(args: argparse.Namespace) -> int:
     store = ResultStore()
     if not store.enabled:
@@ -624,6 +642,14 @@ def _cmd_clear(args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    # All diagnostics (store reap/eviction warnings, engine fallbacks,
+    # service logs) go to stderr so that `--json` stdout stays a single
+    # machine-parseable document.
+    logging.basicConfig(
+        stream=sys.stderr,
+        level=logging.WARNING,
+        format="%(levelname)s %(name)s: %(message)s",
+    )
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Evaluate paper configurations through the parallel experiment engine.",
@@ -818,6 +844,35 @@ def main(argv: list[str] | None = None) -> int:
     clear_parser = subparsers.add_parser("clear", help="empty the result store")
     clear_parser.add_argument("--yes", action="store_true", help="skip the confirmation prompt")
     clear_parser.set_defaults(func=_cmd_clear)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the evaluation service (HTTP job API over the engine)",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8321,
+        help="listen port; 0 picks an ephemeral port, printed on the ready line (default: 8321)",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="concurrent jobs the service executes (default: 2)",
+    )
+    serve_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="engine worker processes per job (default: REPRO_JOBS or CPU count)",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -28,7 +28,7 @@ from __future__ import annotations
 import logging
 import os
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from typing import TYPE_CHECKING
 
@@ -149,22 +149,27 @@ def _compute_summary_for(
     config: ExperimentConfig,
     store_root: Optional[str] = None,
     pipeline: str = "auto",
-) -> tuple[str, dict, bool]:
+) -> tuple[str, dict, str]:
     """Worker entry point: resolve one configuration, return its summary.
 
-    Returns ``(store key, JSON-ready summary dict, replayed)`` — plain
-    data, so the result crosses the process boundary cheaply and the
-    parent can persist it without re-deriving anything (``replayed`` keeps
-    the provenance flags truthful: a snapshot replay did not simulate).  ``summarize()`` materializes
-    the energy breakdowns of *all* gating policies from one fused trace
-    walk (:class:`~repro.power.MultiPolicyEnergyAccountant`), so the
+    Returns ``(store key, JSON-ready summary dict, provenance)`` — plain
+    data, so the result crosses the process boundary cheaply.  Provenance
+    is ``"computed"`` (this worker simulated), ``"replayed"`` (rebuilt
+    from a trace snapshot, zero simulator steps) or ``"shared"`` (another
+    process held the single-flight lock for the same key and this worker
+    served its published entry).  ``summarize()`` materializes the energy
+    breakdowns of *all* gating policies from one fused trace walk
+    (:class:`~repro.power.MultiPolicyEnergyAccountant`), so the
     restored-outcome completeness costs one accounting pass per worker,
     not one per policy.
 
     When the parent's store is enabled its root is passed through, and the
-    worker consults the binary trace-snapshot layer itself: a snapshot hit
-    replays analysis without simulating, a miss simulates and persists the
-    snapshot alongside the summary the parent will write.
+    worker resolves the key under the store's cross-process single-flight
+    lock: concurrent identical evaluations — other sweeps, other service
+    replicas, other CI shards on a shared cache — collapse to one
+    simulation, with every loser reading the winner's published entry.
+    The worker publishes the summary (and snapshot) itself, *inside* the
+    flight, so waiters are released only once the entry is readable.
 
     Workers inherit the simulator dispatch tier (``REPRO_SIM_DISPATCH``)
     through the process environment.  The tier is deliberately **not**
@@ -182,19 +187,35 @@ def _compute_summary_for(
         config.machine_config,
     )
     store = ResultStore(store_root) if store_root is not None else None
-    summary = _replay_from_snapshot(store, config, workload)
-    if summary is not None:
-        return key, summary.to_json_dict(), True
-    evaluation = _compute_evaluation(
-        workload,
-        mechanism=config.mechanism,
-        threshold_nj=config.threshold_nj,
-        conventional_vrp=config.conventional_vrp,
-        machine_config=config.machine_config,
-        pipeline=_resolve_pipeline(pipeline, store),
-    )
-    _save_snapshot(store, config, workload, evaluation)
-    return key, evaluation.summarize().to_json_dict(), False
+    if store is None:
+        evaluation = _compute_evaluation(
+            workload,
+            mechanism=config.mechanism,
+            threshold_nj=config.threshold_nj,
+            conventional_vrp=config.conventional_vrp,
+            machine_config=config.machine_config,
+            pipeline=_resolve_pipeline(pipeline, None),
+        )
+        return key, evaluation.summarize().to_json_dict(), "computed"
+    with store.single_flight(key) as flight:
+        if flight.summary is not None:
+            return key, flight.summary.to_json_dict(), "shared"
+        summary = _replay_from_snapshot(store, config, workload)
+        if summary is not None:
+            store.save(key, summary)
+            return key, summary.to_json_dict(), "replayed"
+        evaluation = _compute_evaluation(
+            workload,
+            mechanism=config.mechanism,
+            threshold_nj=config.threshold_nj,
+            conventional_vrp=config.conventional_vrp,
+            machine_config=config.machine_config,
+            pipeline=_resolve_pipeline(pipeline, store),
+        )
+        _save_snapshot(store, config, workload, evaluation)
+        summary = evaluation.summarize()
+        store.save(key, summary)
+        return key, summary.to_json_dict(), "computed"
 
 
 # ----------------------------------------------------------------------
@@ -353,36 +374,44 @@ class ExperimentEngine:
         if summary is not None:
             evaluation = WorkloadEvaluation.from_summary(workload, summary)
         else:
-            replayed = self._replay_summary(config, workload)
-            if replayed is not None:
-                self.store.save(key, replayed)
-                evaluation = WorkloadEvaluation.from_summary(workload, replayed)
-                evaluation.replayed_from_store = True
-            else:
-                try:
-                    evaluation = _compute_evaluation(
-                        workload,
-                        mechanism=config.mechanism,
-                        threshold_nj=config.threshold_nj,
-                        conventional_vrp=config.conventional_vrp,
-                        machine_config=config.machine_config,
-                        pipeline=_resolve_pipeline(pipeline, self.store),
-                    )
-                except Exception as exc:
-                    failure = classify_failure(exc)
-                    if on_error == "raise":
-                        raise failure from exc
-                    _log.warning(
-                        "evaluate(%s/%s): keeping failure %s",
-                        config.workload,
-                        config.mechanism,
-                        failure.describe(),
-                    )
-                    return _failure_evaluation(config, workload, failure)
-                if self.store.enabled:
-                    self.store.save(key, evaluation.summarize())
-                    self._save_snapshot(config, workload, evaluation)
-                evaluation.freshly_computed = True
+            # Cold path: resolve under the store's cross-process
+            # single-flight lock, so two processes (or threads) racing on
+            # the same content key cost one simulation — the loser blocks
+            # briefly and reads the winner's published entry.
+            with self.store.single_flight(key) as flight:
+                if flight.summary is not None:
+                    evaluation = WorkloadEvaluation.from_summary(workload, flight.summary)
+                else:
+                    replayed = self._replay_summary(config, workload)
+                    if replayed is not None:
+                        self.store.save(key, replayed)
+                        evaluation = WorkloadEvaluation.from_summary(workload, replayed)
+                        evaluation.replayed_from_store = True
+                    else:
+                        try:
+                            evaluation = _compute_evaluation(
+                                workload,
+                                mechanism=config.mechanism,
+                                threshold_nj=config.threshold_nj,
+                                conventional_vrp=config.conventional_vrp,
+                                machine_config=config.machine_config,
+                                pipeline=_resolve_pipeline(pipeline, self.store),
+                            )
+                        except Exception as exc:
+                            failure = classify_failure(exc)
+                            if on_error == "raise":
+                                raise failure from exc
+                            _log.warning(
+                                "evaluate(%s/%s): keeping failure %s",
+                                config.workload,
+                                config.mechanism,
+                                failure.describe(),
+                            )
+                            return _failure_evaluation(config, workload, failure)
+                        if self.store.enabled:
+                            self.store.save(key, evaluation.summarize())
+                            self._save_snapshot(config, workload, evaluation)
+                        evaluation.freshly_computed = True
         self._memo[key] = evaluation
         return evaluation
 
@@ -420,6 +449,7 @@ class ExperimentEngine:
         jobs: Optional[int] = None,
         pipeline: str = "auto",
         on_error: str = "raise",
+        on_result: Optional[Callable[[int, WorkloadEvaluation], None]] = None,
     ) -> list[WorkloadEvaluation]:
         """Evaluate many independent configurations, in parallel when possible.
 
@@ -449,10 +479,24 @@ class ExperimentEngine:
         returns error-carrying evaluations (``summary.failure`` set,
         nothing persisted) in the failed slots so the healthy points
         survive.
+
+        ``on_result`` streams per-point progress: it is called once per
+        *input index* — ``on_result(index, evaluation)`` — as each point
+        resolves, in arrival order (memo/store hits first, then pool or
+        serial completions; a deduplicated key fires once per index that
+        requested it).  It runs in the calling thread, so a slow callback
+        slows delivery, not the workers.  The evaluation service uses
+        this for its NDJSON progress streams.
         """
         if on_error not in ("raise", "keep"):
             raise ValueError(f"unknown on_error mode {on_error!r}; expected 'raise' or 'keep'")
         results: list[Optional[WorkloadEvaluation]] = [None] * len(configs)
+
+        def deliver(index: int, evaluation: WorkloadEvaluation) -> None:
+            results[index] = evaluation
+            if on_result is not None:
+                on_result(index, evaluation)
+
         # Deduplicate misses by key: the same configuration requested twice
         # in one call must be simulated once.
         missing: dict[str, tuple[ExperimentConfig, Workload]] = {}
@@ -462,7 +506,7 @@ class ExperimentEngine:
             key = self.key_for(config, workload)
             cached = self._memo.get(key)
             if cached is not None:
-                results[index] = cached
+                deliver(index, cached)
                 continue
             if key in missing:
                 missing_indices[key].append(index)
@@ -471,7 +515,7 @@ class ExperimentEngine:
             if summary is not None:
                 evaluation = WorkloadEvaluation.from_summary(workload, summary)
                 self._memo[key] = evaluation
-                results[index] = evaluation
+                deliver(index, evaluation)
                 continue
             # Trace-snapshot replays are deliberately *not* resolved inline
             # here: they run the timing model and the fused accountant over
@@ -484,12 +528,28 @@ class ExperimentEngine:
         if missing:
             resolved_pipeline = _resolve_pipeline(pipeline, self.store)
             order = list(missing.items())
+            delivered: set[str] = set()
+
+            def ready(key: str, summary: EvaluationSummary, fresh: bool, replayed: bool) -> None:
+                """Memoize + stream one resolved miss (pool or serial)."""
+                _, miss_workload = missing[key]
+                evaluation = WorkloadEvaluation.from_summary(miss_workload, summary)
+                evaluation.freshly_computed = fresh
+                evaluation.replayed_from_store = replayed
+                self._memo[key] = evaluation
+                delivered.add(key)
+                for index in missing_indices[key]:
+                    deliver(index, evaluation)
+
             worker_count = min(_resolve_jobs(jobs) if jobs is not None else self.jobs, len(order))
             produced = (
                 self._map_parallel(
                     [config for _, (config, _) in order],
                     worker_count,
                     resolved_pipeline,
+                    on_ready=lambda position, summary, fresh, replayed: ready(
+                        order[position][0], summary, fresh, replayed
+                    ),
                 )
                 if worker_count > 1
                 else None
@@ -497,33 +557,55 @@ class ExperimentEngine:
             if produced is None:
                 produced = []
                 for key, (config, workload) in order:
+                    if key in delivered:
+                        # Streamed by a pool attempt that later collapsed;
+                        # the memoized result is already in place.
+                        produced.append(
+                            (key, self._memo[key].summarize(), False, False, None)
+                        )
+                        continue
                     # A failed pool attempt may have persisted some results
                     # before dying; serve those instead of recomputing.
                     summary = self.store.load(key)
                     if summary is not None:
+                        ready(key, summary, False, False)
                         produced.append((key, summary, False, False, None))
                         continue
-                    replayed = self._replay_summary(config, workload)
-                    if replayed is not None:
-                        self.store.save(key, replayed)
-                        produced.append((key, replayed, False, True, None))
+                    error: Optional[EvaluationError] = None
+                    fresh = replayed_flag = False
+                    # Same cross-process dedup as the pool workers: the
+                    # serial fallback competes for the single-flight lock
+                    # and publishes inside it.
+                    with self.store.single_flight(key) as flight:
+                        if flight.summary is not None:
+                            summary = flight.summary
+                        else:
+                            replayed = self._replay_summary(config, workload)
+                            if replayed is not None:
+                                self.store.save(key, replayed)
+                                summary, replayed_flag = replayed, True
+                            else:
+                                try:
+                                    live = _compute_evaluation(
+                                        workload,
+                                        mechanism=config.mechanism,
+                                        threshold_nj=config.threshold_nj,
+                                        conventional_vrp=config.conventional_vrp,
+                                        machine_config=config.machine_config,
+                                        pipeline=resolved_pipeline,
+                                    )
+                                except Exception as exc:
+                                    error = classify_failure(exc)
+                                else:
+                                    summary = live.summarize()
+                                    self.store.save(key, summary)
+                                    self._save_snapshot(config, workload, live)
+                                    fresh = True
+                    if error is not None:
+                        produced.append((key, None, False, False, error))
                         continue
-                    try:
-                        live = _compute_evaluation(
-                            workload,
-                            mechanism=config.mechanism,
-                            threshold_nj=config.threshold_nj,
-                            conventional_vrp=config.conventional_vrp,
-                            machine_config=config.machine_config,
-                            pipeline=resolved_pipeline,
-                        )
-                    except Exception as exc:
-                        produced.append((key, None, False, False, classify_failure(exc)))
-                        continue
-                    summary = live.summarize()
-                    self.store.save(key, summary)
-                    self._save_snapshot(config, workload, live)
-                    produced.append((key, summary, True, False, None))
+                    ready(key, summary, fresh, replayed_flag)
+                    produced.append((key, summary, fresh, replayed_flag, None))
             for (key, (config, workload)), (worker_key, summary, fresh, replayed, error) in zip(
                 order, produced
             ):
@@ -540,14 +622,16 @@ class ExperimentEngine:
                     # Failed points are never memoized: a later request
                     # must get a fresh chance at a healthy evaluation.
                     for index in missing_indices[key]:
-                        results[index] = evaluation
+                        deliver(index, evaluation)
                     continue
+                if key in delivered:
+                    continue  # streamed on arrival (pool persist / serial loop)
                 evaluation = WorkloadEvaluation.from_summary(workload, summary)
                 evaluation.freshly_computed = fresh
                 evaluation.replayed_from_store = replayed
                 self._memo[worker_key] = evaluation
                 for index in missing_indices[key]:
-                    results[index] = evaluation
+                    deliver(index, evaluation)
         return results  # type: ignore[return-value]
 
     def map_suite(
@@ -608,19 +692,26 @@ class ExperimentEngine:
         configs: Sequence[ExperimentConfig],
         worker_count: int,
         pipeline: str = "auto",
+        on_ready: Optional[Callable[[int, "EvaluationSummary", bool, bool], None]] = None,
     ) -> Optional[
         list[tuple[str, Optional["EvaluationSummary"], bool, bool, Optional[EvaluationError]]]
     ]:
         """Fan the missing configurations out under supervision.
 
-        Results are persisted to the store *as they arrive* (the
-        supervisor's ``on_result`` hook), so an interrupted sweep loses at
-        most the configurations still in flight.  Transient worker
-        failures are retried with deterministic backoff; a hung worker is
-        reaped when ``REPRO_TASK_TIMEOUT_S`` is set; pool collapses
-        escalate through the degradation stages (replace-worker →
-        fresh-pool → serial), each logged — see
+        Every worker publishes its summary (and snapshot) to the store
+        *inside its single-flight lock* before returning, so an
+        interrupted sweep loses at most the configurations still in
+        flight — and concurrent processes racing on the same keys wait
+        instead of duplicating the simulation.  Transient worker failures
+        are retried with deterministic backoff; a hung worker is reaped
+        when ``REPRO_TASK_TIMEOUT_S`` is set; pool collapses escalate
+        through the degradation stages (replace-worker → fresh-pool →
+        serial), each logged — see
         :func:`repro.experiments.resilience.supervised_map`.
+
+        ``on_ready(position, summary, fresh, replayed)`` fires in the
+        calling thread as each result arrives (the supervisor's
+        ``on_result`` hook), letting :meth:`map` stream completions.
 
         Returns None only when the pool infrastructure cannot be created
         at all (restricted sandboxes); the caller's serial fallback then
@@ -630,13 +721,16 @@ class ExperimentEngine:
         """
         store_root = str(self.store.root) if self.store.enabled else None
         tasks = [(config, store_root, pipeline) for config in configs]
-        arrived: dict[int, tuple[str, EvaluationSummary, bool]] = {}
+        arrived: dict[int, tuple[str, EvaluationSummary, str]] = {}
 
-        def persist(position: int, value) -> None:
-            worker_key, summary_dict, replayed = value
+        def collect(position: int, value) -> None:
+            worker_key, summary_dict, provenance = value
             summary = EvaluationSummary.from_json_dict(summary_dict)
-            self.store.save(worker_key, summary)
-            arrived[position] = (worker_key, summary, replayed)
+            arrived[position] = (worker_key, summary, provenance)
+            if on_ready is not None:
+                on_ready(
+                    position, summary, provenance == "computed", provenance == "replayed"
+                )
 
         try:
             outcomes = supervised_map(
@@ -645,7 +739,7 @@ class ExperimentEngine:
                 worker_count,
                 task_timeout_s=_task_timeout_s(),
                 retry=RetryPolicy(),
-                on_result=persist,
+                on_result=collect,
                 logger=_log,
             )
         except (OSError, ValueError, RuntimeError, ImportError) as exc:
@@ -666,8 +760,16 @@ class ExperimentEngine:
         ] = []
         for position, (config, outcome) in enumerate(zip(configs, outcomes)):
             if outcome.ok:
-                worker_key, summary, replayed = arrived[position]
-                produced.append((worker_key, summary, not replayed, replayed, None))
+                worker_key, summary, provenance = arrived[position]
+                produced.append(
+                    (
+                        worker_key,
+                        summary,
+                        provenance == "computed",
+                        provenance == "replayed",
+                        None,
+                    )
+                )
             else:
                 workload = workload_by_name(config.workload)
                 produced.append(

@@ -35,6 +35,7 @@ __all__ = [
     "CorruptEntry",
     "DEGRADATION_STAGES",
     "EvaluationError",
+    "JobCancelled",
     "ResourceExhausted",
     "RetryPolicy",
     "SimulationFault",
@@ -109,6 +110,18 @@ class SimulationFault(EvaluationError):
     """The simulated program itself failed (illegal op, bad address, limit).
 
     Permanent: deterministic programs fail deterministically.
+    """
+
+    transient = False
+
+
+class JobCancelled(EvaluationError):
+    """The owning job was cancelled before its evaluation finished.
+
+    Raised by the evaluation service when a queued job is abandoned at
+    shutdown (a *hard* stop — a plain SIGTERM drains instead).  Permanent
+    by definition: the cancellation was a decision, not a fault, so
+    retrying inside the same run would un-cancel it.
     """
 
     transient = False

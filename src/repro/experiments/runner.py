@@ -23,6 +23,9 @@ Every accessor the figure functions use works identically on both.
 
 from __future__ import annotations
 
+import itertools
+import os
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
@@ -362,6 +365,35 @@ def evaluate_program(
 # ----------------------------------------------------------------------
 # One full build → transform → simulate pipeline (live path)
 # ----------------------------------------------------------------------
+#: Per-process sequence for simulation probe filenames (see below).
+_PROBE_SEQ = itertools.count()
+
+
+def _touch_sim_probe(workload: Workload, mechanism: str) -> None:
+    """Drop one marker file per live simulation into ``REPRO_SIM_PROBE_DIR``.
+
+    Cross-process observable instrumentation: tests (and the CI service
+    smoke) count the files to assert "N identical submissions cost
+    exactly one simulator run" without trusting any in-process counter.
+    ``O_EXCL`` plus a pid/sequence name makes every marker unique even
+    when many workers probe concurrently.  No-op unless the variable is
+    set; always best-effort.
+    """
+    probe_dir = os.environ.get("REPRO_SIM_PROBE_DIR", "")
+    if not probe_dir:
+        return
+    name = (
+        f"{workload.name}-{mechanism}-{os.getpid()}-"
+        f"{next(_PROBE_SEQ)}-{time.time_ns()}.probe"
+    )
+    try:
+        os.makedirs(probe_dir, exist_ok=True)
+        fd = os.open(os.path.join(probe_dir, name), os.O_WRONLY | os.O_CREAT | os.O_EXCL)
+        os.close(fd)
+    except OSError:
+        pass
+
+
 def _compute_evaluation(
     workload: Workload,
     mechanism: str = "none",
@@ -396,6 +428,7 @@ def _compute_evaluation(
         raise ValueError(
             f"unknown pipeline {pipeline!r}; expected 'materialized' or 'fused'"
         )
+    _touch_sim_probe(workload, mechanism)
     program = workload.build()
     vrp_result = None
     vrs_result = None

@@ -20,6 +20,13 @@ Environment variables:
     ``<root>/traces/`` and are keyed by a *simulator-side* code
     fingerprint, so analysis-layer edits (power model, timing model,
     experiment code) replay stored traces instead of re-simulating.
+``REPRO_TRACE_STORE_MAX_BYTES``
+    LRU byte cap on the trace-snapshot subtree (see
+    :meth:`ResultStore.evict_traces`); unset means unbounded.
+``REPRO_STORE_TMP_TTL`` / ``REPRO_STORE_LOCK_TTL``
+    Age thresholds (seconds) for reaping orphaned temp files and breaking
+    dead single-flight locks; both are clamped to safe floors so a live
+    concurrent writer can never be swept.
 """
 
 from __future__ import annotations
@@ -30,12 +37,14 @@ import logging
 import os
 import re
 import shutil
+import socket
 import tempfile
 import time
+from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
 from functools import lru_cache
 from pathlib import Path
-from typing import Optional
+from typing import Iterator, Optional
 
 from .. import __version__
 from ..core import VRPConfig, VRSConfig
@@ -51,6 +60,7 @@ from .chaos import chaos_blob
 from .summary import SUMMARY_FORMAT_VERSION, EvaluationSummary
 
 __all__ = [
+    "Flight",
     "FsckReport",
     "ResultStore",
     "StoreEntry",
@@ -71,15 +81,63 @@ _GENERATION_DIR_RE = re.compile(r"^[0-9a-f]{12}$")
 #: a live concurrent writer finishes in milliseconds, not an hour).
 _TMP_TTL_S = 3600.0
 
+#: Hard floor on the reap TTL.  A ``REPRO_STORE_TMP_TTL`` below this (or a
+#: caller-supplied ``max_age_s``, including fsck's aggressive pass) would
+#: let the reaper unlink the temp file of a *live* concurrent writer in the
+#: window between its write and its ``os.replace``; no healthy publish
+#: takes anywhere near a minute, so files younger than the floor are
+#: always presumed live.
+_TMP_TTL_FLOOR_S = 60.0
+
+#: A single-flight lock unclaimable for this long is presumed dead and
+#: broken (override in seconds via ``REPRO_STORE_LOCK_TTL``).  Locks held
+#: by a live process on the same host are never broken by age alone.
+_LOCK_TTL_S = 300.0
+
 
 def _tmp_ttl() -> float:
     configured = os.environ.get("REPRO_STORE_TMP_TTL", "")
     if configured:
         try:
-            return max(0.0, float(configured))
+            return max(_TMP_TTL_FLOOR_S, float(configured))
         except ValueError:
             pass
     return _TMP_TTL_S
+
+
+def _lock_ttl() -> float:
+    configured = os.environ.get("REPRO_STORE_LOCK_TTL", "")
+    if configured:
+        try:
+            return max(1.0, float(configured))
+        except ValueError:
+            pass
+    return _LOCK_TTL_S
+
+
+def _trace_budget_bytes() -> Optional[int]:
+    """Byte cap on the trace-snapshot subtree (``REPRO_TRACE_STORE_MAX_BYTES``).
+
+    None (the default) means unbounded; snapshots then grow with the
+    design space, which is fine for a workstation cache but not for a
+    long-running service host.
+    """
+    configured = os.environ.get("REPRO_TRACE_STORE_MAX_BYTES", "")
+    if not configured:
+        return None
+    try:
+        value = int(float(configured))
+    except ValueError:
+        return None
+    return value if value >= 0 else None
+
+
+@lru_cache(maxsize=1)
+def _hostname() -> str:
+    try:
+        return socket.gethostname()
+    except OSError:
+        return "unknown-host"
 
 
 def _fsync_enabled() -> bool:
@@ -298,6 +356,23 @@ class FsckReport:
         }
 
 
+@dataclass
+class Flight:
+    """Outcome of entering :meth:`ResultStore.single_flight`.
+
+    ``owner`` is True when this caller holds the cross-process lock and
+    must compute-and-publish the entry; False when another flight already
+    published it, in which case ``summary`` carries the winner's result
+    (and ``shared`` records that this caller waited on a concurrent
+    winner rather than hitting a pre-existing entry).
+    """
+
+    key: str
+    owner: bool
+    summary: Optional[EvaluationSummary] = None
+    shared: bool = False
+
+
 @dataclass(frozen=True)
 class StoreEntry:
     """Metadata of one persisted result."""
@@ -338,18 +413,22 @@ class ResultStore:
 
         Only files past the age threshold are touched: a young temp file
         may belong to a live concurrent writer about to ``os.replace`` it.
-        Best-effort (shared caches can race), and cheap enough to run at
-        every open — the glob only walks the store's own directories.
+        The threshold — whether from ``REPRO_STORE_TMP_TTL`` or an explicit
+        ``max_age_s`` — is clamped to ``_TMP_TTL_FLOOR_S``, so even an
+        aggressive caller (``fsck`` passes 0) can never unlink a temp file
+        a concurrent ``_publish`` is still about to rename.  Best-effort
+        (shared caches can race), and cheap enough to run at every open —
+        the glob only walks the store's own directories.
         """
         if self.root is None:
             return 0
-        ttl = max_age_s if max_age_s is not None else _tmp_ttl()
+        ttl = max(_TMP_TTL_FLOOR_S, max_age_s if max_age_s is not None else _tmp_ttl())
         cutoff = time.time() - ttl
         reaped = 0
         try:
-            candidates = list(self.root.glob("*/*/*.tmp")) + list(
-                self.root.glob("traces/*/*/*.tmp")
-            )
+            # One recursive sweep over every first-level subtree covers the
+            # sharded entry layout, trace snapshots and any legacy depth.
+            candidates = list(self.root.glob("*/**/*.tmp"))
         except OSError:
             return 0
         for path in candidates:
@@ -391,7 +470,13 @@ class ResultStore:
         return self.root / _code_fingerprint()[:12]
 
     def path_for(self, key: str) -> Path:
-        return self.generation_root / key[:2] / f"{key}.json"
+        """Sharded entry path: two prefix levels keep directory fan-out flat.
+
+        A service-scale store holds tens of thousands of entries; two
+        256-way shard levels bound every directory to a few dozen files so
+        opens, globs and the reaper stay O(directory) instead of O(store).
+        """
+        return self.generation_root / key[:2] / key[2:4] / f"{key}.json"
 
     # ------------------------------------------------------------------
     # Read / write
@@ -571,6 +656,160 @@ class ResultStore:
             raise
 
     # ------------------------------------------------------------------
+    # Cross-process single-flight
+    # ------------------------------------------------------------------
+    @property
+    def lock_root(self) -> Path:
+        """Single-flight locks live outside the generation directories.
+
+        Generation pruning and the temp-file reaper never touch this
+        subtree (locks are ``*.lock``, not ``*.tmp``), so a held lock
+        cannot be swept out from under its owner by store maintenance.
+        """
+        if self.root is None:
+            raise RuntimeError("result store is disabled (REPRO_RESULT_STORE=off)")
+        return self.root / "locks"
+
+    def lock_path_for(self, key: str) -> Path:
+        return self.lock_root / key[:2] / f"{key}.lock"
+
+    def _lock_is_stale(self, path: Path) -> bool:
+        """True when a lock's owner is provably dead or the lock too old.
+
+        A lock held by a live pid on this host is never stale; a lock
+        whose recorded pid no longer exists (same host) is immediately
+        stale; any lock older than ``REPRO_STORE_LOCK_TTL`` is stale
+        regardless — the cross-host fallback, since pid liveness cannot
+        be probed remotely.
+        """
+        try:
+            stat = path.stat()
+        except OSError:
+            return False  # already released
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            payload = {}  # just created and not yet written: young, keep it
+        pid = payload.get("pid")
+        if isinstance(pid, int) and payload.get("host") == _hostname():
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                return True
+            except OSError:
+                pass
+        return time.time() - stat.st_mtime > _lock_ttl()
+
+    @staticmethod
+    def _break_lock(path: Path) -> None:
+        _log.warning("breaking stale single-flight lock %s", path)
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    @contextmanager
+    def single_flight(
+        self,
+        key: str,
+        poll_s: float = 0.02,
+        timeout_s: Optional[float] = None,
+    ) -> Iterator[Flight]:
+        """Cross-process dedup: at most one live computation per ``key``.
+
+        Usage::
+
+            with store.single_flight(key) as flight:
+                if flight.summary is not None:
+                    return flight.summary          # another flight won
+                summary = compute()
+                store.save(key, summary)           # publish *inside* the flight
+
+        The first caller to create ``<root>/locks/<key[:2]>/<key>.lock``
+        (``O_CREAT | O_EXCL``, so the race has exactly one winner across
+        processes and threads) becomes the owner; it must publish the
+        entry before leaving the ``with`` block, because the lock is
+        released on exit and every waiter then reads the entry.  Losers
+        poll until the lock disappears, then serve the winner's entry —
+        N identical concurrent evaluations cost one simulation and N-1
+        cheap reads.  Crash safety: a lock whose owner died is detected
+        (pid probe on the same host, TTL elsewhere) and broken, and the
+        first waiter to re-acquire takes over the computation.
+
+        With the store disabled — or the lock directory unwritable — the
+        flight degrades to ``owner=True`` with no lock: correctness is
+        unchanged, only the dedup is lost.
+        """
+        if self.root is None:
+            yield Flight(key=key, owner=True)
+            return
+        summary = self.load(key)
+        if summary is not None:
+            yield Flight(key=key, owner=False, summary=summary)
+            return
+        lock_path = self.lock_path_for(key)
+        deadline = time.monotonic() + (
+            timeout_s if timeout_s is not None else 2.0 * _lock_ttl()
+        )
+        while True:
+            fd = None
+            try:
+                lock_path.parent.mkdir(parents=True, exist_ok=True)
+                fd = os.open(lock_path, os.O_WRONLY | os.O_CREAT | os.O_EXCL)
+            except FileExistsError:
+                pass
+            except OSError:
+                # Unwritable lock directory (read-only share): no dedup,
+                # the caller just computes like before single-flight.
+                yield Flight(key=key, owner=True)
+                return
+            if fd is not None:
+                try:
+                    os.write(
+                        fd,
+                        json.dumps(
+                            {
+                                "pid": os.getpid(),
+                                "host": _hostname(),
+                                "key": key,
+                                "created": time.time(),
+                            }
+                        ).encode("utf-8"),
+                    )
+                finally:
+                    os.close(fd)
+                # Re-check under the lock: a winner may have published
+                # between our miss above and this acquisition.
+                summary = self.load(key)
+                if summary is not None:
+                    try:
+                        lock_path.unlink()
+                    except OSError:
+                        pass
+                    yield Flight(key=key, owner=False, summary=summary, shared=True)
+                    return
+                try:
+                    yield Flight(key=key, owner=True)
+                finally:
+                    try:
+                        lock_path.unlink()
+                    except OSError:
+                        pass
+                return
+            # Contended: wait for the winner to release, break it if dead.
+            while lock_path.exists():
+                if self._lock_is_stale(lock_path) or time.monotonic() > deadline:
+                    self._break_lock(lock_path)
+                    break
+                time.sleep(poll_s)
+            summary = self.load(key)
+            if summary is not None:
+                yield Flight(key=key, owner=False, summary=summary, shared=True)
+                return
+            # The winner died (or failed) without publishing: loop and
+            # contend for ownership of the recomputation.
+
+    # ------------------------------------------------------------------
     # Binary trace snapshots
     # ------------------------------------------------------------------
     @property
@@ -586,7 +825,7 @@ class ResultStore:
         return self.root / "traces" / _sim_fingerprint()[:12]
 
     def trace_path_for(self, key: str) -> Path:
-        return self.trace_generation_root / key[:2] / f"{key}.trace"
+        return self.trace_generation_root / key[:2] / key[2:4] / f"{key}.trace"
 
     def load_trace(self, key: str) -> Optional[SimulationArtifact]:
         """Return the stored simulation artifact for ``key``, or None.
@@ -601,6 +840,12 @@ class ResultStore:
             blob = path.read_bytes()
         except OSError:
             return None
+        try:
+            # Refresh the mtime so eviction (see :meth:`evict_traces`) is
+            # least-recently-*used*, not least-recently-written.
+            os.utime(path)
+        except OSError:
+            pass
         try:
             return decode_artifact(blob)
         except Exception as exc:
@@ -629,7 +874,66 @@ class ResultStore:
         blob = chaos_blob("store-save-trace", encode_artifact(artifact))
         self._publish(path, blob, prefix=f".{key[:8]}-")
         self._prune_stale_trace_generations()
+        self.evict_traces()
         return path
+
+    def evict_traces(self, budget_bytes: Optional[int] = None) -> int:
+        """LRU-evict snapshots until the ``traces/`` subtree fits the budget.
+
+        The budget comes from ``REPRO_TRACE_STORE_MAX_BYTES`` (or the
+        explicit argument); with no budget configured this is a no-op.
+        Runs after every snapshot publish, so a bounded store converges to
+        the cap instead of drifting past it.  Eviction order is by mtime —
+        :meth:`load_trace` touches snapshots on every hit, so the mtime is
+        a recency-of-use clock, and the coldest snapshots go first.  Losing
+        a snapshot only costs a re-simulation on the next analysis-side
+        change; summary entries are never evicted.  Empty shard directories
+        are compacted away afterwards.
+        """
+        if self.root is None:
+            return 0
+        budget = budget_bytes if budget_bytes is not None else _trace_budget_bytes()
+        if budget is None:
+            return 0
+        traces_root = self.root / "traces"
+        try:
+            snapshots = [(path, path.stat()) for path in traces_root.rglob("*.trace")]
+        except OSError:
+            return 0
+        total = sum(stat.st_size for _, stat in snapshots)
+        if total <= budget:
+            return 0
+        evicted = 0
+        snapshots.sort(key=lambda item: item[1].st_mtime)
+        for path, stat in snapshots:
+            if total <= budget:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= stat.st_size
+            evicted += 1
+        if evicted:
+            _log.warning(
+                "evicted %d trace snapshot(s) to fit %d-byte budget under %s",
+                evicted,
+                budget,
+                traces_root,
+            )
+            self._compact_empty_dirs(traces_root)
+        return evicted
+
+    @staticmethod
+    def _compact_empty_dirs(root: Path) -> None:
+        """Remove empty shard directories left behind by eviction."""
+        for dirpath, _dirnames, _filenames in os.walk(root, topdown=False):
+            if Path(dirpath) == root:
+                continue
+            try:
+                os.rmdir(dirpath)  # refuses (ENOTEMPTY) unless actually empty
+            except OSError:
+                continue
 
     def _prune_stale_trace_generations(self) -> None:
         """Drop snapshot directories written by other simulator generations.
@@ -692,7 +996,7 @@ class ResultStore:
         if self.root is None or not self.generation_root.exists():
             return []
         found: list[StoreEntry] = []
-        for path in self.generation_root.glob("*/*.json"):
+        for path in self.generation_root.glob("*/*/*.json"):
             try:
                 with open(path, encoding="utf-8") as handle:
                     payload = json.load(handle)
@@ -726,7 +1030,9 @@ class ResultStore:
            :class:`EvaluationSummary`, and (when the entry carries a
            ``checksum``) hash back to its recorded content hash,
         2. every trace snapshot must decode as a simulation artifact,
-        3. orphaned temp files are reaped regardless of age.
+        3. orphaned temp files are reaped aggressively — down to the
+           safety floor that protects a live concurrent writer's young
+           temp file (see :meth:`reap_stale_tmp`).
 
         With ``repair=True`` (default) bad files are quarantined with a
         reason manifest; with ``repair=False`` the report only lists
@@ -744,7 +1050,7 @@ class ResultStore:
                 self.quarantine(path, f"fsck: {reason}")
 
         if self.generation_root.exists():
-            for path in sorted(self.generation_root.glob("*/*.json")):
+            for path in sorted(self.generation_root.glob("*/*/*.json")):
                 report.scanned_entries += 1
                 try:
                     payload = json.loads(path.read_text(encoding="utf-8"))
@@ -764,7 +1070,7 @@ class ResultStore:
                 report.ok_entries += 1
 
         if self.trace_enabled and self.trace_generation_root.exists():
-            for path in sorted(self.trace_generation_root.glob("*/*.trace")):
+            for path in sorted(self.trace_generation_root.glob("*/*/*.trace")):
                 report.scanned_traces += 1
                 try:
                     decode_artifact(path.read_bytes())
@@ -805,6 +1111,6 @@ class ResultStore:
             return removed
         for child in trace_children:
             if child.is_dir() and _GENERATION_DIR_RE.fullmatch(child.name):
-                removed += sum(1 for _ in child.glob("*/*.trace"))
+                removed += sum(1 for _ in child.glob("*/*/*.trace"))
                 shutil.rmtree(child, ignore_errors=True)
         return removed

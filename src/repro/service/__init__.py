@@ -1,0 +1,19 @@
+"""Long-running evaluation service: HTTP job API over the experiment engine.
+
+See ``docs/service.md`` for the API reference and deployment notes, and
+``python -m repro.experiments serve`` for the entry point.
+"""
+
+from .client import ServiceClient, ServiceClientError
+from .jobs import Job, JobQueue, new_job_id
+from .server import EvaluationService, ServiceError
+
+__all__ = [
+    "EvaluationService",
+    "Job",
+    "JobQueue",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceError",
+    "new_job_id",
+]

@@ -1,0 +1,115 @@
+"""Stdlib HTTP client for the evaluation service.
+
+:class:`ServiceClient` is a thin, dependency-free wrapper over
+``http.client`` for talking to a running :class:`EvaluationService` —
+used by the CI smoke, the tests, and any script that wants to submit
+jobs without hand-writing HTTP.  One fresh connection per request (the
+server is ``Connection: close``), so a client object is cheap, reusable
+and thread-safe.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Iterator, Optional
+
+__all__ = ["ServiceClient", "ServiceClientError"]
+
+
+class ServiceClientError(Exception):
+    """Non-2xx response from the service (carries status + body)."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        super().__init__(f"HTTP {status}: {payload.get('error', payload)}")
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """Blocking JSON client for one ``host:port`` service endpoint."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                decoded = json.loads(raw.decode("utf-8")) if raw else {}
+            except ValueError:
+                decoded = {"error": raw.decode("utf-8", "replace")}
+            if response.status >= 400:
+                raise ServiceClientError(response.status, decoded)
+            return decoded
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return self._request("GET", "/v1/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/v1/stats")
+
+    def submit(self, payload: dict) -> dict:
+        """POST /v1/jobs; returns ``{"job": id, "deduplicated": bool, ...}``."""
+        return self._request("POST", "/v1/jobs", payload)
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def result(self, key: str) -> dict:
+        return self._request("GET", f"/v1/results/{key}")
+
+    def wait(self, job_id: str, timeout_s: float = 300.0, poll_s: float = 0.05) -> dict:
+        """Poll until the job reaches a terminal state; returns its record."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            record = self.job(job_id)
+            if record["state"] in ("done", "failed", "cancelled"):
+                return record
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record['state']!r} after {timeout_s:.0f}s"
+                )
+            time.sleep(poll_s)
+
+    def events(self, job_id: str) -> Iterator[dict]:
+        """Follow the NDJSON progress stream; yields events until terminal."""
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            conn.request("GET", f"/v1/jobs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                try:
+                    decoded = json.loads(raw.decode("utf-8"))
+                except ValueError:
+                    decoded = {"error": raw.decode("utf-8", "replace")}
+                raise ServiceClientError(response.status, decoded)
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+        finally:
+            conn.close()

@@ -1,0 +1,149 @@
+"""Job model and priority queue of the evaluation service.
+
+A :class:`Job` is one submitted unit of work — a ``run`` (a batch of
+:class:`~repro.experiments.engine.ExperimentConfig` points through
+``engine.map``) or a ``sweep`` (a design-space matrix through
+``engine.sweep``).  Jobs are identified by a short random id for the API
+and by a *dedup key* — a content hash over the store keys of everything
+the job would evaluate — for single-flight: while a job with the same
+dedup key is queued or running, an identical submission attaches to it as
+a subscriber instead of enqueuing duplicate work (see
+``docs/service.md``).
+
+:class:`JobQueue` is a tiny asyncio priority queue (higher ``priority``
+first, FIFO within a priority).  ``close()`` starts the drain: queued
+jobs are still handed out, and ``get()`` returns None only once the
+queue is both closed and empty — exactly the SIGTERM semantics the
+server needs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["Job", "JobQueue", "TERMINAL_STATES", "new_job_id"]
+
+#: States a job never leaves.
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+def new_job_id() -> str:
+    """Short, unguessable-enough job id for the HTTP API."""
+    return uuid.uuid4().hex[:12]
+
+
+@dataclass
+class Job:
+    """One submitted evaluation job and its full observable history."""
+
+    id: str
+    kind: str  # "run" | "sweep"
+    request: dict  # normalized request payload (what dedup hashed)
+    dedup_key: str
+    priority: int = 0
+    state: str = "queued"  # queued | running | done | failed | cancelled
+    created: float = field(default_factory=time.time)
+    started: Optional[float] = None
+    finished: Optional[float] = None
+    #: How many submissions this job serves (1 + deduplicated attaches).
+    subscribers: int = 1
+    #: Result rows, JSON-ready, in request order (run) / spec order (sweep).
+    rows: list = field(default_factory=list)
+    #: Progress events, JSON-ready, append-only.  Appended from the
+    #: executor thread and read from the event loop; list.append is
+    #: atomic under the GIL and streams only ever read a stable prefix,
+    #: so no lock is needed.
+    events: list = field(default_factory=list)
+    #: Rows that ran a live simulation (probe-equivalent, in-process view).
+    cold_rows: int = 0
+    error: Optional[str] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def emit(self, event: str, **payload) -> None:
+        record = {"event": event, "job": self.id, "ts": time.time()}
+        record.update(payload)
+        self.events.append(record)
+
+    def to_json_dict(self, include_rows: bool = True) -> dict:
+        payload = {
+            "id": self.id,
+            "kind": self.kind,
+            "state": self.state,
+            "priority": self.priority,
+            "request": self.request,
+            "created": self.created,
+            "started": self.started,
+            "finished": self.finished,
+            "subscribers": self.subscribers,
+            "events": len(self.events),
+            "cold_rows": self.cold_rows,
+            "error": self.error,
+        }
+        if include_rows:
+            payload["rows"] = list(self.rows)
+        else:
+            payload["rows"] = len(self.rows)
+        return payload
+
+
+class JobQueue:
+    """Asyncio priority queue with drain-on-close semantics.
+
+    Ordering is ``(-priority, submission sequence)``: higher priorities
+    first, FIFO among equals.  After :meth:`close`, producers are
+    rejected, consumers keep draining what is queued, and ``get()``
+    returns None once nothing is left — the worker's exit signal.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, Job]] = []
+        self._seq = itertools.count()
+        self._closed = False
+        self._cond = asyncio.Condition()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    async def put(self, job: Job) -> None:
+        async with self._cond:
+            if self._closed:
+                raise RuntimeError("queue is closed (draining)")
+            heapq.heappush(self._heap, (-job.priority, next(self._seq), job))
+            self._cond.notify()
+
+    async def get(self) -> Optional[Job]:
+        async with self._cond:
+            while not self._heap and not self._closed:
+                await self._cond.wait()
+            if self._heap:
+                return heapq.heappop(self._heap)[2]
+            return None  # closed and drained
+
+    async def close(self) -> None:
+        async with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def drain_now(self) -> list[Job]:
+        """Synchronously empty the queue (hard stop); returns the jobs.
+
+        Used on a *second* termination signal: the still-queued jobs are
+        cancelled instead of evaluated.  Waiting consumers are not woken
+        here — the caller cancels the worker tasks anyway.
+        """
+        jobs = [job for _, _, job in self._heap]
+        self._heap.clear()
+        return jobs

@@ -550,7 +550,7 @@ class TestStoreCrashConsistency:
         payload["summary"]["timing"]["cycles"] += 1
         vrp_path.write_text(json.dumps(payload), encoding="utf-8")
         # Class 4: truncated trace snapshot.
-        trace_path = next(iter(store.trace_generation_root.glob("*/*.trace")))
+        trace_path = next(iter(store.trace_generation_root.glob("*/*/*.trace")))
         trace_path.write_bytes(trace_path.read_bytes()[:32])
         # Class 5: orphaned temp file.
         orphan = entry.parent / "orphan.json.tmp"
