@@ -76,6 +76,12 @@ _log = logging.getLogger(__name__)
 #: Shape of a generation directory name (12-hex source-fingerprint prefix).
 _GENERATION_DIR_RE = re.compile(r"^[0-9a-f]{12}$")
 
+#: Shape of a store key: a lowercase hex content hash.  Every path builder
+#: enforces it, so a key arriving from an untrusted boundary (the service's
+#: ``GET /v1/results/<key>``) can never contain separators or ``..`` and
+#: resolve outside the store root.
+_KEY_RE = re.compile(r"^[0-9a-f]{16,64}$")
+
 #: Temp files older than this are considered orphans of a dead writer and
 #: reaped at store open (override in seconds via ``REPRO_STORE_TMP_TTL``;
 #: a live concurrent writer finishes in milliseconds, not an hour).
@@ -130,6 +136,18 @@ def _trace_budget_bytes() -> Optional[int]:
     except ValueError:
         return None
     return value if value >= 0 else None
+
+
+def _require_key(key: str) -> str:
+    """Reject anything that is not a plain hex content hash.
+
+    The store joins keys into filesystem paths; validating here (rather
+    than trusting every caller) makes path traversal structurally
+    impossible no matter where the key came from.
+    """
+    if not isinstance(key, str) or not _KEY_RE.fullmatch(key):
+        raise ValueError(f"malformed store key {key!r} (expected a lowercase hex hash)")
+    return key
 
 
 @lru_cache(maxsize=1)
@@ -335,6 +353,7 @@ class FsckReport:
     ok_traces: int = 0
     quarantined: list = field(default_factory=list)  # (path str, reason)
     reaped_tmp: int = 0
+    migrated: int = 0
     repaired: bool = True
 
     @property
@@ -351,6 +370,7 @@ class FsckReport:
                 {"path": path, "reason": reason} for path, reason in self.quarantined
             ],
             "reaped_tmp": self.reaped_tmp,
+            "migrated": self.migrated,
             "repaired": self.repaired,
             "clean": self.clean,
         }
@@ -407,6 +427,56 @@ class ResultStore:
         # file and os.replace leaks the temp forever; reap orphans at
         # open so the store never accretes dead bytes.
         self.reap_stale_tmp()
+        # Layout compatibility: entries written by the same code
+        # generation under the older single-level shard layout must stay
+        # visible, so every open sweeps them into the two-level layout.
+        self._migrate_legacy_layout()
+
+    def _migrate_legacy_layout(self) -> int:
+        """Relocate single-level-shard files into the two-level layout.
+
+        Earlier revisions sharded entries and trace snapshots one level
+        deep (``<gen>/<k01>/<key>.json``); the current layout adds a
+        second level (``<gen>/<k01>/<k23>/<key>.json``).  Same-generation
+        files left at the old depth would otherwise be invisible to
+        :meth:`load`, :meth:`entries` and :meth:`fsck` — silently
+        recomputed, never scanned, quarantined or pruned — so they are
+        moved into place (``os.replace``: atomic, idempotent, same shard
+        directory so never cross-device).  Returns the number of files
+        moved; best-effort like every other maintenance pass.
+        """
+        if self.root is None:
+            return 0
+        moved = 0
+        sweeps = (
+            (self.generation_root, "*/*.json", self.path_for),
+            (self.trace_generation_root, "*/*.trace", self.trace_path_for),
+        )
+        for sweep_root, pattern, path_for in sweeps:
+            try:
+                legacy = [
+                    path
+                    for path in sweep_root.glob(pattern)
+                    if _KEY_RE.fullmatch(path.stem)
+                ]
+            except OSError:
+                continue
+            for path in legacy:
+                target = path_for(path.stem)
+                try:
+                    target.parent.mkdir(parents=True, exist_ok=True)
+                    os.replace(path, target)
+                    moved += 1
+                except OSError:
+                    continue
+        if moved:
+            _log.warning(
+                "migrated %d legacy single-level store file(s) under %s "
+                "into the sharded layout",
+                moved,
+                self.root,
+            )
+        return moved
 
     def reap_stale_tmp(self, max_age_s: Optional[float] = None) -> int:
         """Delete orphaned ``*.tmp`` files older than the TTL; returns count.
@@ -475,7 +545,12 @@ class ResultStore:
         A service-scale store holds tens of thousands of entries; two
         256-way shard levels bound every directory to a few dozen files so
         opens, globs and the reaper stay O(directory) instead of O(store).
+
+        Raises :class:`ValueError` for anything that is not a hex content
+        hash — the key becomes path components, so this is where
+        traversal (``../``) dies regardless of the caller.
         """
+        _require_key(key)
         return self.generation_root / key[:2] / key[2:4] / f"{key}.json"
 
     # ------------------------------------------------------------------
@@ -671,16 +746,20 @@ class ResultStore:
         return self.root / "locks"
 
     def lock_path_for(self, key: str) -> Path:
+        _require_key(key)
         return self.lock_root / key[:2] / f"{key}.lock"
 
     def _lock_is_stale(self, path: Path) -> bool:
         """True when a lock's owner is provably dead or the lock too old.
 
-        A lock held by a live pid on this host is never stale; a lock
-        whose recorded pid no longer exists (same host) is immediately
-        stale; any lock older than ``REPRO_STORE_LOCK_TTL`` is stale
-        regardless — the cross-host fallback, since pid liveness cannot
-        be probed remotely.
+        A lock held by a live pid on this host is *never* stale — not
+        even past the TTL, because a legitimate computation can outlive
+        any fixed age and breaking a held lock cascades (the owner's
+        release then unlinks the usurper's lock).  A lock whose recorded
+        pid no longer exists (same host) is immediately stale.  The
+        ``REPRO_STORE_LOCK_TTL`` age fallback applies only to locks
+        whose owner cannot be probed: cross-host locks and unparseable
+        payloads.
         """
         try:
             stat = path.stat()
@@ -695,9 +774,10 @@ class ResultStore:
             try:
                 os.kill(pid, 0)
             except ProcessLookupError:
-                return True
+                return True  # provably dead: break immediately
             except OSError:
-                pass
+                return False  # EPERM and friends: the pid exists, owner lives
+            return False  # probe succeeded: live owner, never age out
         return time.time() - stat.st_mtime > _lock_ttl()
 
     @staticmethod
@@ -798,9 +878,24 @@ class ResultStore:
                 return
             # Contended: wait for the winner to release, break it if dead.
             while lock_path.exists():
-                if self._lock_is_stale(lock_path) or time.monotonic() > deadline:
+                if self._lock_is_stale(lock_path):
                     self._break_lock(lock_path)
                     break
+                if time.monotonic() > deadline:
+                    # Out of patience with an owner that is (as far as we
+                    # can tell) alive.  Compute *without* the lock rather
+                    # than usurp it: unlinking a held lock makes the
+                    # owner's release unlink the usurper's lock in turn,
+                    # cascading takeovers and duplicate simulations.  The
+                    # worst case here is one duplicated computation with
+                    # an atomic, idempotent publish.
+                    _log.warning(
+                        "single-flight wait on %s exceeded its deadline; "
+                        "computing without the lock",
+                        lock_path,
+                    )
+                    yield Flight(key=key, owner=True)
+                    return
                 time.sleep(poll_s)
             summary = self.load(key)
             if summary is not None:
@@ -825,6 +920,7 @@ class ResultStore:
         return self.root / "traces" / _sim_fingerprint()[:12]
 
     def trace_path_for(self, key: str) -> Path:
+        _require_key(key)
         return self.trace_generation_root / key[:2] / key[2:4] / f"{key}.trace"
 
     def load_trace(self, key: str) -> Optional[SimulationArtifact]:
@@ -1034,6 +1130,10 @@ class ResultStore:
            safety floor that protects a live concurrent writer's young
            temp file (see :meth:`reap_stale_tmp`).
 
+        Before scanning, legacy single-level-shard files are migrated
+        into the current two-level layout (counted in ``migrated``) so
+        the passes above cover them instead of globbing past them.
+
         With ``repair=True`` (default) bad files are quarantined with a
         reason manifest; with ``repair=False`` the report only lists
         them.  Entries written before checksums existed verify by decode
@@ -1042,6 +1142,9 @@ class ResultStore:
         report = FsckReport(repaired=repair)
         if self.root is None:
             return report
+        # Sweep any legacy single-level-shard files into the current
+        # layout first, so the scans below actually see them.
+        report.migrated = self._migrate_legacy_layout()
 
         def condemn(path: Path, reason: str) -> None:
             report.quarantined.append((str(path), reason))

@@ -37,6 +37,7 @@ import asyncio
 import json
 import logging
 import os
+import re
 import signal
 import sys
 import time
@@ -76,6 +77,45 @@ _STATUS_TEXT = {
 }
 
 _PIPELINES = ("auto", "fused", "materialized")
+
+#: Shape of a result key: a lowercase hex content hash.  Enforced at the
+#: HTTP boundary (400 before any store lookup) so a request path like
+#: ``/v1/results/../../etc/passwd`` can never reach the filesystem — the
+#: store's own path builders reject malformed keys too, but an
+#: unauthenticated input deserves its own front-line check.
+_RESULT_KEY_RE = re.compile(r"^[0-9a-f]{16,64}$")
+
+#: Terminal jobs linger this long (seconds) in the in-memory job map for
+#: `GET /v1/jobs/<id>` polling, then are evicted — results stay servable
+#: from the store via ``GET /v1/results/<key>``.  Without eviction a
+#: long-running service retains every result row and event list it ever
+#: produced.  Override via ``REPRO_SERVICE_JOB_TTL_S``.
+_JOB_TTL_S = 900.0
+
+#: Hard cap on retained terminal jobs regardless of age (a traffic burst
+#: must not hold a TTL's worth of rows in memory).  Override via
+#: ``REPRO_SERVICE_JOB_CAP``.
+_JOB_CAP = 1024
+
+
+def _job_ttl_s() -> float:
+    configured = os.environ.get("REPRO_SERVICE_JOB_TTL_S", "")
+    if configured:
+        try:
+            return max(0.0, float(configured))
+        except ValueError:
+            pass
+    return _JOB_TTL_S
+
+
+def _job_cap() -> int:
+    configured = os.environ.get("REPRO_SERVICE_JOB_CAP", "")
+    if configured:
+        try:
+            return max(0, int(float(configured)))
+        except ValueError:
+            pass
+    return _JOB_CAP
 
 
 class ServiceError(Exception):
@@ -177,6 +217,9 @@ class EvaluationService:
         self.engine = engine if engine is not None else ExperimentEngine(jobs=jobs)
         self.queue = JobQueue()
         self.jobs: dict[str, Job] = {}
+        #: Retention of *terminal* jobs in ``self.jobs`` (see _prune_jobs).
+        self.job_ttl_s = _job_ttl_s()
+        self.job_cap = _job_cap()
         #: Job-level single-flight registry: dedup key -> live job.
         self.inflight: dict[str, Job] = {}
         self.draining = False
@@ -301,16 +344,54 @@ class EvaluationService:
             priority=priority,
         )
 
+    def _prune_jobs(self) -> int:
+        """Evict old terminal jobs so ``self.jobs`` tracks live traffic.
+
+        Two bounds: terminal jobs older than ``job_ttl_s`` go, and the
+        retained terminal set is capped at ``job_cap`` (oldest-finished
+        first).  Queued/running jobs are never touched, and an evicted
+        id simply 404s — the result rows remain addressable through the
+        store (``GET /v1/results/<key>``).  A live event stream keeps
+        its own reference to the Job object, so eviction never breaks
+        an in-progress ``/events`` follow.
+        """
+        now = time.time()
+        terminal = [
+            job
+            for job in self.jobs.values()
+            if job.terminal and job.finished is not None
+        ]
+        victims = [job for job in terminal if now - job.finished > self.job_ttl_s]
+        retained = [job for job in terminal if now - job.finished <= self.job_ttl_s]
+        if len(retained) > self.job_cap:
+            retained.sort(key=lambda job: job.finished)
+            victims.extend(retained[: len(retained) - self.job_cap])
+        for job in victims:
+            self.jobs.pop(job.id, None)
+        return len(victims)
+
     async def _submit(self, payload: dict) -> tuple[int, dict]:
         if self.draining:
             raise ServiceError(503, "service is draining; resubmit to another replica")
+        self._prune_jobs()
         kind = payload.get("kind", "run")
         if kind == "run":
-            job = self._build_run_job(payload)
+            build = self._build_run_job
         elif kind == "sweep":
-            job = self._build_sweep_job(payload)
+            build = self._build_sweep_job
         else:
             raise ServiceError(400, f"unknown job kind {kind!r}; expected 'run' or 'sweep'")
+        # Building a job hashes workload content for every point it would
+        # evaluate (the dedup key); for a large cartesian sweep that is
+        # real CPU time, so it runs on the default executor instead of
+        # blocking the event loop (and /v1/healthz) mid-submit.  Not the
+        # job executor: submits must never queue behind running
+        # simulations.
+        loop = asyncio.get_running_loop()
+        job = await loop.run_in_executor(None, build, payload)
+        if self.draining:
+            # Drain began while we were hashing; the queue is closing.
+            raise ServiceError(503, "service is draining; resubmit to another replica")
         existing = self.inflight.get(job.dedup_key)
         if existing is not None and not existing.terminal:
             # Job-level single-flight: identical work is already queued or
@@ -461,6 +542,7 @@ class EvaluationService:
                 # retained job forever.
                 if self.inflight.get(job.dedup_key) is job:
                     del self.inflight[job.dedup_key]
+                self._prune_jobs()
 
     # ------------------------------------------------------------------
     # HTTP plumbing
@@ -598,6 +680,11 @@ class EvaluationService:
             if method != "GET":
                 raise ServiceError(405, "results are GET-only")
             key = path[len("/v1/results/") :]
+            if not _RESULT_KEY_RE.fullmatch(key):
+                raise ServiceError(
+                    400,
+                    "malformed result key: expected a lowercase hex content hash",
+                )
             summary = self.engine.store.load(key) if self.engine.store.enabled else None
             if summary is None:
                 raise ServiceError(404, f"no stored result for key {key!r}")

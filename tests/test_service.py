@@ -275,6 +275,25 @@ class TestServiceHTTP:
             live_server["client"].result("0" * 64)
         assert excinfo.value.status == 404
 
+    def test_malformed_result_key_is_400(self, live_server):
+        """Result keys are validated before any filesystem lookup.
+
+        Regression: ``GET /v1/results/../../...`` used to be joined into
+        a store path, and a traversal target that failed JSON decoding
+        was *quarantined* — moved out of its directory — by an
+        unauthenticated request.
+        """
+        client = live_server["client"]
+        for bad in (
+            "../../../../etc/hostname",
+            "..%2f..%2fetc%2fhostname",
+            "0" * 8,  # too short to be a content hash
+            "Z" * 64,  # not hex
+        ):
+            with pytest.raises(ServiceClientError) as excinfo:
+                client._request("GET", f"/v1/results/{bad}")
+            assert excinfo.value.status == 400, bad
+
     def test_unknown_path_is_404(self, live_server):
         with pytest.raises(ServiceClientError) as excinfo:
             live_server["client"]._request("GET", "/v2/nope")
@@ -306,6 +325,64 @@ class TestServiceHTTP:
             live_server["client"].submit({"workloads": ["not-a-benchmark"]})
         assert excinfo.value.status == 400
         assert "not-a-benchmark" in excinfo.value.payload["error"]
+
+
+class TestJobRetention:
+    """Terminal jobs are evicted from the in-memory map (TTL + cap), so a
+    long-running service does not retain every row it ever served."""
+
+    @pytest.fixture
+    def service(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULT_STORE", str(tmp_path / "store"))
+        return EvaluationService(workers=1)
+
+    @staticmethod
+    def _terminal_job(finished_ago_s: float) -> Job:
+        job = _make_job()
+        job.state = "done"
+        job.finished = time.time() - finished_ago_s
+        return job
+
+    def test_ttl_evicts_old_terminal_jobs_only(self, service):
+        service.job_ttl_s = 10.0
+        old = self._terminal_job(60.0)
+        fresh = self._terminal_job(1.0)
+        running = _make_job()
+        running.state = "running"
+        for job in (old, fresh, running):
+            service.jobs[job.id] = job
+        assert service._prune_jobs() == 1
+        assert old.id not in service.jobs
+        assert fresh.id in service.jobs
+        assert running.id in service.jobs
+
+    def test_cap_evicts_oldest_finished_first(self, service):
+        service.job_ttl_s = 3600.0
+        service.job_cap = 2
+        oldest = self._terminal_job(30.0)
+        middle = self._terminal_job(20.0)
+        newest = self._terminal_job(10.0)
+        for job in (oldest, middle, newest):
+            service.jobs[job.id] = job
+        assert service._prune_jobs() == 1
+        assert oldest.id not in service.jobs
+        assert middle.id in service.jobs
+        assert newest.id in service.jobs
+
+    def test_submit_prunes(self, service):
+        service.job_ttl_s = 0.0
+        done = self._terminal_job(1.0)
+        service.jobs[done.id] = done
+        asyncio.run(service._submit({"workloads": ["li"], "priority": 0}))
+        assert done.id not in service.jobs
+
+    def test_env_overrides(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULT_STORE", str(tmp_path / "store"))
+        monkeypatch.setenv("REPRO_SERVICE_JOB_TTL_S", "123")
+        monkeypatch.setenv("REPRO_SERVICE_JOB_CAP", "7")
+        service = EvaluationService(workers=1)
+        assert service.job_ttl_s == 123.0
+        assert service.job_cap == 7
 
 
 class TestDrain:

@@ -246,12 +246,13 @@ class TestSingleFlightLocks:
             assert flight.owner
         assert not lock_path.exists()
 
-    def test_deadline_takeover_when_owner_never_publishes(self, store):
+    def test_deadline_computes_without_usurping_live_lock(self, store):
         key = "e" * 64
         lock_path = store.lock_path_for(key)
         lock_path.parent.mkdir(parents=True, exist_ok=True)
-        # A *live* pid and a fresh mtime: not stale, so only the caller's
-        # own deadline can break it.
+        # A cross-host lock with a fresh mtime: not provably dead, so the
+        # caller's own deadline makes it compute anyway — but *without*
+        # breaking the (possibly live) owner's lock.
         lock_path.write_text(
             json.dumps({"pid": os.getpid(), "host": "somewhere-else", "key": key})
         )
@@ -259,6 +260,39 @@ class TestSingleFlightLocks:
         with store.single_flight(key, poll_s=0.01, timeout_s=0.2) as flight:
             assert flight.owner
         assert time.monotonic() - start < 10.0
+        assert lock_path.exists()  # the held lock was never unlinked
+
+    def test_live_same_host_lock_is_never_stale_by_age(self, store, monkeypatch):
+        """A live owner computing past the TTL must keep its lock.
+
+        Regression: ``_lock_is_stale`` used to fall through to the TTL
+        check even after a successful same-host pid probe, so a long
+        computation had its lock broken under it, and its own release
+        then unlinked the usurper's lock — cascading takeovers.
+        """
+        monkeypatch.setenv("REPRO_STORE_LOCK_TTL", "1")
+        from repro.experiments.store import _hostname
+
+        key = "d" * 64
+        lock_path = store.lock_path_for(key)
+        lock_path.parent.mkdir(parents=True, exist_ok=True)
+        lock_path.write_text(
+            json.dumps({"pid": os.getpid(), "host": _hostname(), "key": key})
+        )
+        old = time.time() - 3600.0  # far older than any TTL
+        os.utime(lock_path, (old, old))
+        assert not store._lock_is_stale(lock_path)
+
+    def test_dead_same_host_lock_is_stale_immediately(self, store):
+        key = "c" * 64
+        from repro.experiments.store import _hostname
+
+        lock_path = store.lock_path_for(key)
+        lock_path.parent.mkdir(parents=True, exist_ok=True)
+        lock_path.write_text(
+            json.dumps({"pid": 2**22 + 12345, "host": _hostname(), "key": key})
+        )
+        assert store._lock_is_stale(lock_path)  # fresh mtime, provably dead pid
 
     def test_disabled_store_is_always_owner(self, monkeypatch):
         monkeypatch.setenv("REPRO_RESULT_STORE", "off")
